@@ -1,0 +1,20 @@
+; EWMA smoother over six unknown samples — the text-assembler twin of
+; examples/custom_kernel.ml. Analyze with:
+;   dune exec bin/xbound.exe -- analyze-file examples/ewma.s
+        .org 0xE000
+start:
+        mov   #0x05f0, sp
+        mov   #0x5A80, &0x0120      ; stop the watchdog
+        nop                         ; initialize r3 (cheap NOPs later)
+        clr   r5                    ; y = 0
+        mov   #0x0300, r4           ; sample pointer (uninitialized RAM = X)
+        mov   #6, r10
+ewma:
+        mov   @r4+, r6
+        sub   r5, r6                ; x - y
+        rra   r6
+        rra   r6                    ; (x - y) / 4
+        add   r6, r5
+        dec   r10
+        jne   ewma
+        mov   r5, &0x0400           ; result
