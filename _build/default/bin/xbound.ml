@@ -1,0 +1,302 @@
+(* xbound — determine application-specific peak power and energy
+   requirements for the bundled ULP processor.
+
+   Subcommands: list, netlist, analyze, profile, coi, optimize. *)
+
+open Cmdliner
+module Parse = Isa.Parse
+
+let ctx = lazy (Report.Context.create ())
+
+(* paper suite plus the extended kernels *)
+let all_benches = Benchprogs.Bench.all @ Benchprogs.Extended.all
+
+let find_bench name =
+  match
+    List.find_opt (fun b -> String.equal b.Benchprogs.Bench.name name) all_benches
+  with
+  | Some b -> b
+  | None ->
+    Printf.eprintf "unknown benchmark %S (try: xbound list)\n" name;
+    exit 1
+
+let bench_arg =
+  let names = List.map (fun b -> b.Benchprogs.Bench.name) all_benches in
+  let doc =
+    Printf.sprintf "Benchmark name (one of: %s)." (String.concat ", " names)
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+let list_cmd =
+  let run () =
+    print_endline "paper suite (Table 4.1):";
+    List.iter
+      (fun b ->
+        Printf.printf "  %-10s %s\n" b.Benchprogs.Bench.name
+          b.Benchprogs.Bench.description)
+      Benchprogs.Bench.all;
+    print_endline "extended kernels:";
+    List.iter
+      (fun b ->
+        Printf.printf "  %-10s %s\n" b.Benchprogs.Bench.name
+          b.Benchprogs.Bench.description)
+      Benchprogs.Extended.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled benchmark applications")
+    Term.(const run $ const ())
+
+let netlist_cmd =
+  let run () =
+    let c = Lazy.force ctx in
+    let stats = Netlist.Stats.compute c.Report.Context.cpu.Cpu.netlist in
+    Format.printf "%a" Netlist.Stats.pp stats;
+    Printf.printf "base power: %s mW (leakage + clock tree)\n"
+      (Report.Render.mw (Poweran.base_power c.Report.Context.pa));
+    Printf.printf "design-tool rated peak: %s mW\n"
+      (Report.Render.mw (Report.Context.design_peak c))
+  in
+  Cmd.v
+    (Cmd.info "netlist" ~doc:"Show the processor netlist statistics")
+    Term.(const run $ const ())
+
+let analyze_cmd =
+  let run name =
+    let c = Lazy.force ctx in
+    let b = find_bench name in
+    let a = Report.Context.analysis c b in
+    let st = a.Core.Analyze.sym_stats in
+    Printf.printf "%s: %s\n" name b.Benchprogs.Bench.description;
+    Printf.printf
+      "symbolic execution: %d paths, %d forks, %d dedup hits, %d cycles\n"
+      st.Gatesim.Sym.paths st.Gatesim.Sym.forks st.Gatesim.Sym.dedup_hits
+      st.Gatesim.Sym.total_cycles;
+    Printf.printf "peak power bound:  %s mW (cycle %d of the flattened trace)\n"
+      (Report.Render.mw a.Core.Analyze.peak_power)
+      a.Core.Analyze.peak_index;
+    let pe = a.Core.Analyze.peak_energy in
+    Printf.printf "peak energy bound: %.3f nJ over %d cycles (%s pJ/cycle)\n"
+      (pe.Core.Peak_energy.energy *. 1e9)
+      pe.Core.Peak_energy.cycles
+      (Report.Render.npe_pj pe.Core.Peak_energy.npe);
+    Printf.printf "trace: %s\n"
+      (Report.Render.series a.Core.Analyze.power_trace)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"X-based peak power and energy bounds for a benchmark")
+    Term.(const run $ bench_arg)
+
+let profile_cmd =
+  let run name =
+    let c = Lazy.force ctx in
+    let b = find_bench name in
+    let p = Report.Context.profile c b in
+    Printf.printf "%s input-based profiling over %d input sets:\n" name
+      (List.length p.Baselines.Profiling.peaks);
+    Printf.printf "  peak power: %s .. %s mW  (guardbanded: %s mW)\n"
+      (Report.Render.mw p.Baselines.Profiling.min_peak)
+      (Report.Render.mw p.Baselines.Profiling.max_peak)
+      (Report.Render.mw p.Baselines.Profiling.gb_peak);
+    Printf.printf "  NPE: %s .. %s pJ/cycle (guardbanded: %s)\n"
+      (Report.Render.npe_pj p.Baselines.Profiling.min_npe)
+      (Report.Render.npe_pj p.Baselines.Profiling.max_npe)
+      (Report.Render.npe_pj p.Baselines.Profiling.gb_npe)
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Input-based profiling baseline for a benchmark")
+    Term.(const run $ bench_arg)
+
+let coi_cmd =
+  let run name =
+    let c = Lazy.force ctx in
+    let b = find_bench name in
+    let a = Report.Context.analysis c b in
+    let cois = Core.Analyze.cois c.Report.Context.pa a ~top:4 ~min_gap:4 in
+    List.iter (fun coi -> Format.printf "%a" Core.Coi.pp coi) cois
+  in
+  Cmd.v
+    (Cmd.info "coi" ~doc:"Report the cycles of interest (peak power spikes)")
+    Term.(const run $ bench_arg)
+
+let optimize_cmd =
+  let run name =
+    let c = Lazy.force ctx in
+    let b = find_bench name in
+    let o = Report.Context.optimization c b in
+    Printf.printf "%s: applied %s\n" name
+      (match o.Report.Optrun.chosen with
+      | [] -> "(no transform reduced the bound)"
+      | opts -> String.concat ", " (List.map Core.Optimize.name opts));
+    Printf.printf "  peak power: %s -> %s mW (%.1f%% reduction)\n"
+      (Report.Render.mw o.Report.Optrun.base_peak)
+      (Report.Render.mw o.Report.Optrun.opt_peak)
+      (Report.Optrun.peak_reduction_pct o);
+    Printf.printf "  dynamic range reduction: %.1f%%\n"
+      (Report.Optrun.range_reduction_pct o);
+    Printf.printf "  performance cost: %.2f%%, energy cost: %.2f%%\n"
+      (Report.Optrun.perf_degradation_pct o)
+      (Report.Optrun.energy_overhead_pct o)
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Apply the peak-power software optimizations to a benchmark")
+    Term.(const run $ bench_arg)
+
+let analyze_file_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s"
+           ~doc:"MSP430-subset assembly source file.")
+  in
+  let run path =
+    let text = In_channel.with_open_text path In_channel.input_all in
+    let program =
+      try Parse.program ~name:(Filename.basename path) text
+      with Parse.Syntax_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" path line msg;
+        exit 1
+    in
+    let img = Isa.Asm.assemble program in
+    let c = Lazy.force ctx in
+    let a = Core.Analyze.run c.Report.Context.pa c.Report.Context.cpu img in
+    Printf.printf "%s:\n" path;
+    Printf.printf
+      "symbolic execution: %d paths, %d forks, %d cycles\n"
+      a.Core.Analyze.sym_stats.Gatesim.Sym.paths
+      a.Core.Analyze.sym_stats.Gatesim.Sym.forks
+      a.Core.Analyze.sym_stats.Gatesim.Sym.total_cycles;
+    Printf.printf "peak power bound:  %s mW\n"
+      (Report.Render.mw a.Core.Analyze.peak_power);
+    Printf.printf "peak energy bound: %.3f nJ (%s pJ/cycle)\n"
+      (a.Core.Analyze.peak_energy.Core.Peak_energy.energy *. 1e9)
+      (Report.Render.npe_pj a.Core.Analyze.peak_energy.Core.Peak_energy.npe)
+  in
+  Cmd.v
+    (Cmd.info "analyze-file"
+       ~doc:"Assemble an .s source file and bound its peak power/energy")
+    Term.(const run $ file_arg)
+
+let disasm_cmd =
+  let run name =
+    let b = find_bench name in
+    print_string (Isa.Listing.to_string (Benchprogs.Bench.assemble b))
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassembly listing of a benchmark image")
+    Term.(const run $ bench_arg)
+
+let export_verilog_cmd =
+  let run () =
+    let c = Lazy.force ctx in
+    print_string (Verilog_export.file_text c.Report.Context.cpu.Cpu.netlist)
+  in
+  Cmd.v
+    (Cmd.info "export-verilog"
+       ~doc:"Dump the processor as flat gate-level Verilog")
+    Term.(const run $ const ())
+
+let export_liberty_cmd =
+  let run () = print_string (Stdcell.liberty_text Stdcell.default) in
+  Cmd.v
+    (Cmd.info "export-liberty"
+       ~doc:"Dump the synthetic standard-cell library in Liberty format")
+    Term.(const run $ const ())
+
+let trace_cmd =
+  let seed_arg =
+    Arg.(value & opt int 8 & info [ "seed" ] ~doc:"Input-set seed.")
+  in
+  let run name seed =
+    let c = Lazy.force ctx in
+    let b = find_bench name in
+    let img = Benchprogs.Bench.assemble b in
+    let cycles, trace =
+      Core.Analyze.run_concrete c.Report.Context.pa c.Report.Context.cpu img
+        ~inputs:
+          [ (Benchprogs.Bench.input_base, b.Benchprogs.Bench.gen_inputs ~seed) ]
+    in
+    let peak, at = Poweran.peak_of trace in
+    Printf.printf "%s seed %d: %d cycles, peak %s mW at cycle %d\n" name seed
+      (Array.length cycles) (Report.Render.mw peak) at;
+    print_endline (Report.Render.series trace)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Concrete power trace of a benchmark run")
+    Term.(const run $ bench_arg $ seed_arg)
+
+let wcec_cmd =
+  let run name =
+    let c = Lazy.force ctx in
+    let b = find_bench name in
+    let img = Benchprogs.Bench.assemble b in
+    let w =
+      Baselines.Wcec.of_program c.Report.Context.pa img
+        ~input_sets:
+          [
+            b.Benchprogs.Bench.gen_inputs ~seed:2;
+            b.Benchprogs.Bench.gen_inputs ~seed:8;
+          ]
+    in
+    let a =
+      Core.Analyze.run
+        ~config:
+          {
+            Core.Analyze.default_config with
+            Core.Analyze.max_paths = b.Benchprogs.Bench.max_paths;
+            loop_bound = b.Benchprogs.Bench.loop_bound;
+          }
+        c.Report.Context.pa c.Report.Context.cpu img
+    in
+    Printf.printf
+      "%s: instruction-level WCEC model %s pJ/cycle vs gate-level bound %s        pJ/cycle (%.1f%% tighter)\n"
+      name
+      (Report.Render.npe_pj w.Baselines.Wcec.npe)
+      (Report.Render.npe_pj a.Core.Analyze.peak_energy.Core.Peak_energy.npe)
+      (100.
+      *. (1.
+         -. a.Core.Analyze.peak_energy.Core.Peak_energy.npe
+            /. w.Baselines.Wcec.npe))
+  in
+  Cmd.v
+    (Cmd.info "wcec"
+       ~doc:"Compare the instruction-level WCEC model with the gate-level bound")
+    Term.(const run $ bench_arg)
+
+let stressmark_cmd =
+  let run () =
+    let c = Lazy.force ctx in
+    let s = Report.Context.stressmark_peak c in
+    Printf.printf
+      "GA stressmark (peak-power fitness): %s mW peak, %s mW average, %d        evaluations\n"
+      (Report.Render.mw s.Baselines.Stressmark.peak_power)
+      (Report.Render.mw s.Baselines.Stressmark.avg_power)
+      s.Baselines.Stressmark.evaluations;
+    print_endline "best genome as assembly:";
+    List.iter
+      (function
+        | Isa.Asm.I i -> Printf.printf "  %s\n" (Isa.Insn.to_string i)
+        | Isa.Asm.Label l -> Printf.printf "%s:\n" l
+        | _ -> ())
+      (Baselines.Stressmark.phenotype Baselines.Stressmark.default_config
+         s.Baselines.Stressmark.best_genome)
+  in
+  Cmd.v
+    (Cmd.info "stressmark"
+       ~doc:"Run the genetic stressmark search and print the result")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "xbound" ~version:"1.0.0"
+      ~doc:
+        "Application-specific peak power and energy requirements for \
+         ultra-low-power processors (ASPLOS'17 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; netlist_cmd; analyze_cmd; analyze_file_cmd; profile_cmd;
+            coi_cmd; optimize_cmd; disasm_cmd; trace_cmd; wcec_cmd;
+            stressmark_cmd;
+            export_verilog_cmd; export_liberty_cmd;
+          ]))

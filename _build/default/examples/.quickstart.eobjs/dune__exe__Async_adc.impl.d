@@ -1,0 +1,1 @@
+examples/async_adc.ml: Array Benchprogs Core Gatesim Netlist Poweran Printf Report Rtl Stdcell

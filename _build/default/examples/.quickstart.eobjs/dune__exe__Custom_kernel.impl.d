@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Benchprogs Core Cpu Gatesim Isa List Poweran Printf

@@ -1,0 +1,1 @@
+examples/interrupt_system.ml: Baselines Benchprogs Core Printf Report Sizing

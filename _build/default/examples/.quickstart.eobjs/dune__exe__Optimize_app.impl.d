@@ -1,0 +1,1 @@
+examples/optimize_app.ml: Benchprogs Core Format List Printf Report

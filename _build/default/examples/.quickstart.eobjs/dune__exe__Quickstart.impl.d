@@ -1,0 +1,1 @@
+examples/quickstart.ml: Benchprogs Core Cpu Gatesim Isa Netlist Poweran Printf

@@ -1,0 +1,1 @@
+examples/sensor_node.ml: Baselines Benchprogs Core Cpu Poweran Printf Sizing

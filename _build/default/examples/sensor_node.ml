@@ -1,0 +1,66 @@
+(* Sizing an energy-harvesting sensor node (paper, Chapter 1).
+
+   A Type-1 system (powered directly by a harvester) must size the
+   harvester for peak power; Type-2/3 systems size their battery from
+   the peak energy requirement. This example bounds the requirements of
+   a filtering application with the X-based analysis, compares against
+   the guardbanded-profiling baseline, and translates the difference
+   into harvester area and battery volume.
+
+   Run with: dune exec examples/sensor_node.exe *)
+
+let () =
+  let cpu = Cpu.build () in
+  let pa = Core.Analyze.poweran_for cpu in
+  let b = Benchprogs.Bench.find "intFilt" in
+  Printf.printf "application: %s (%s)\n\n" b.Benchprogs.Bench.name
+    b.Benchprogs.Bench.description;
+
+  (* guaranteed bounds from hardware-software co-analysis *)
+  let a =
+    Core.Analyze.run pa cpu (Benchprogs.Bench.assemble b)
+  in
+  let x_peak = a.Core.Analyze.peak_power in
+  let x_npe = a.Core.Analyze.peak_energy.Core.Peak_energy.npe in
+
+  (* the conventional alternative: profile a few input sets, guardband *)
+  let p = Baselines.Profiling.run pa cpu b in
+  let gb_peak = p.Baselines.Profiling.gb_peak in
+  let gb_npe = p.Baselines.Profiling.gb_npe in
+
+  Printf.printf "peak power:  X-based %.3f mW vs guardbanded profiling %.3f mW\n"
+    (x_peak *. 1e3) (gb_peak *. 1e3);
+  Printf.printf "peak energy: X-based %.3f pJ/cycle vs guardbanded %.3f pJ/cycle\n\n"
+    (x_npe *. 1e12) (gb_npe *. 1e12);
+
+  (* Type 1: harvester sized by peak power *)
+  let indoor = Sizing.Harvester.find "Photovoltaic (indoor)" in
+  let area_gb = Sizing.Harvester.area_cm2 indoor ~power_w:gb_peak in
+  let area_x = Sizing.Harvester.area_cm2 indoor ~power_w:x_peak in
+  Printf.printf "Type 1 (indoor photovoltaic): %.1f cm^2 -> %.1f cm^2 (%.1f%% smaller)\n"
+    area_gb area_x
+    (Sizing.reduction_pct ~baseline:gb_peak ~ours:x_peak ~fraction:1.0);
+
+  (* Type 3: battery sized by energy over the mission *)
+  let mission_days = 365. in
+  let duty_cycle = 0.01 (* 1% compute, 99% sleep *) in
+  let avg_power npe = npe /. Poweran.period pa in
+  let mission_energy npe =
+    avg_power npe *. duty_cycle *. (mission_days *. 86_400.)
+  in
+  let li = Sizing.Battery.find "Li-ion" in
+  let vol_gb = Sizing.Battery.volume_l li ~energy_j:(mission_energy gb_npe) in
+  let vol_x = Sizing.Battery.volume_l li ~energy_j:(mission_energy x_npe) in
+  Printf.printf
+    "Type 3 (Li-ion, 1 year at 1%% duty): %.2f mL -> %.2f mL (%.1f%% smaller)\n"
+    (vol_gb *. 1e3) (vol_x *. 1e3)
+    (Sizing.reduction_pct ~baseline:gb_npe ~ours:x_npe ~fraction:1.0);
+
+  (* the paper's worked example: eZ430-RF2500-SEH class node *)
+  let area_saved, volume_saved =
+    Sizing.sensor_node_savings ~baseline_peak:gb_peak ~x_peak
+      ~baseline_energy:gb_npe ~x_energy:x_npe
+  in
+  Printf.printf
+    "eZ430-class node: %.2f cm^2 of solar cell and %.2f mm^3 of battery saved\n"
+    area_saved volume_saved

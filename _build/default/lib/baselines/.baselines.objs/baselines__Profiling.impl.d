@@ -1,0 +1,1 @@
+lib/baselines/profiling.ml: Array Benchprogs Core Float List Poweran

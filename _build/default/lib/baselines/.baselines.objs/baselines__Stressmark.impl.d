@@ -1,0 +1,1 @@
+lib/baselines/stressmark.ml: Array Benchprogs Core Float Isa List Poweran

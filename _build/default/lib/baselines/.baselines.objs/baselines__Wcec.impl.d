@@ -1,0 +1,1 @@
+lib/baselines/wcec.ml: Array Benchprogs Float Isa List Poweran

@@ -1,0 +1,1 @@
+lib/benchprogs/bench.ml: Array Asm Insn Isa List Memmap Printf String

@@ -1,0 +1,1 @@
+lib/benchprogs/bench.mli: Asm Insn Isa

@@ -1,0 +1,1 @@
+lib/benchprogs/extended.ml: Array Bench Isa List Printf Stdlib String

@@ -1,0 +1,1028 @@
+type t = {
+  name : string;
+  description : string;
+  body : Isa.Asm.item list;
+  input_words : int;
+  output_words : int;
+  gen_inputs : seed:int -> int list;
+  reference : int list -> int list;
+  loop_bound : int;
+  max_paths : int;
+}
+
+let input_base = Isa.Memmap.ram_base + 0x100 (* 0x0300 *)
+let output_base = Isa.Memmap.ram_base + 0x200 (* 0x0400 *)
+
+module E = struct
+  open Isa
+
+  let i x = Asm.I x
+  let lbl s = Asm.Label s
+  let imm n = Insn.S_imm (Insn.Lit n)
+  let immv v = Insn.S_imm v
+  let reg r = Insn.S_reg r
+  let idx off r = Insn.S_idx (Insn.Lit off, r)
+  let ind r = Insn.S_ind r
+  let indinc r = Insn.S_ind_inc r
+  let abs a = Insn.S_abs (Insn.Lit a)
+  let dreg r = Insn.D_reg r
+  let didx off r = Insn.D_idx (Insn.Lit off, r)
+  let dabs a = Insn.D_abs (Insn.Lit a)
+  let i1 op s d = i (Insn.I1 (op, s, d))
+  let mov s d = i1 Insn.MOV s d
+  let add s d = i1 Insn.ADD s d
+  let addc s d = i1 Insn.ADDC s d
+  let sub s d = i1 Insn.SUB s d
+  let subc s d = i1 Insn.SUBC s d
+  let cmp s d = i1 Insn.CMP s d
+  let bit s d = i1 Insn.BIT s d
+  let bic s d = i1 Insn.BIC s d
+  let bis s d = i1 Insn.BIS s d
+  let xor s d = i1 Insn.XOR s d
+  let and_ s d = i1 Insn.AND s d
+  let rra r = i (Insn.I2 (Insn.RRA, Insn.S_reg r))
+  let rrc r = i (Insn.I2 (Insn.RRC, Insn.S_reg r))
+  let swpb r = i (Insn.I2 (Insn.SWPB, Insn.S_reg r))
+  let sxt r = i (Insn.I2 (Insn.SXT, Insn.S_reg r))
+  let push s = i (Insn.I2 (Insn.PUSH, s))
+  let pop r = i (Insn.pop r)
+  let call s = i (Insn.I2 (Insn.CALL, Insn.S_imm (Insn.Sym s)))
+  let ret = i Insn.ret
+  let j c s = i (Insn.J (c, Insn.Sym s))
+  let jmp s = j Insn.JMP s
+  let jne s = j Insn.JNE s
+  let jeq s = j Insn.JEQ s
+  let jc s = j Insn.JC s
+  let jnc s = j Insn.JNC s
+  let jn s = j Insn.JN s
+  let jge s = j Insn.JGE s
+  let jl s = j Insn.JL s
+  let nop = i Insn.nop
+
+  let mul_start ~op1 ~op2 =
+    [ mov op1 (dabs Memmap.mpy); mov op2 (dabs Memmap.op2) ]
+
+  let mul_reslo r = mov (abs Memmap.reslo) (dreg r)
+  let mul_reshi r = mov (abs Memmap.reshi) (dreg r)
+
+  let prologue =
+    [
+      mov (imm (Memmap.ram_limit - 0x10)) (dreg 1);
+      mov (imm 0x5A80) (dabs Memmap.wdtctl);
+      nop (* initializes r3 so later NOPs are write-free *);
+    ]
+end
+
+let assemble b =
+  Isa.Asm.assemble
+    {
+      Isa.Asm.name = b.name;
+      entry = "start";
+      sections =
+        [
+          {
+            Isa.Asm.org = Isa.Memmap.rom_base;
+            items =
+              ((Isa.Asm.Label "start" :: E.prologue) @ b.body)
+              @ Isa.Asm.halt_items;
+          };
+        ];
+    }
+
+let m16 v = v land 0xFFFF
+let s16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
+
+let lcg_words ~seed n =
+  let state = ref (seed lor 1) in
+  List.init n (fun _ ->
+      state := (!state * 1103515245) + 12345;
+      (!state lsr 7) land 0xFFFF)
+
+(* Input sets for profiling sweeps. Uniform random data exercises an
+   "average" amount of switching; the first seeds are deliberately
+   adversarial (near-zero data, alternating bit patterns, all-ones) so
+   profiling sees the input-induced peak power variation that motivates
+   guardbanding (paper, Chapter 2). *)
+let varied_words ~seed n =
+  match seed with
+  | 1 -> List.init n (fun k -> (k * 3) land 0x7) (* near-zero: minimal toggling *)
+  | 2 -> List.init n (fun k -> if k land 1 = 0 then 0xAAAA else 0x5555)
+  | 3 -> List.init n (fun _ -> 0xFFFF)
+  | 5 -> List.init n (fun k -> if k land 1 = 0 then 0xFFFF else 0x0001)
+  | _ -> lcg_words ~seed n
+
+(* ------------------------------------------------------------------ *)
+(* Benchmarks. Each writes results to [output_base] so functional
+   correctness is checkable against the OCaml reference model. *)
+(* ------------------------------------------------------------------ *)
+
+open E
+
+let in_at k = input_base + (2 * k)
+let out_at k = output_base + (2 * k)
+
+(* --- mult: pairwise products of two 4-element vectors, 32-bit sums -- *)
+
+let mult_n = 4
+
+let b_mult =
+  let body =
+    (* r4 = input ptr a, r5 = input ptr b, r6/r7 = 32-bit accumulator *)
+    [
+      mov (imm input_base) (dreg 4);
+      mov (imm (input_base + (2 * mult_n))) (dreg 5);
+      mov (imm 0) (dreg 6);
+      mov (imm 0) (dreg 7);
+      mov (imm mult_n) (dreg 10);
+      lbl "mloop";
+      mov (indinc 4) (dabs Isa.Memmap.mpy);
+      mov (indinc 5) (dabs Isa.Memmap.op2);
+      mul_reslo 8;
+      mul_reshi 9;
+      add (reg 8) (dreg 6);
+      addc (reg 9) (dreg 7);
+      sub (imm 1) (dreg 10);
+      jne "mloop";
+      mov (reg 6) (dabs (out_at 0));
+      mov (reg 7) (dabs (out_at 1));
+    ]
+  in
+  {
+    name = "mult";
+    description = "vector multiply-accumulate on the hardware multiplier";
+    body;
+    input_words = 2 * mult_n;
+    output_words = 2;
+    gen_inputs = (fun ~seed -> varied_words ~seed (2 * mult_n));
+    reference =
+      (fun ins ->
+        let a = Array.of_list ins in
+        let acc = ref 0 in
+        for k = 0 to mult_n - 1 do
+          acc := !acc + (a.(k) * a.(mult_n + k))
+        done;
+        [ m16 !acc; m16 (!acc lsr 16) ]);
+    loop_bound = 4;
+    max_paths = 16;
+  }
+
+(* --- binSearch: binary search over a sorted 8-word input table ------ *)
+
+let bs_n = 8
+
+let b_binsearch =
+  (* inputs: 8 sorted table words then the key; output: index or 0xFFFF *)
+  let body =
+    [
+      mov (imm 0) (dreg 4) (* lo *);
+      mov (imm (bs_n - 1)) (dreg 5) (* hi *);
+      mov (abs (in_at bs_n)) (dreg 6) (* key *);
+      mov (imm 0xFFFF) (dreg 9) (* result *);
+      lbl "bsloop";
+      cmp (reg 4) (dreg 5);
+      jl "bsdone" (* hi < lo *);
+      mov (reg 4) (dreg 7);
+      add (reg 5) (dreg 7);
+      rra 7 (* mid *);
+      mov (reg 7) (dreg 8);
+      add (reg 7) (dreg 8) (* mid*2 = byte offset *);
+      add (imm input_base) (dreg 8);
+      cmp (ind 8) (dreg 6) (* key - table[mid] *);
+      jeq "bsfound";
+      jl "bsleft" (* key < table[mid] *);
+      mov (reg 7) (dreg 4);
+      add (imm 1) (dreg 4) (* lo = mid+1 *);
+      jmp "bsloop";
+      lbl "bsleft";
+      mov (reg 7) (dreg 5);
+      sub (imm 1) (dreg 5) (* hi = mid-1 *);
+      jmp "bsloop";
+      lbl "bsfound";
+      mov (reg 7) (dreg 9);
+      lbl "bsdone";
+      mov (reg 9) (dabs (out_at 0));
+    ]
+  in
+  {
+    name = "binSearch";
+    description = "binary search over a sorted input table";
+    body;
+    input_words = bs_n + 1;
+    output_words = 1;
+    gen_inputs =
+      (fun ~seed ->
+        let raw =
+          List.sort compare
+            (List.map (fun w -> w land 0x7FFF) (lcg_words ~seed bs_n))
+        in
+        let key =
+          match lcg_words ~seed:(seed + 7) 1 with
+          | [ k ] -> k land 0x7FFF
+          | _ -> 0
+        in
+        (* sometimes search for an element actually present *)
+        let key = if seed mod 2 = 0 then List.nth raw (seed mod bs_n) else key in
+        raw @ [ key ]);
+    reference =
+      (fun ins ->
+        let table = Array.of_list (List.filteri (fun k _ -> k < bs_n) ins) in
+        let key = List.nth ins bs_n in
+        let rec go lo hi =
+          if hi < lo then 0xFFFF
+          else
+            let mid = (lo + hi) / 2 in
+            (* the asm compares signed *)
+            if s16 table.(mid) = s16 key then mid
+            else if s16 key < s16 table.(mid) then go lo (mid - 1)
+            else go (mid + 1) hi
+        in
+        [ go 0 (bs_n - 1) ]);
+    loop_bound = 8;
+    max_paths = 256;
+  }
+
+(* --- tea8: 8 rounds of a 16-bit TEA-like cipher --------------------- *)
+
+let tea_rounds = 8
+let tea_k = [| 0x1234; 0x5678; 0x9ABC; 0xDEF0 |]
+let tea_delta = 0x9E37
+
+let b_tea8 =
+  (* v0 = r4, v1 = r5, sum = r6; inputs: v0 v1 *)
+  let shr5_into ~src ~dst =
+    (* dst = src >> 5 (logical), via clrc+rrc x5 *)
+    [ mov (reg src) (dreg dst) ]
+    @ List.concat
+        (List.init 5 (fun _ -> [ bic (imm 1) (dreg 2); rrc dst ]))
+  in
+  let shl4 r = List.init 4 (fun _ -> add (reg r) (dreg r)) in
+  let round =
+    (* v0 += ((v1<<4) + k0) ^ (v1 + sum) ^ ((v1>>5) + k1) *)
+    [ add (imm tea_delta) (dreg 6) ]
+    @ [ mov (reg 5) (dreg 7) ]
+    @ shl4 7
+    @ [ add (imm tea_k.(0)) (dreg 7) ]
+    @ [ mov (reg 5) (dreg 8); add (reg 6) (dreg 8); xor (reg 8) (dreg 7) ]
+    @ shr5_into ~src:5 ~dst:8
+    @ [ add (imm tea_k.(1)) (dreg 8); xor (reg 8) (dreg 7); add (reg 7) (dreg 4) ]
+    (* v1 += ((v0<<4) + k2) ^ (v0 + sum) ^ ((v0>>5) + k3) *)
+    @ [ mov (reg 4) (dreg 7) ]
+    @ shl4 7
+    @ [ add (imm tea_k.(2)) (dreg 7) ]
+    @ [ mov (reg 4) (dreg 8); add (reg 6) (dreg 8); xor (reg 8) (dreg 7) ]
+    @ shr5_into ~src:4 ~dst:8
+    @ [ add (imm tea_k.(3)) (dreg 8); xor (reg 8) (dreg 7); add (reg 7) (dreg 5) ]
+  in
+  let body =
+    [
+      mov (abs (in_at 0)) (dreg 4);
+      mov (abs (in_at 1)) (dreg 5);
+      mov (imm 0) (dreg 6);
+      mov (imm tea_rounds) (dreg 10);
+      lbl "tealoop";
+    ]
+    @ round
+    @ [
+        sub (imm 1) (dreg 10);
+        jne "tealoop";
+        mov (reg 4) (dabs (out_at 0));
+        mov (reg 5) (dabs (out_at 1));
+      ]
+  in
+  {
+    name = "tea8";
+    description = "8 rounds of 16-bit TEA-style encryption (shift/xor/add)";
+    body;
+    input_words = 2;
+    output_words = 2;
+    gen_inputs = (fun ~seed -> varied_words ~seed 2);
+    reference =
+      (fun ins ->
+        let v0 = ref (List.nth ins 0) and v1 = ref (List.nth ins 1) in
+        let sum = ref 0 in
+        let shl4 v = m16 (v lsl 4) in
+        let shr5 v = v lsr 5 in
+        for _ = 1 to tea_rounds do
+          sum := m16 (!sum + tea_delta);
+          v0 :=
+            m16
+              (!v0
+              + (m16 (shl4 !v1 + tea_k.(0))
+                lxor m16 (!v1 + !sum)
+                lxor m16 (shr5 !v1 + tea_k.(1))));
+          v1 :=
+            m16
+              (!v1
+              + (m16 (shl4 !v0 + tea_k.(2))
+                lxor m16 (!v0 + !sum)
+                lxor m16 (shr5 !v0 + tea_k.(3))))
+        done;
+        [ !v0; !v1 ]);
+    loop_bound = tea_rounds;
+    max_paths = 4;
+  }
+
+(* --- intFilt: 3-tap FIR over 6 samples ------------------------------ *)
+
+let fir_taps = [| 3; 5; 2 |]
+let fir_n = 6
+
+let b_intfilt =
+  let body =
+    [
+      mov (imm input_base) (dreg 4) (* sample ptr *);
+      mov (imm output_base) (dreg 5) (* out ptr *);
+      mov (imm (fir_n - 2)) (dreg 10);
+      lbl "floop";
+      (* acc = t0*x[i] + t1*x[i+1] + t2*x[i+2] (low 16 bits) *)
+      mov (imm fir_taps.(0)) (dabs Isa.Memmap.mpy);
+      mov (ind 4) (dabs Isa.Memmap.op2);
+      mul_reslo 6;
+      mov (imm fir_taps.(1)) (dabs Isa.Memmap.mpy);
+      mov (idx 2 4) (dabs Isa.Memmap.op2);
+      mul_reslo 7;
+      add (reg 7) (dreg 6);
+      mov (imm fir_taps.(2)) (dabs Isa.Memmap.mpy);
+      mov (idx 4 4) (dabs Isa.Memmap.op2);
+      mul_reslo 7;
+      add (reg 7) (dreg 6);
+      mov (reg 6) (didx 0 5);
+      add (imm 2) (dreg 4);
+      add (imm 2) (dreg 5);
+      sub (imm 1) (dreg 10);
+      jne "floop";
+    ]
+  in
+  {
+    name = "intFilt";
+    description = "3-tap integer FIR filter using the hardware multiplier";
+    body;
+    input_words = fir_n;
+    output_words = fir_n - 2;
+    gen_inputs = (fun ~seed -> varied_words ~seed fir_n);
+    reference =
+      (fun ins ->
+        let x = Array.of_list ins in
+        List.init (fir_n - 2) (fun k ->
+            m16
+              ((fir_taps.(0) * x.(k))
+              + (fir_taps.(1) * x.(k + 1))
+              + (fir_taps.(2) * x.(k + 2)))));
+    loop_bound = fir_n;
+    max_paths = 4;
+  }
+
+(* --- tHold: count samples above a threshold ------------------------- *)
+
+let th_n = 6
+let th_threshold = 0x4000
+
+let b_thold =
+  let body =
+    [
+      mov (imm input_base) (dreg 4);
+      mov (imm 0) (dreg 5) (* count *);
+      mov (imm th_n) (dreg 10);
+      lbl "tloop";
+      cmp (imm th_threshold) (didx 0 4) (* x[i] - T *);
+      jl "tskip" (* signed x[i] < T *);
+      add (imm 1) (dreg 5);
+      lbl "tskip";
+      add (imm 2) (dreg 4);
+      sub (imm 1) (dreg 10);
+      jne "tloop";
+      mov (reg 5) (dabs (out_at 0));
+    ]
+  in
+  {
+    name = "tHold";
+    description = "threshold detection: count samples above a level";
+    body;
+    input_words = th_n;
+    output_words = 1;
+    gen_inputs = (fun ~seed -> varied_words ~seed th_n);
+    reference =
+      (fun ins ->
+        [
+          List.fold_left
+            (fun acc x -> if s16 x >= s16 th_threshold then acc + 1 else acc)
+            0 ins;
+        ]);
+    loop_bound = th_n;
+    max_paths = 256;
+  }
+
+(* --- div: 8-bit restoring division ---------------------------------- *)
+
+let b_div =
+  (* inputs: dividend (8-bit used), divisor (8-bit, forced nonzero);
+     outputs: quotient, remainder *)
+  let body =
+    [
+      mov (abs (in_at 0)) (dreg 4);
+      and_ (imm 0x00FF) (dreg 4);
+      swpb 4 (* dividend in bits 8..15 so add shifts it out via carry *);
+      mov (abs (in_at 1)) (dreg 5);
+      and_ (imm 0x00FF) (dreg 5);
+      bis (imm 1) (dreg 5) (* divisor, nonzero *);
+      mov (imm 0) (dreg 6) (* remainder *);
+      mov (imm 0) (dreg 7) (* quotient *);
+      mov (imm 8) (dreg 10);
+      lbl "dloop";
+      (* branchless bit feed: carry out of the dividend shift goes
+         straight into the remainder shift *)
+      add (reg 4) (dreg 4) (* C = next dividend bit *);
+      addc (reg 6) (dreg 6) (* rem = rem<<1 | bit *);
+      add (reg 7) (dreg 7) (* quotient <<= 1 *);
+      cmp (reg 5) (dreg 6) (* rem - divisor *);
+      jl "dskip";
+      sub (reg 5) (dreg 6);
+      bis (imm 1) (dreg 7);
+      lbl "dskip";
+      sub (imm 1) (dreg 10);
+      jne "dloop";
+      mov (reg 7) (dabs (out_at 0));
+      mov (reg 6) (dabs (out_at 1));
+    ]
+  in
+  {
+    name = "div";
+    description = "8-bit restoring division";
+    body;
+    input_words = 2;
+    output_words = 2;
+    gen_inputs = (fun ~seed -> varied_words ~seed 2);
+    reference =
+      (fun ins ->
+        let dividend = List.nth ins 0 land 0xFF in
+        let divisor = List.nth ins 1 land 0xFF lor 1 in
+        [ dividend / divisor; dividend mod divisor ]);
+    loop_bound = 8;
+    max_paths = 512;
+  }
+
+(* --- inSort: insertion sort of 5 words ------------------------------ *)
+
+let sort_n = 5
+
+let b_insort =
+  (* copy input to output region, then insertion-sort the output *)
+  let copy =
+    List.concat
+      (List.init sort_n (fun k -> [ mov (abs (in_at k)) (dreg 7); mov (reg 7) (dabs (out_at k)) ]))
+  in
+  let body =
+    copy
+    @ [
+        mov (imm 1) (dreg 4) (* i *);
+        lbl "souter";
+        cmp (imm sort_n) (dreg 4);
+        jge "sdone";
+        (* key = out[i]; j = i-1 *)
+        mov (reg 4) (dreg 8);
+        add (reg 8) (dreg 8);
+        add (imm output_base) (dreg 8) (* &out[i] *);
+        mov (ind 8) (dreg 5) (* key *);
+        mov (reg 4) (dreg 6);
+        sub (imm 1) (dreg 6) (* j *);
+        lbl "sinner";
+        cmp (imm 0) (dreg 6);
+        jl "sinsert";
+        mov (reg 6) (dreg 9);
+        add (reg 9) (dreg 9);
+        add (imm output_base) (dreg 9) (* &out[j] *);
+        cmp (reg 5) (didx 0 9) (* out[j] - key *);
+        jl "sinsert" (* out[j] < key: stop (signed) *);
+        (* wait: we want descending shift while out[j] > key *)
+        mov (ind 9) (didx 2 9) (* out[j+1] = out[j] *);
+        sub (imm 1) (dreg 6);
+        jmp "sinner";
+        lbl "sinsert";
+        (* place key at j+1 *)
+        mov (reg 6) (dreg 9);
+        add (imm 1) (dreg 9);
+        add (reg 9) (dreg 9);
+        add (imm output_base) (dreg 9);
+        mov (reg 5) (didx 0 9);
+        add (imm 1) (dreg 4);
+        jmp "souter";
+        lbl "sdone";
+      ]
+  in
+  {
+    name = "inSort";
+    description = "insertion sort of five words";
+    body;
+    input_words = sort_n;
+    output_words = sort_n;
+    gen_inputs = (fun ~seed -> varied_words ~seed sort_n);
+    reference = (fun ins -> List.sort (fun a b -> compare (s16 a) (s16 b)) ins);
+    loop_bound = sort_n * sort_n;
+    max_paths = 1024;
+  }
+
+(* --- rle: run lengths of adjacent equal words ----------------------- *)
+
+let rle_n = 6
+
+let b_rle =
+  (* output: for each position i in 1..n-1, out word accumulates a
+     bitmask of "same as previous" plus final run count *)
+  let body =
+    [
+      mov (imm input_base) (dreg 4);
+      mov (imm 1) (dreg 5) (* current run length *);
+      mov (imm 1) (dreg 6) (* number of runs *);
+      mov (imm 0) (dreg 7) (* max run length *);
+      mov (imm (rle_n - 1)) (dreg 10);
+      lbl "rloop";
+      mov (ind 4) (dreg 8);
+      cmp (idx 2 4) (dreg 8) (* x[i] vs x[i+1] *);
+      jeq "rsame";
+      (* run ends *)
+      cmp (reg 5) (dreg 7);
+      jge "rnomax";
+      mov (reg 5) (dreg 7);
+      lbl "rnomax";
+      mov (imm 1) (dreg 5);
+      add (imm 1) (dreg 6);
+      jmp "rnext";
+      lbl "rsame";
+      add (imm 1) (dreg 5);
+      lbl "rnext";
+      add (imm 2) (dreg 4);
+      sub (imm 1) (dreg 10);
+      jne "rloop";
+      cmp (reg 5) (dreg 7);
+      jge "rfinmax";
+      mov (reg 5) (dreg 7);
+      lbl "rfinmax";
+      mov (reg 6) (dabs (out_at 0));
+      mov (reg 7) (dabs (out_at 1));
+    ]
+  in
+  {
+    name = "rle";
+    description = "run-length statistics over adjacent samples";
+    body;
+    input_words = rle_n;
+    output_words = 2;
+    gen_inputs =
+      (fun ~seed ->
+        (* low-cardinality samples so runs actually occur *)
+        List.map (fun w -> w land 0x3) (lcg_words ~seed rle_n));
+    reference =
+      (fun ins ->
+        let x = Array.of_list ins in
+        let runs = ref 1 and cur = ref 1 and maxr = ref 0 in
+        for k = 0 to rle_n - 2 do
+          if x.(k + 1) = x.(k) then incr cur
+          else begin
+            (* the asm updates max with signed compare max7 <= cur-? *)
+            if !cur > !maxr then maxr := !cur;
+            cur := 1;
+            incr runs
+          end
+        done;
+        if !cur > !maxr then maxr := !cur;
+        [ !runs; !maxr ]);
+    loop_bound = rle_n;
+    max_paths = 512;
+  }
+
+(* --- intAVG: average of 8 words ------------------------------------- *)
+
+let avg_n = 8
+
+let b_intavg =
+  let body =
+    [
+      mov (imm input_base) (dreg 4);
+      mov (imm 0) (dreg 5);
+      mov (imm 0) (dreg 6) (* 32-bit sum high *);
+      mov (imm avg_n) (dreg 10);
+      lbl "aloop";
+      add (indinc 4) (dreg 5);
+      addc (imm 0) (dreg 6);
+      sub (imm 1) (dreg 10);
+      jne "aloop";
+      (* divide 32-bit sum by 8: three right shifts through the pair *)
+    ]
+    @ List.concat
+        (List.init 3 (fun _ ->
+             [ bic (imm 1) (dreg 2); rrc 6; rrc 5 ]))
+    @ [ mov (reg 5) (dabs (out_at 0)) ]
+  in
+  {
+    name = "intAVG";
+    description = "average of eight samples (sum and shift)";
+    body;
+    input_words = avg_n;
+    output_words = 1;
+    gen_inputs = (fun ~seed -> varied_words ~seed avg_n);
+    reference =
+      (fun ins ->
+        let sum = List.fold_left ( + ) 0 ins in
+        [ m16 (sum / avg_n) ]);
+    loop_bound = avg_n;
+    max_paths = 4;
+  }
+
+(* --- autoCorr: autocorrelation at lags 1 and 2 ---------------------- *)
+
+let ac_n = 6
+
+let b_autocorr =
+  let lag_loop lag label =
+    [
+      mov (imm input_base) (dreg 4);
+      mov (imm 0) (dreg 6);
+      mov (imm 0) (dreg 7);
+      mov (imm (ac_n - lag)) (dreg 10);
+      lbl label;
+      mov (ind 4) (dabs Isa.Memmap.mpy);
+      mov (idx (2 * lag) 4) (dabs Isa.Memmap.op2);
+      mul_reslo 8;
+      mul_reshi 9;
+      add (reg 8) (dreg 6);
+      addc (reg 9) (dreg 7);
+      add (imm 2) (dreg 4);
+      sub (imm 1) (dreg 10);
+      jne label;
+    ]
+  in
+  let body =
+    lag_loop 1 "ac1"
+    @ [ mov (reg 6) (dabs (out_at 0)); mov (reg 7) (dabs (out_at 1)) ]
+    @ lag_loop 2 "ac2"
+    @ [ mov (reg 6) (dabs (out_at 2)); mov (reg 7) (dabs (out_at 3)) ]
+  in
+  {
+    name = "autoCorr";
+    description = "autocorrelation at lags 1 and 2 (EEMBC-style)";
+    body;
+    input_words = ac_n;
+    output_words = 4;
+    gen_inputs = (fun ~seed -> varied_words ~seed ac_n);
+    reference =
+      (fun ins ->
+        let x = Array.of_list ins in
+        let corr lag =
+          let acc = ref 0 in
+          for k = 0 to ac_n - 1 - lag do
+            acc := !acc + (x.(k) * x.(k + lag))
+          done;
+          [ m16 !acc; m16 (!acc lsr 16) ]
+        in
+        corr 1 @ corr 2);
+    loop_bound = ac_n;
+    max_paths = 4;
+  }
+
+(* --- FFT: 4-point radix-2 DIT on integer data ------------------------ *)
+
+let b_fft =
+  (* inputs: re0..re3, im0..im3; twiddles for N=4 are +-1/+-j so the
+     butterflies are pure add/sub. Outputs interleaved re,im. *)
+  let body =
+    [
+      (* load *)
+      mov (abs (in_at 0)) (dreg 4);
+      mov (abs (in_at 1)) (dreg 5);
+      mov (abs (in_at 2)) (dreg 6);
+      mov (abs (in_at 3)) (dreg 7);
+      mov (abs (in_at 4)) (dreg 8);
+      mov (abs (in_at 5)) (dreg 9);
+      mov (abs (in_at 6)) (dreg 10);
+      mov (abs (in_at 7)) (dreg 11);
+      (* stage 1: (0,2) and (1,3) on re (r4..r7) and im (r8..r11) *)
+      mov (reg 4) (dreg 12);
+      add (reg 6) (dreg 4) (* re0' = re0+re2 *);
+      sub (reg 6) (dreg 12);
+      mov (reg 12) (dreg 6) (* re2' = re0-re2 *);
+      mov (reg 5) (dreg 12);
+      add (reg 7) (dreg 5);
+      sub (reg 7) (dreg 12);
+      mov (reg 12) (dreg 7);
+      mov (reg 8) (dreg 12);
+      add (reg 10) (dreg 8);
+      sub (reg 10) (dreg 12);
+      mov (reg 12) (dreg 10);
+      mov (reg 9) (dreg 12);
+      add (reg 11) (dreg 9);
+      sub (reg 11) (dreg 12);
+      mov (reg 12) (dreg 11);
+      (* stage 2: X0 = a+b; X2 = a-b on (0,1); X1 = c - j*d, X3 = c + j*d
+         on (2,3): re: c.re + d.im / c.re - d.im; im: c.im -+ d.re *)
+      mov (reg 4) (dreg 12);
+      add (reg 5) (dreg 4) (* X0.re *);
+      sub (reg 5) (dreg 12) (* X2.re *);
+      mov (reg 8) (dreg 5);
+      add (reg 9) (dreg 8) (* X0.im *);
+      sub (reg 9) (dreg 5) (* X2.im *);
+      (* now r4=X0.re r8=X0.im r12=X2.re r5=X2.im ;
+         r6=c.re r7=d.re r10=c.im r11=d.im *)
+      mov (reg 6) (dreg 9);
+      add (reg 11) (dreg 6) (* X1.re = c.re + d.im *);
+      sub (reg 11) (dreg 9) (* X3.re = c.re - d.im *);
+      mov (reg 10) (dreg 11);
+      sub (reg 7) (dreg 10) (* X1.im = c.im - d.re *);
+      add (reg 7) (dreg 11) (* X3.im = c.im + d.re *);
+      (* store: re0 im0 re1 im1 re2 im2 re3 im3 *)
+      mov (reg 4) (dabs (out_at 0));
+      mov (reg 8) (dabs (out_at 1));
+      mov (reg 6) (dabs (out_at 2));
+      mov (reg 10) (dabs (out_at 3));
+      mov (reg 12) (dabs (out_at 4));
+      mov (reg 5) (dabs (out_at 5));
+      mov (reg 9) (dabs (out_at 6));
+      mov (reg 11) (dabs (out_at 7));
+    ]
+  in
+  {
+    name = "FFT";
+    description = "4-point radix-2 integer FFT (butterflies only)";
+    body;
+    input_words = 8;
+    output_words = 8;
+    gen_inputs = (fun ~seed -> varied_words ~seed 8);
+    reference =
+      (fun ins ->
+        let re = Array.of_list (List.filteri (fun k _ -> k < 4) ins) in
+        let im =
+          Array.of_list (List.filteri (fun k _ -> k >= 4) ins)
+        in
+        (* X_k = sum_n x_n e^{-2pi i k n / 4}, 16-bit wrap-around *)
+        let out = ref [] in
+        for k = 3 downto 0 do
+          let xr = ref 0 and xi = ref 0 in
+          for n = 0 to 3 do
+            (* e^{-i pi k n / 2}: cos/sin in {-1,0,1} *)
+            let c, s =
+              match k * n mod 4 with
+              | 0 -> (1, 0)
+              | 1 -> (0, -1)
+              | 2 -> (-1, 0)
+              | _ -> (0, 1)
+            in
+            xr := !xr + (c * re.(n)) - (s * im.(n));
+            xi := !xi + (s * re.(n)) + (c * im.(n))
+          done;
+          out := m16 !xr :: m16 !xi :: !out
+        done;
+        !out);
+    loop_bound = 4;
+    max_paths = 4;
+  }
+
+(* --- ConvEn: K=3 rate-1/2 convolutional encoder, branchless --------- *)
+
+let conv_bits = 8
+let conv_g0 = 0b111
+let conv_g1 = 0b101
+
+let b_conven =
+  (* parity of a 3-bit masked value, branchless: fold xor of bits 0..2.
+     state in r5 (bits 0..2: newest in bit 0); input word in r4;
+     outputs: two words with the g0 and g1 parity streams (bit k =
+     parity for step k) *)
+  let parity_into ~mask ~outreg =
+    (* r7 = state & mask; fold: r7 ^= r7>>1; r7 ^= r7>>2; bit0 = parity *)
+    [
+      mov (reg 5) (dreg 7);
+      and_ (imm mask) (dreg 7);
+      mov (reg 7) (dreg 8);
+      bic (imm 1) (dreg 2);
+      rrc 8;
+      xor (reg 8) (dreg 7);
+      mov (reg 7) (dreg 8);
+      bic (imm 1) (dreg 2);
+      rrc 8;
+      bic (imm 1) (dreg 2);
+      rrc 8;
+      xor (reg 8) (dreg 7);
+      and_ (imm 1) (dreg 7);
+      (* shift into output stream: out = (out << 1) | parity *)
+      add (reg outreg) (dreg outreg);
+      bis (reg 7) (dreg outreg);
+    ]
+  in
+  let step =
+    (* bring next input bit (bit 0 of r4) into state; r4 >>= 1 *)
+    [
+      add (reg 5) (dreg 5) (* state <<= 1 *);
+      mov (reg 4) (dreg 7);
+      and_ (imm 1) (dreg 7);
+      bis (reg 7) (dreg 5);
+      and_ (imm 0x7) (dreg 5);
+      bic (imm 1) (dreg 2);
+      rrc 4;
+    ]
+    @ parity_into ~mask:conv_g0 ~outreg:9
+    @ parity_into ~mask:conv_g1 ~outreg:10
+  in
+  let body =
+    [
+      mov (abs (in_at 0)) (dreg 4);
+      mov (imm 0) (dreg 5);
+      mov (imm 0) (dreg 9);
+      mov (imm 0) (dreg 10);
+      mov (imm conv_bits) (dreg 11);
+      lbl "cloop";
+    ]
+    @ step
+    @ [
+        sub (imm 1) (dreg 11);
+        jne "cloop";
+        mov (reg 9) (dabs (out_at 0));
+        mov (reg 10) (dabs (out_at 1));
+      ]
+  in
+  {
+    name = "ConvEn";
+    description = "rate-1/2 K=3 convolutional encoder (branchless)";
+    body;
+    input_words = 1;
+    output_words = 2;
+    gen_inputs = (fun ~seed -> varied_words ~seed 1);
+    reference =
+      (fun ins ->
+        let w = List.nth ins 0 in
+        let state = ref 0 and o0 = ref 0 and o1 = ref 0 in
+        for k = 0 to conv_bits - 1 do
+          let bitv = (w lsr k) land 1 in
+          state := ((!state lsl 1) lor bitv) land 0x7;
+          let parity m =
+            let t = !state land m in
+            (t lxor (t lsr 1) lxor (t lsr 2)) land 1
+          in
+          o0 := (!o0 lsl 1) lor parity conv_g0;
+          o1 := (!o1 lsl 1) lor parity conv_g1
+        done;
+        [ m16 !o0; m16 !o1 ]);
+    loop_bound = conv_bits;
+    max_paths = 4;
+  }
+
+(* --- Viterbi: 2-state trellis, 3 steps ------------------------------ *)
+
+let vit_steps = 3
+
+let b_viterbi =
+  (* Path metrics m0 (r5), m1 (r6); per step, branch metrics derived
+     from the received symbol r[i] (X input): bm = r[i] & 0xF,
+     bm' = (~r[i]) & 0xF. Add-compare-select per state forks on X. *)
+  let step k =
+    [
+      mov (abs (in_at k)) (dreg 7);
+      and_ (imm 0xF) (dreg 7) (* bm *);
+      mov (abs (in_at k)) (dreg 8);
+      xor (imm 0xFFFF) (dreg 8);
+      and_ (imm 0xF) (dreg 8) (* bm' *);
+      (* state0' = min(m0 + bm, m1 + bm') *)
+      mov (reg 5) (dreg 9);
+      add (reg 7) (dreg 9);
+      mov (reg 6) (dreg 10);
+      add (reg 8) (dreg 10);
+      cmp (reg 10) (dreg 9) (* (m0+bm) - (m1+bm') *);
+      jl (Printf.sprintf "v0_%d" k);
+      mov (reg 10) (dreg 9);
+      lbl (Printf.sprintf "v0_%d" k);
+      (* state1' = min(m0 + bm', m1 + bm) *)
+      mov (reg 5) (dreg 11);
+      add (reg 8) (dreg 11);
+      mov (reg 6) (dreg 12);
+      add (reg 7) (dreg 12);
+      cmp (reg 12) (dreg 11);
+      jl (Printf.sprintf "v1_%d" k);
+      mov (reg 12) (dreg 11);
+      lbl (Printf.sprintf "v1_%d" k);
+      mov (reg 9) (dreg 5);
+      mov (reg 11) (dreg 6);
+    ]
+  in
+  let body =
+    [ mov (imm 0) (dreg 5); mov (imm 0) (dreg 6) ]
+    @ List.concat (List.init vit_steps step)
+    @ [
+        mov (reg 5) (dabs (out_at 0));
+        mov (reg 6) (dabs (out_at 1));
+      ]
+  in
+  {
+    name = "Viterbi";
+    description = "2-state Viterbi add-compare-select over 3 symbols";
+    body;
+    input_words = vit_steps;
+    output_words = 2;
+    gen_inputs = (fun ~seed -> varied_words ~seed vit_steps);
+    reference =
+      (fun ins ->
+        let m0 = ref 0 and m1 = ref 0 in
+        List.iter
+          (fun r ->
+            let bm = r land 0xF and bm' = lnot r land 0xF in
+            let min_s a b = if s16 a < s16 b then a else b in
+            let n0 = min_s (m16 (!m0 + bm)) (m16 (!m1 + bm')) in
+            let n1 = min_s (m16 (!m0 + bm')) (m16 (!m1 + bm)) in
+            m0 := n0;
+            m1 := n1)
+          ins;
+        [ !m0; !m1 ]);
+    loop_bound = vit_steps;
+    max_paths = 256;
+  }
+
+(* --- PI: proportional-integral controller with clamping ------------- *)
+
+let pi_n = 3
+let pi_kp = 3
+let pi_ki = 1
+let pi_setpoint = 0x0800
+let pi_max = 0x1FFF
+let pi_min = 0
+
+let b_pi =
+  let step k =
+    [
+      (* error = setpoint - meas (meas masked to 12 bits, ADC-style) *)
+      mov (abs (in_at k)) (dreg 7);
+      and_ (imm 0x0FFF) (dreg 7);
+      mov (imm pi_setpoint) (dreg 8);
+      sub (reg 7) (dreg 8) (* error *);
+      add (reg 8) (dreg 9) (* integral += error *);
+      (* out = kp*error + ki*integral *)
+      mov (imm pi_kp) (dabs Isa.Memmap.mpys);
+      mov (reg 8) (dabs Isa.Memmap.op2);
+      mul_reslo 10;
+      mov (imm pi_ki) (dabs Isa.Memmap.mpys);
+      mov (reg 9) (dabs Isa.Memmap.op2);
+      mul_reslo 11;
+      add (reg 11) (dreg 10);
+      (* clamp to [pi_min, pi_max] *)
+      cmp (imm pi_max) (dreg 10);
+      jl (Printf.sprintf "pi_nothigh_%d" k);
+      mov (imm pi_max) (dreg 10);
+      jmp (Printf.sprintf "pi_done_%d" k);
+      lbl (Printf.sprintf "pi_nothigh_%d" k);
+      cmp (imm pi_min) (dreg 10);
+      jge (Printf.sprintf "pi_done_%d" k);
+      mov (imm pi_min) (dreg 10);
+      lbl (Printf.sprintf "pi_done_%d" k);
+      mov (reg 10) (dabs (out_at k));
+    ]
+  in
+  let body =
+    [ mov (imm 0) (dreg 9) ] @ List.concat (List.init pi_n step)
+  in
+  {
+    name = "PI";
+    description = "proportional-integral controller with output clamping";
+    body;
+    input_words = pi_n;
+    output_words = pi_n;
+    gen_inputs = (fun ~seed -> varied_words ~seed pi_n);
+    reference =
+      (fun ins ->
+        let integral = ref 0 in
+        List.map
+          (fun meas ->
+            let meas = meas land 0x0FFF in
+            let error = m16 (pi_setpoint - meas) in
+            integral := m16 (!integral + error);
+            let p = m16 (s16 error * pi_kp) in
+            let i = m16 (s16 !integral * pi_ki) in
+            let out = m16 (p + i) in
+            if s16 out >= s16 pi_max then pi_max
+            else if s16 out < pi_min then pi_min
+            else out)
+          ins);
+    loop_bound = pi_n;
+    max_paths = 256;
+  }
+
+let all =
+  [
+    b_autocorr;
+    b_binsearch;
+    b_fft;
+    b_intfilt;
+    b_mult;
+    b_pi;
+    b_tea8;
+    b_thold;
+    b_div;
+    b_insort;
+    b_rle;
+    b_intavg;
+    b_conven;
+    b_viterbi;
+  ]
+
+let find name =
+  match List.find_opt (fun b -> String.equal b.name name) all with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Bench.find: unknown benchmark %s" name)
+
+let measured_subset =
+  [ "autoCorr"; "binSearch"; "FFT"; "intFilt"; "mult"; "PI"; "tea8"; "tHold" ]

@@ -1,0 +1,110 @@
+(** The benchmark suite (paper, Table 4.1).
+
+    Embedded-sensor benchmarks (mult, binSearch, tea8, intFilt, tHold,
+    div, inSort, rle, intAVG), EEMBC-style kernels (autoCorr, FFT,
+    ConvEn, Viterbi) and a control benchmark (PI), hand-written in
+    MSP430-subset assembly (the substitute for the paper's compiled C
+    sources — see DESIGN.md §2).
+
+    Conventions: inputs live in RAM at {!input_base} and are {e not}
+    initialized by the binary, so symbolic analysis sees them as X;
+    outputs are written to RAM at {!output_base}; register r13 is
+    reserved as the optimizer's scratch register; every program stops
+    the watchdog and sets up the stack first and ends at the [_halt]
+    self-jump. *)
+
+type t = {
+  name : string;
+  description : string;
+  body : Isa.Asm.item list;  (** without prologue/epilogue *)
+  input_words : int;  (** words at {!input_base} left symbolic *)
+  output_words : int;  (** words at {!output_base} to check *)
+  gen_inputs : seed:int -> int list;  (** concrete input sets for profiling *)
+  reference : int list -> int list;  (** OCaml golden model: inputs -> outputs *)
+  loop_bound : int;  (** iteration bound for Seen-edge energy analysis *)
+  max_paths : int;  (** expected upper bound on explored paths *)
+}
+
+val input_base : int
+val output_base : int
+
+(** Full program: prologue + body + halt epilogue, assembled. *)
+val assemble : t -> Isa.Asm.image
+
+(** The 14 benchmarks, in the paper's order. *)
+val all : t list
+
+val find : string -> t
+
+(** The paper's Chapter 2 subset (MSP430F1610 measurements). *)
+val measured_subset : string list
+
+(** {1 Assembly EDSL} (exposed for tests and the stressmark generator) *)
+
+module E : sig
+  open Isa
+
+  val i : Insn.instr -> Asm.item
+  val lbl : string -> Asm.item
+  val imm : int -> Insn.src
+  val immv : Insn.value -> Insn.src
+  val reg : int -> Insn.src
+
+  (** [idx off r] = off(r) *)
+  val idx : int -> int -> Insn.src
+
+  val ind : int -> Insn.src
+  val indinc : int -> Insn.src
+  val abs : int -> Insn.src
+  val dreg : int -> Insn.dst
+  val didx : int -> int -> Insn.dst
+  val dabs : int -> Insn.dst
+  val mov : Insn.src -> Insn.dst -> Asm.item
+  val add : Insn.src -> Insn.dst -> Asm.item
+  val addc : Insn.src -> Insn.dst -> Asm.item
+  val sub : Insn.src -> Insn.dst -> Asm.item
+  val subc : Insn.src -> Insn.dst -> Asm.item
+  val cmp : Insn.src -> Insn.dst -> Asm.item
+  val bit : Insn.src -> Insn.dst -> Asm.item
+  val bic : Insn.src -> Insn.dst -> Asm.item
+  val bis : Insn.src -> Insn.dst -> Asm.item
+  val xor : Insn.src -> Insn.dst -> Asm.item
+  val and_ : Insn.src -> Insn.dst -> Asm.item
+  val rra : int -> Asm.item
+  val rrc : int -> Asm.item
+  val swpb : int -> Asm.item
+  val sxt : int -> Asm.item
+  val push : Insn.src -> Asm.item
+  val pop : int -> Asm.item
+  val call : string -> Asm.item
+  val ret : Asm.item
+  val jmp : string -> Asm.item
+  val jne : string -> Asm.item
+  val jeq : string -> Asm.item
+  val jc : string -> Asm.item
+  val jnc : string -> Asm.item
+  val jn : string -> Asm.item
+  val jge : string -> Asm.item
+  val jl : string -> Asm.item
+  val nop : Asm.item
+
+  (** Start an unsigned multiply: writes MPY then OP2. *)
+  val mul_start : op1:Insn.src -> op2:Insn.src -> Asm.item list
+
+  (** Read RESLO into a register (safe timing: absolute mode). *)
+  val mul_reslo : int -> Asm.item
+
+  val mul_reshi : int -> Asm.item
+
+  (** Standard prologue: stack, watchdog stop, r3 init. *)
+  val prologue : Asm.item list
+end
+
+(** Deterministic pseudo-random word stream for input generation. *)
+val lcg_words : seed:int -> int -> int list
+
+(** Profiling input sets: seeds 1/2/3/5 are adversarial patterns
+    (near-zero, alternating, all-ones, max-toggle pairs), other seeds
+    are pseudo-random — so input sweeps expose the input-induced power
+    variation that motivates guardbanding. *)
+val varied_words : seed:int -> int -> int list

@@ -1,0 +1,222 @@
+(* Extended kernels beyond the paper's Table 4.1 suite — extra
+   workloads a user of the tool would bring. They follow the same
+   conventions (inputs at [Bench.input_base] left symbolic, outputs at
+   [Bench.output_base], r13 reserved) and carry OCaml golden models, but
+   they are *not* part of the reproduced figures. *)
+
+open Bench.E
+
+let m16 v = v land 0xFFFF
+let s16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
+let in_at k = Bench.input_base + (2 * k)
+let out_at k = Bench.output_base + (2 * k)
+
+(* --- crc16: CCITT polynomial over 4 words, branchless -------------- *)
+
+let crc_words = 4
+let crc_poly = 0x1021
+
+let b_crc16 =
+  (* Branchless bit step: shifting CRC left puts the old MSB in the
+     carry; SUBC materializes it as an all-ones/all-zeros mask that
+     selects the polynomial. One path regardless of input data. *)
+  let bit_step =
+    [
+      add (reg 5) (dreg 5) (* crc <<= 1, C = old msb *);
+      mov (imm 0) (dreg 8);
+      subc (imm 0) (dreg 8) (* r8 = C ? 0xFFFF : 0 ... inverted below *);
+      xor (imm 0xFFFF) (dreg 8) (* r8 = C ? 0xFFFF : 0 *);
+      and_ (imm crc_poly) (dreg 8);
+      xor (reg 8) (dreg 5);
+    ]
+  in
+  let word_step =
+    (* xor the next data word into the top, then 16 bit steps *)
+    [ mov (indinc 4) (dreg 7); xor (reg 7) (dreg 5); mov (imm 16) (dreg 9); lbl "crcbit" ]
+    @ bit_step
+    @ [ sub (imm 1) (dreg 9); jne "crcbit" ]
+  in
+  let body =
+    [
+      mov (imm Bench.input_base) (dreg 4);
+      mov (imm 0xFFFF) (dreg 5) (* crc init *);
+      mov (imm crc_words) (dreg 10);
+      lbl "crcword";
+    ]
+    @ word_step
+    @ [
+        sub (imm 1) (dreg 10);
+        jne "crcword";
+        mov (reg 5) (dabs (out_at 0));
+      ]
+  in
+  {
+    Bench.name = "crc16";
+    description = "CCITT CRC-16 over four words (branchless bit loop)";
+    body;
+    input_words = crc_words;
+    output_words = 1;
+    gen_inputs = (fun ~seed -> Bench.varied_words ~seed crc_words);
+    reference =
+      (fun ins ->
+        let crc = ref 0xFFFF in
+        List.iter
+          (fun w ->
+            crc := !crc lxor w;
+            for _ = 1 to 16 do
+              let msb = !crc land 0x8000 <> 0 in
+              crc := m16 (!crc lsl 1);
+              if msb then crc := !crc lxor crc_poly
+            done)
+          ins;
+        [ !crc ]);
+    loop_bound = 16 * crc_words;
+    max_paths = 8;
+  }
+
+(* Subtlety check for the SUBC trick: after `add r5, r5` the carry is
+   the old MSB. `mov #0, r8; subc #0, r8` computes r8 = 0 + ~0 + C =
+   0xFFFF + C, i.e. 0xFFFF when C=0 and 0x0000 when C=1; the XOR with
+   0xFFFF flips that to the desired mask. The golden model above is the
+   ordinary bitwise CRC; the reference test suite checks they agree. *)
+
+(* --- matmul2: 2x2 integer matrix multiply on the MPY --------------- *)
+
+let b_matmul2 =
+  (* inputs: a00 a01 a10 a11 b00 b01 b10 b11; output c row-major,
+     low 16 bits of each dot product *)
+  let dot ~ai0 ~ai1 ~bj0 ~bj1 ~out =
+    [
+      mov (abs (in_at ai0)) (dabs Isa.Memmap.mpy);
+      mov (abs (in_at bj0)) (dabs Isa.Memmap.op2);
+      mul_reslo 6;
+      mov (abs (in_at ai1)) (dabs Isa.Memmap.mpy);
+      mov (abs (in_at bj1)) (dabs Isa.Memmap.op2);
+      mul_reslo 7;
+      add (reg 7) (dreg 6);
+      mov (reg 6) (dabs (out_at out));
+    ]
+  in
+  let body =
+    dot ~ai0:0 ~ai1:1 ~bj0:4 ~bj1:6 ~out:0
+    @ dot ~ai0:0 ~ai1:1 ~bj0:5 ~bj1:7 ~out:1
+    @ dot ~ai0:2 ~ai1:3 ~bj0:4 ~bj1:6 ~out:2
+    @ dot ~ai0:2 ~ai1:3 ~bj0:5 ~bj1:7 ~out:3
+  in
+  {
+    Bench.name = "matmul2";
+    description = "2x2 integer matrix multiply on the hardware multiplier";
+    body;
+    input_words = 8;
+    output_words = 4;
+    gen_inputs = (fun ~seed -> Bench.varied_words ~seed 8);
+    reference =
+      (fun ins ->
+        let a = Array.of_list ins in
+        [
+          m16 ((a.(0) * a.(4)) + (a.(1) * a.(6)));
+          m16 ((a.(0) * a.(5)) + (a.(1) * a.(7)));
+          m16 ((a.(2) * a.(4)) + (a.(3) * a.(6)));
+          m16 ((a.(2) * a.(5)) + (a.(3) * a.(7)));
+        ]);
+    loop_bound = 4;
+    max_paths = 4;
+  }
+
+(* --- median3: median of three samples (control-heavy) -------------- *)
+
+let b_median3 =
+  (* median(a,b,c) = max(min(a,b), min(max(a,b), c)), signed *)
+  let body =
+    [
+      mov (abs (in_at 0)) (dreg 4);
+      mov (abs (in_at 1)) (dreg 5);
+      mov (abs (in_at 2)) (dreg 6);
+      (* r7 = min(a,b), r8 = max(a,b) *)
+      mov (reg 4) (dreg 7);
+      mov (reg 5) (dreg 8);
+      cmp (reg 5) (dreg 4) (* a - b *);
+      jl "m3_ab_sorted" (* a < b: r7=a, r8=b already *);
+      mov (reg 5) (dreg 7);
+      mov (reg 4) (dreg 8);
+      lbl "m3_ab_sorted";
+      (* r8 = min(max(a,b), c) *)
+      cmp (reg 6) (dreg 8) (* max - c *);
+      jl "m3_keep" (* max < c: keep max *);
+      mov (reg 6) (dreg 8);
+      lbl "m3_keep";
+      (* median = max(r7, r8) *)
+      cmp (reg 8) (dreg 7) (* min - mid *);
+      jl "m3_mid";
+      mov (reg 7) (dreg 8);
+      lbl "m3_mid";
+      mov (reg 8) (dabs (out_at 0));
+    ]
+  in
+  {
+    Bench.name = "median3";
+    description = "median of three samples (nested signed comparisons)";
+    body;
+    input_words = 3;
+    output_words = 1;
+    gen_inputs = (fun ~seed -> Bench.varied_words ~seed 3);
+    reference =
+      (fun ins ->
+        match List.map s16 ins with
+        | [ a; b; c ] ->
+          let lo, hi = if a < b then (a, b) else (b, a) in
+          let mid = if hi < c then hi else c in
+          [ m16 (if lo < mid then mid else lo) ]
+        | _ -> assert false);
+    loop_bound = 4;
+    max_paths = 16;
+  }
+
+(* --- sad4: sum of absolute differences over four pairs -------------- *)
+
+let b_sad4 =
+  let pair k =
+    [
+      mov (abs (in_at k)) (dreg 6);
+      sub (abs (in_at (k + 4))) (dreg 6) (* a[k] - b[k] *);
+      jge (Printf.sprintf "sad_pos_%d" k);
+      xor (imm 0xFFFF) (dreg 6);
+      add (imm 1) (dreg 6) (* negate *);
+      lbl (Printf.sprintf "sad_pos_%d" k);
+      add (reg 6) (dreg 5);
+    ]
+  in
+  let body =
+    [ mov (imm 0) (dreg 5) ]
+    @ List.concat (List.init 4 pair)
+    @ [ mov (reg 5) (dabs (out_at 0)) ]
+  in
+  {
+    Bench.name = "sad4";
+    description = "sum of absolute differences over four sample pairs";
+    body;
+    input_words = 8;
+    output_words = 1;
+    gen_inputs =
+      (fun ~seed -> List.map (fun w -> w land 0x3FFF) (Bench.varied_words ~seed 8));
+    reference =
+      (fun ins ->
+        let a = Array.of_list ins in
+        let sad = ref 0 in
+        for k = 0 to 3 do
+          (* the asm computes a - b with signed overflow semantics on
+             16-bit values; inputs are masked to 14 bits so the
+             subtraction cannot overflow and abs is exact *)
+          sad := m16 (!sad + Stdlib.abs (s16 (m16 (a.(k) - a.(k + 4)))))
+        done;
+        [ !sad ]);
+    loop_bound = 4;
+    max_paths = 64;
+  }
+
+let all = [ b_crc16; b_matmul2; b_median3; b_sad4 ]
+
+let find name =
+  match List.find_opt (fun b -> String.equal b.Bench.name name) all with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Extended.find: unknown kernel %s" name)

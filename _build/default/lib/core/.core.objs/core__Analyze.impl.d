@@ -1,0 +1,1 @@
+lib/core/analyze.ml: Array Coi Cpu Gatesim Isa List Peak_energy Peak_power Poweran Stdcell Tri

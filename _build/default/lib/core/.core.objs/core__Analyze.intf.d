@@ -1,0 +1,1 @@
+lib/core/analyze.mli: Coi Cpu Gatesim Isa Peak_energy Poweran Stdcell

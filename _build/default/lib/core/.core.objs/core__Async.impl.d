@@ -1,0 +1,1 @@
+lib/core/async.ml: Array Gatesim List Poweran Tri

@@ -1,0 +1,1 @@
+lib/core/async.mli: Gatesim Poweran

@@ -1,0 +1,1 @@
+lib/core/coi.ml: Array Cpu Float Format Gatesim Hashtbl Isa List Option Poweran Printf Tri

@@ -1,0 +1,1 @@
+lib/core/coi.mli: Format Gatesim Isa Poweran

@@ -1,0 +1,1 @@
+lib/core/evenodd.ml: Array Bytes Char Gatesim List Netlist Poweran Printf Stdcell Tri Vcd

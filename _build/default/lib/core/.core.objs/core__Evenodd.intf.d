@@ -1,0 +1,1 @@
+lib/core/evenodd.mli: Bytes Gatesim Netlist Poweran Stdcell

@@ -1,0 +1,1 @@
+lib/core/multiprog.ml: Analyze Array Float Gatesim Hashtbl List Peak_energy Poweran Tri

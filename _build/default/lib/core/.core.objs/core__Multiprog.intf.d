@@ -1,0 +1,1 @@
+lib/core/multiprog.mli: Analyze Gatesim Poweran

@@ -1,0 +1,1 @@
+lib/core/peak_energy.ml: Array Gatesim Hashtbl Map Poweran String

@@ -1,0 +1,1 @@
+lib/core/peak_energy.mli: Gatesim Poweran

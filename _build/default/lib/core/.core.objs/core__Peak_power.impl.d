@@ -1,0 +1,1 @@
+lib/core/peak_power.ml: Gatesim Poweran

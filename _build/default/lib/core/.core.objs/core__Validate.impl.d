@@ -1,0 +1,1 @@
+lib/core/validate.ml: Array Gatesim Hashtbl List Netlist Option Poweran String Tri

@@ -1,0 +1,88 @@
+(* End-to-end driver: application binary + processor netlist ->
+   guaranteed application-specific peak power and energy requirements
+   (the tool of Figure 3.1). *)
+
+type config = {
+  revisit_limit : int;
+  loop_bound : int;
+  max_paths : int;
+  max_cycles_per_path : int;
+}
+
+let default_config =
+  { revisit_limit = 0; loop_bound = 16; max_paths = 4096; max_cycles_per_path = 20_000 }
+
+type t = {
+  image : Isa.Asm.image;
+  tree : Gatesim.Trace.tree;
+  sym_stats : Gatesim.Sym.stats;
+  flattened : Gatesim.Trace.cycle array;
+  power_trace : float array;  (** per-cycle peak power bound, W *)
+  peak_power : float;  (** W *)
+  peak_index : int;
+  peak_energy : Peak_energy.result;
+}
+
+(* Standard power-analysis context for a built CPU: 100 MHz, default
+   library, memory-bus capacitance on the external bus pins. *)
+let poweran_for ?(lib = Stdcell.default) ?(period = 1e-8) cpu =
+  (* The 17x17 array's partial-product routing is wire-dominated; scale
+     its switching energy accordingly (the multiplier is the paper's
+     "relatively large, high-power module"). *)
+  Poweran.create ~bus:cpu.Cpu.bus_nets
+    ~module_scale:[ ("multiplier", 1.6) ]
+    cpu.Cpu.netlist lib ~period
+
+let engine_for cpu image ~symbolic =
+  let mem = Cpu.mem_of_image image in
+  if not symbolic then Cpu.zero_ram mem;
+  let e = Gatesim.Engine.create cpu.Cpu.netlist ~ports:cpu.Cpu.ports ~mem in
+  if not symbolic then Gatesim.Engine.set_port_in e (Array.make 16 Tri.Zero);
+  e
+
+(* Symbolic analysis: Algorithm 1 then the Section 3.2/3.3
+   computations. *)
+let run ?(config = default_config) pa cpu (image : Isa.Asm.image) =
+  let e = engine_for cpu image ~symbolic:true in
+  let sym_config =
+    {
+      Gatesim.Sym.is_end = Cpu.is_end_cycle ~halt_addr:image.Isa.Asm.halt_addr;
+      max_cycles_per_path = config.max_cycles_per_path;
+      max_paths = config.max_paths;
+      revisit_limit = config.revisit_limit;
+    }
+  in
+  let tree, sym_stats = Gatesim.Sym.run e sym_config in
+  let pp_result = Peak_power.of_tree pa tree in
+  let pe = Peak_energy.of_tree pa tree ~loop_bound:config.loop_bound in
+  {
+    image;
+    tree;
+    sym_stats;
+    flattened = pp_result.Peak_power.flattened;
+    power_trace = pp_result.Peak_power.trace;
+    peak_power = pp_result.Peak_power.peak;
+    peak_index = pp_result.Peak_power.peak_index;
+    peak_energy = pe;
+  }
+
+(* Concrete (input-based) execution for profiling and validation. *)
+let run_concrete pa cpu (image : Isa.Asm.image) ~inputs =
+  let e = engine_for cpu image ~symbolic:false in
+  List.iter
+    (fun (addr, ws) ->
+      List.iteri
+        (fun k w -> Gatesim.Mem.poke (Gatesim.Engine.mem e) (addr + (2 * k)) w)
+        ws)
+    inputs;
+  let cycles, _initial =
+    Gatesim.Sym.run_concrete e
+      ~is_end:(Cpu.is_end_cycle ~halt_addr:image.Isa.Asm.halt_addr)
+      ~max_cycles:200_000
+  in
+  let trace = Poweran.trace_power pa ~mode:`Observed cycles in
+  (cycles, trace)
+
+let cois ?(top = 4) ?(min_gap = 5) pa t =
+  Coi.find ~image:t.image pa ~flattened:t.flattened ~trace:t.power_trace ~top
+    ~min_gap

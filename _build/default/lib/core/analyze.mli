@@ -1,0 +1,47 @@
+(** End-to-end driver: application binary + processor netlist ->
+    guaranteed application-specific peak power and energy requirements
+    (the tool of the paper's Figure 3.1). *)
+
+type config = {
+  revisit_limit : int;
+      (** extra explorations allowed per already-seen state *)
+  loop_bound : int;  (** Seen-edge unroll bound for energy analysis *)
+  max_paths : int;
+  max_cycles_per_path : int;
+}
+
+val default_config : config
+
+type t = {
+  image : Isa.Asm.image;
+  tree : Gatesim.Trace.tree;
+  sym_stats : Gatesim.Sym.stats;
+  flattened : Gatesim.Trace.cycle array;
+  power_trace : float array;  (** per-cycle peak power bound, W *)
+  peak_power : float;  (** W — guaranteed for all inputs *)
+  peak_index : int;
+  peak_energy : Peak_energy.result;
+}
+
+(** Standard power-analysis context for a built CPU: 100 MHz, the
+    default library, memory-bus capacitance on the external pins and
+    the multiplier-array wire scale (see DESIGN.md calibration notes). *)
+val poweran_for : ?lib:Stdcell.t -> ?period:float -> Cpu.t -> Poweran.t
+
+(** [run pa cpu image] — Algorithm 1 (symbolic execution) followed by
+    the Section 3.2/3.3 computations. *)
+val run : ?config:config -> Poweran.t -> Cpu.t -> Isa.Asm.image -> t
+
+(** [run_concrete pa cpu image ~inputs] — a concrete (input-based)
+    execution for profiling and validation; [inputs] are
+    [(address, words)] pokes into RAM. Returns the cycle records and the
+    observed per-cycle power trace. *)
+val run_concrete :
+  Poweran.t ->
+  Cpu.t ->
+  Isa.Asm.image ->
+  inputs:(int * int list) list ->
+  Gatesim.Trace.cycle array * float array
+
+(** Cycles of interest of an analysis (Section 3.5). *)
+val cois : ?top:int -> ?min_gap:int -> Poweran.t -> t -> Coi.t list

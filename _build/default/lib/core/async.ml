@@ -1,0 +1,46 @@
+type result = {
+  peak_power : float;
+  npe : float;
+  cycles_simulated : int;
+  saturated : bool;
+}
+
+let analyze pa ~ports ~cycles =
+  let nl = Poweran.netlist pa in
+  (* a dummy memory: asynchronous machines analyzed here have no
+     external memory port traffic (strobes should be tied to consts) *)
+  let mem =
+    Gatesim.Mem.create ~rom:[ (0xFFFE, 0) ] ~ram_base:0x200 ~ram_bytes:64
+  in
+  let e = Gatesim.Engine.create nl ~ports ~mem in
+  (* brief reset, then all-X inputs *)
+  Gatesim.Engine.set_reset e Tri.One;
+  ignore (Gatesim.Engine.step e);
+  ignore (Gatesim.Engine.step e);
+  Gatesim.Engine.set_reset e Tri.Zero;
+  if Array.length ports.Gatesim.Engine.port_in > 0 then
+    Gatesim.Engine.set_port_in e
+      (Array.make (Array.length ports.Gatesim.Engine.port_in) Tri.X);
+  let peak = ref 0. in
+  let energy = ref 0. in
+  let last_change = ref 0 in
+  let n = ref 0 in
+  while !n < cycles && !n - !last_change < 64 do
+    let cy = Gatesim.Engine.step e in
+    let p = Poweran.cycle_power_max pa cy in
+    energy := !energy +. (p *. Poweran.period pa);
+    if p > !peak then begin
+      peak := p;
+      last_change := !n
+    end;
+    incr n
+  done;
+  {
+    peak_power = !peak;
+    npe = !energy /. float_of_int (max 1 !n);
+    cycles_simulated = !n;
+    saturated = !n < cycles;
+  }
+
+let add_to ~cpu_bound ~peripherals =
+  List.fold_left (fun acc r -> acc +. r.peak_power) cpu_bound peripherals

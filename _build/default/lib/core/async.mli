@@ -1,0 +1,31 @@
+(** Asynchronous state machines (paper, Chapter 6).
+
+    Peripherals that run asynchronously to the CPU (ADCs, DACs, bus
+    controllers) cannot be folded into the processor's execution tree;
+    the paper's prescription is to analyze the peripheral's netlist
+    separately — with every input unknown — and add its worst-case
+    power to the processor's bound at every instant. Such machines are
+    much smaller than the processor, so the addition is not overly
+    conservative.
+
+    This reuses the generic simulation and power layers on an arbitrary
+    netlist: nothing here is CPU-specific. *)
+
+type result = {
+  peak_power : float;  (** W: worst per-cycle bound with all-X inputs *)
+  npe : float;  (** J/cycle at the same bound (for energy budgets) *)
+  cycles_simulated : int;
+  saturated : bool;
+      (** the per-cycle bound stopped changing before the budget ran out *)
+}
+
+(** [analyze pa ~ports ~cycles] — drive every input of the netlist with
+    X and record the per-cycle maximized power until it saturates (or
+    for [cycles] cycles). [ports] only needs valid [reset]/strobe
+    bindings; probe buses may be tied off. *)
+val analyze : Poweran.t -> ports:Gatesim.Engine.ports -> cycles:int -> result
+
+(** [add_to ~cpu_bound ~peripherals] — a system bound per the paper:
+    the processor's peak plus every asynchronous machine's worst-case
+    power. *)
+val add_to : cpu_bound:float -> peripherals:result list -> float

@@ -1,0 +1,117 @@
+(* Cycle-of-interest analysis (paper, Section 3.5 / Figure 3.6).
+
+   Identifies the cycles where peak power spikes occur, the
+   instruction(s) in flight — both the one executing and, on fetch
+   cycles, the one being fetched, mirroring the paper's two-row
+   pipeline display — and the per-module power breakdown used to pick
+   which software optimization applies. *)
+
+type t = {
+  cycle_index : int;  (** position in the flattened trace *)
+  power : float;
+  state : int option;
+  state_name : string;
+  pc : int option;
+  instr : Isa.Insn.instr option;  (** decoded from the IR word *)
+  instr_text : string;  (** executing instruction *)
+  fetching_text : string option;  (** on FETCH cycles: the incoming one *)
+  breakdown : (string * float) list;  (** per module, W *)
+}
+
+let decode_ir (cy : Gatesim.Trace.cycle) =
+  match Tri.Word.to_int cy.Gatesim.Trace.ir with
+  | None -> None
+  | Some w -> (
+    try Some (Isa.Insn.decode w ~ext1:0 ~ext2:0 ~pc:0).Isa.Insn.instr
+    with Isa.Insn.Decode_error _ -> None)
+
+(* With the program image we can name instructions exactly: the line
+   being executed is the one whose span (addr, addr + 2*words] contains
+   the current PC (the PC advances past the opcode at FETCH and past
+   each extension word as it is consumed). *)
+let line_maps image =
+  let lines = Isa.Listing.lines image in
+  let by_addr = Hashtbl.create 64 in
+  List.iter
+    (fun (l : Isa.Listing.line) -> Hashtbl.replace by_addr l.Isa.Listing.addr l)
+    lines;
+  let executing pc =
+    List.find_opt
+      (fun (l : Isa.Listing.line) ->
+        let len = 2 * List.length l.Isa.Listing.words in
+        pc > l.Isa.Listing.addr && pc <= l.Isa.Listing.addr + len)
+      lines
+  in
+  (by_addr, executing)
+
+let of_cycle ?image pa ~flattened ~trace k =
+  let cy = flattened.(k) in
+  let state = Tri.Word.to_int cy.Gatesim.Trace.state in
+  let pc = Tri.Word.to_int cy.Gatesim.Trace.pc in
+  let instr = decode_ir cy in
+  let default_text =
+    match instr with Some i -> Isa.Insn.to_string i | None -> "?"
+  in
+  let instr_text, fetching_text =
+    match image, pc with
+    | Some image, Some pc_v ->
+      let by_addr, executing = line_maps image in
+      let exec_text =
+        match executing pc_v with
+        | Some l -> l.Isa.Listing.text
+        | None -> default_text
+      in
+      let fetching =
+        if state = Some Cpu.st_fetch then
+          Option.map
+            (fun (l : Isa.Listing.line) -> l.Isa.Listing.text)
+            (Hashtbl.find_opt by_addr pc_v)
+        else None
+      in
+      let exec_text =
+        (* on a fetch cycle the IR still holds the previous instruction *)
+        if state = Some Cpu.st_fetch then default_text else exec_text
+      in
+      (exec_text, fetching)
+    | _ -> (default_text, None)
+  in
+  {
+    cycle_index = k;
+    power = trace.(k);
+    state;
+    state_name = (match state with Some s -> Cpu.state_name s | None -> "?");
+    pc;
+    instr;
+    instr_text;
+    fetching_text;
+    breakdown = Poweran.module_breakdown pa ~mode:`Max cy;
+  }
+
+(* Top [n] spikes, separated by at least [min_gap] cycles so one broad
+   peak is not reported n times. *)
+let find ?image pa ~flattened ~trace ~top ~min_gap =
+  let order =
+    List.sort
+      (fun a b -> Float.compare trace.(b) trace.(a))
+      (List.init (Array.length trace) (fun k -> k))
+  in
+  let chosen = ref [] in
+  let far_enough k = List.for_all (fun j -> abs (k - j) >= min_gap) !chosen in
+  List.iter
+    (fun k ->
+      if List.length !chosen < top && far_enough k then chosen := k :: !chosen)
+    order;
+  List.rev_map (of_cycle ?image pa ~flattened ~trace) !chosen
+  |> List.sort (fun a b -> compare a.cycle_index b.cycle_index)
+
+let pp fmt c =
+  Format.fprintf fmt "COI %d: %.3f mW  %-9s pc=%s  exec: %s%s@." c.cycle_index
+    (c.power *. 1e3) c.state_name
+    (match c.pc with Some p -> Printf.sprintf "0x%04x" p | None -> "x")
+    c.instr_text
+    (match c.fetching_text with
+    | Some f -> Printf.sprintf "  fetching: %s" f
+    | None -> "");
+  List.iter
+    (fun (m, p) -> Format.fprintf fmt "    %-13s %8.4f mW@." m (p *. 1e3))
+    c.breakdown

@@ -1,0 +1,40 @@
+(** Cycle-of-interest analysis (paper, Section 3.5 / Figure 3.6).
+
+    Finds the peak power spikes, names the instruction executing at
+    each (and, on fetch cycles, the instruction being fetched —
+    mirroring the paper's two-row pipeline display), and reports the
+    per-module power breakdown that guides optimization choice. *)
+
+type t = {
+  cycle_index : int;  (** position in the flattened trace *)
+  power : float;  (** W *)
+  state : int option;  (** FSM state, if known *)
+  state_name : string;
+  pc : int option;
+  instr : Isa.Insn.instr option;  (** decoded from the IR word *)
+  instr_text : string;  (** executing instruction (image-accurate when
+                            an image is supplied) *)
+  fetching_text : string option;  (** on FETCH cycles: the incoming one *)
+  breakdown : (string * float) list;  (** per module, W; sums to power *)
+}
+
+val of_cycle :
+  ?image:Isa.Asm.image ->
+  Poweran.t ->
+  flattened:Gatesim.Trace.cycle array ->
+  trace:float array ->
+  int ->
+  t
+
+(** [find ?image pa ~flattened ~trace ~top ~min_gap] — the [top]
+    highest spikes, no two closer than [min_gap] cycles. *)
+val find :
+  ?image:Isa.Asm.image ->
+  Poweran.t ->
+  flattened:Gatesim.Trace.cycle array ->
+  trace:float array ->
+  top:int ->
+  min_gap:int ->
+  t list
+
+val pp : Format.formatter -> t -> unit

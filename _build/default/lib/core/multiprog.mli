@@ -1,0 +1,30 @@
+(** Multi-program, self-modifying-code and interrupt handling (paper,
+    Chapter 6). *)
+
+(** Union-of-activity bound: every gate active anywhere in any of the
+    applications is charged its costliest transition in a single
+    synthetic cycle. Conservative: at least as large as every
+    application's own peak bound. *)
+val union_peak_bound : Poweran.t -> Gatesim.Trace.tree list -> float
+
+(** One application at a time (cooperative multi-programming, dynamic
+    linking, self-modifying code): the worst of the individual bounds. *)
+val max_peak : Analyze.t list -> float
+
+val max_npe : Analyze.t list -> float
+
+type with_isr = {
+  peak_power : float;  (** max of main-flow and ISR peaks + detection *)
+  peak_energy : float;  (** main flow plus bounded ISR invocations *)
+}
+
+(** [combine_isr ~main ~isr ~max_invocations ~detection_power] — the
+    ISR is analyzed like any application; asynchronous detection logic
+    adds a constant power offset; the energy bound admits up to
+    [max_invocations] ISR executions. *)
+val combine_isr :
+  main:Analyze.t ->
+  isr:Analyze.t ->
+  max_invocations:int ->
+  detection_power:float ->
+  with_isr

@@ -1,0 +1,93 @@
+(* Peak-power software optimizations (paper, Sections 3.5 and 5.1).
+
+   Three assembly-level transforms, each spreading or delaying the
+   activity of a peak cycle:
+
+   - OPT1 (register-indexed and absolute loads): a load that computes
+     its address as an offset lights up the address generator in the
+     same cycle as the memory read. Computing the address into a
+     scratch register first and loading via register-indirect mode
+     spreads that activity over several cycles.
+   - OPT2 (POP): MOV @SP+, dst drives the data/address buses and the
+     stack-pointer incrementer simultaneously; splitting into
+     MOV @SP, dst then ADD #2, SP separates them.
+   - OPT3 (multiplier): the multiplier array computes in the cycles
+     after OP2 is written, overlapping the next instruction's fetch and
+     operand activity. A NOP after the OP2 store makes the overlap land
+     on idle cycles.
+
+   Transforms can change the status register (OPT1/OPT2 insert an ADD),
+   so [verify] replays the program on the ISS and compares the output
+   region — only functionally equivalent rewrites are kept. *)
+
+type opt = Opt1_indexed_loads | Opt2_pop | Opt3_mult_nop
+
+let all_opts = [ Opt1_indexed_loads; Opt2_pop; Opt3_mult_nop ]
+
+let name = function
+  | Opt1_indexed_loads -> "OPT1 (split indexed loads)"
+  | Opt2_pop -> "OPT2 (split POP)"
+  | Opt3_mult_nop -> "OPT3 (NOP after multiplier start)"
+
+let is_op2_store (it : Isa.Asm.item) =
+  match it with
+  | Isa.Asm.I (Isa.Insn.I1 (Isa.Insn.MOV, _, Isa.Insn.D_abs v)) -> (
+    match v with
+    | Isa.Insn.Lit a -> a = Isa.Memmap.op2
+    | Isa.Insn.Sym _ | Isa.Insn.Sym_off _ -> false)
+  | _ -> false
+
+(* Apply one transform; returns the rewritten items and how many sites
+   were rewritten. [scratch] must be a register the program never
+   reads or writes (benchmarks reserve r13 for this). *)
+let apply opt ~scratch items =
+  let count = ref 0 in
+  let rewrite (it : Isa.Asm.item) =
+    match opt, it with
+    | ( Opt1_indexed_loads,
+        Isa.Asm.I (Isa.Insn.I1 (Isa.Insn.MOV, Isa.Insn.S_idx (v, rs), Isa.Insn.D_reg rd)) )
+      when rd <> rs && rs <> scratch && rd <> scratch ->
+      incr count;
+      [
+        Isa.Asm.I (Isa.Insn.I1 (Isa.Insn.MOV, Isa.Insn.S_reg rs, Isa.Insn.D_reg scratch));
+        Isa.Asm.I (Isa.Insn.I1 (Isa.Insn.ADD, Isa.Insn.S_imm v, Isa.Insn.D_reg scratch));
+        Isa.Asm.I (Isa.Insn.I1 (Isa.Insn.MOV, Isa.Insn.S_ind scratch, Isa.Insn.D_reg rd));
+      ]
+    | ( Opt1_indexed_loads,
+        Isa.Asm.I (Isa.Insn.I1 (Isa.Insn.MOV, Isa.Insn.S_abs v, Isa.Insn.D_reg rd)) )
+      when rd <> scratch ->
+      incr count;
+      [
+        Isa.Asm.I (Isa.Insn.I1 (Isa.Insn.MOV, Isa.Insn.S_imm v, Isa.Insn.D_reg scratch));
+        Isa.Asm.I (Isa.Insn.I1 (Isa.Insn.MOV, Isa.Insn.S_ind scratch, Isa.Insn.D_reg rd));
+      ]
+    | ( Opt2_pop,
+        Isa.Asm.I (Isa.Insn.I1 (Isa.Insn.MOV, Isa.Insn.S_ind_inc 1, Isa.Insn.D_reg rd)) )
+      when rd <> 1 && rd <> 0 ->
+      incr count;
+      [
+        Isa.Asm.I (Isa.Insn.I1 (Isa.Insn.MOV, Isa.Insn.S_ind 1, Isa.Insn.D_reg rd));
+        Isa.Asm.I (Isa.Insn.I1 (Isa.Insn.ADD, Isa.Insn.S_imm (Isa.Insn.Lit 2), Isa.Insn.D_reg 1));
+      ]
+    | Opt3_mult_nop, it when is_op2_store it ->
+      incr count;
+      [ it; Isa.Asm.I Isa.Insn.nop ]
+    | _, it -> [ it ]
+  in
+  let out = List.concat_map rewrite items in
+  (out, !count)
+
+(* Functional equivalence on the ISS: run both programs with the same
+   concrete inputs and compare the output region and halt state. *)
+let verify ~assemble ~inputs ~outputs original transformed =
+  let run items =
+    let img = assemble items in
+    let t = Isa.Iss.create img in
+    List.iter (fun (addr, ws) -> Isa.Iss.load_ram t ~addr ws) inputs;
+    Isa.Iss.run t;
+    List.map
+      (fun (addr, len) ->
+        List.init len (fun k -> Isa.Iss.read_word t (addr + (2 * k))))
+      outputs
+  in
+  run original = run transformed

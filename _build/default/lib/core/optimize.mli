@@ -1,0 +1,38 @@
+(** Peak-power software optimizations (paper, Sections 3.5 and 5.1).
+
+    Three assembly-level rewrites that spread or delay the activity of
+    a peak cycle; each preserves functionality (checked on the ISS with
+    {!verify}) and is only worth keeping if re-analysis shows a lower
+    bound — see {!Report.Optrun} for the greedy driver. *)
+
+type opt =
+  | Opt1_indexed_loads
+      (** split register-indexed / absolute loads: compute the address
+          into a scratch register, then load register-indirect *)
+  | Opt2_pop
+      (** split POP into [MOV @SP, dst] + [ADD #2, SP] (bus activity
+          and the stack-pointer incrementer no longer coincide) *)
+  | Opt3_mult_nop
+      (** insert a NOP after the OP2 store so the multiplier array's
+          high-power cycle overlaps an idle cycle *)
+
+val all_opts : opt list
+val name : opt -> string
+
+(** [apply opt ~scratch items] rewrites all matching sites; returns the
+    new item list and the number of sites rewritten. [scratch] must be
+    a register the program never touches (benchmarks reserve r13). *)
+val apply : opt -> scratch:int -> Isa.Asm.item list -> Isa.Asm.item list * int
+
+(** [verify ~assemble ~inputs ~outputs original transformed] — run both
+    programs on the ISS with the same [inputs] and compare the
+    [outputs] regions ([(address, words)] each). The transforms insert
+    flag-clobbering instructions, so this check is mandatory before
+    adopting a rewrite. *)
+val verify :
+  assemble:(Isa.Asm.item list -> Isa.Asm.image) ->
+  inputs:(int * int list) list ->
+  outputs:(int * int) list ->
+  Isa.Asm.item list ->
+  Isa.Asm.item list ->
+  bool

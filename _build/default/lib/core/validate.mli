@@ -1,0 +1,39 @@
+(** Validation of the X-based analysis (paper, Section 3.4).
+
+    Check 1 (Figure 3.4): the gates marked potentially-toggled by
+    symbolic simulation are a superset of the gates toggled by any
+    input-based execution. Check 2 (Figure 3.5): the X-based per-cycle
+    power trace upper-bounds every input-based trace pointwise. *)
+
+type toggle_sets = {
+  sym_only : int list;  (** potentially-toggled, not seen in this run *)
+  common : int list;
+  concrete_only : int list;  (** must be empty, or the analysis is unsound *)
+}
+
+val net_set_of_tree : Gatesim.Trace.tree -> (int, unit) Hashtbl.t
+val net_set_of_run : Gatesim.Trace.cycle array -> (int, unit) Hashtbl.t
+
+val compare_toggles :
+  tree:Gatesim.Trace.tree -> concrete:Gatesim.Trace.cycle array -> toggle_sets
+
+(** Per-module counts for the Figure 3.4 rendering. *)
+val by_module : Netlist.t -> int list -> (string * int) list
+
+type bound_check = {
+  cycles_checked : int;
+  violations : (int * float * float) list;  (** cycle, bound, observed *)
+  max_ratio : float;  (** max observed/bound — must be <= 1 *)
+  sym_peak : float;
+  concrete_peak : float;
+}
+
+(** [check_bound pa ~tree ~concrete] locates the tree path matching the
+    concrete run (same length, agreeing PCs) and compares the traces
+    pointwise; [None] if no path matches (e.g. the run ended at a
+    deduplicated state). *)
+val check_bound :
+  Poweran.t ->
+  tree:Gatesim.Trace.tree ->
+  concrete:Gatesim.Trace.cycle array ->
+  bound_check option

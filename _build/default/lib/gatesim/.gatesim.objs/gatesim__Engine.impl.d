@@ -1,0 +1,1 @@
+lib/gatesim/engine.ml: Array Buffer Bytes Char Digest List Mem Netlist Trace Tri

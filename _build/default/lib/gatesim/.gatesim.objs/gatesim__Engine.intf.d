@@ -1,0 +1,1 @@
+lib/gatesim/engine.mli: Mem Netlist Trace Tri

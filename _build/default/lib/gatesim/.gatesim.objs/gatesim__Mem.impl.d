@@ -1,0 +1,1 @@
+lib/gatesim/mem.ml: Array Buffer Digest Hashtbl Int32 List Printf Tri

@@ -1,0 +1,1 @@
+lib/gatesim/mem.mli: Tri

@@ -1,0 +1,1 @@
+lib/gatesim/sym.ml: Array Engine Hashtbl List Option Printf Trace Tri

@@ -1,0 +1,1 @@
+lib/gatesim/sym.mli: Engine Trace

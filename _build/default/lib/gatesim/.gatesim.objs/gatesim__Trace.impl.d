@@ -1,0 +1,1 @@
+lib/gatesim/trace.ml: Array Hashtbl List Tri

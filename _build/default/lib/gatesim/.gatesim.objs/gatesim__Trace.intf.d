@@ -1,0 +1,1 @@
+lib/gatesim/trace.mli: Hashtbl Tri

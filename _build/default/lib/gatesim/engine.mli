@@ -1,0 +1,78 @@
+(** Levelized three-valued gate simulator.
+
+    Evaluates a {!Netlist.t} cycle by cycle with event-driven updates in
+    topological order. The same engine serves both concrete simulation
+    (profiling baselines, validation) and symbolic simulation with X
+    propagation (Algorithm 1) — the only difference is what the inputs
+    and memory are driven with.
+
+    A cycle is split in two phases so external memory can respond
+    combinationally: {!begin_cycle} latches the flops, drives inputs,
+    settles logic, performs the memory read and settles again;
+    {!finish_cycle} computes activity, samples probes, commits the
+    memory write and advances time. Between the two, the driver may be
+    told that the branch-decision net is X ([`Fork]) and must resolve it
+    with {!force_fork} (possibly exploring both choices via
+    {!snapshot}/{!restore}). *)
+
+(** Net-id bindings of the processor's external interface and probes.
+    Constructed by {!Cpu.build}. *)
+type ports = {
+  reset : int;
+  port_in : int array;  (** peripheral input pins (X under symbolic sim) *)
+  mem_addr : int array;
+  mem_rdata : int array;  (** input nets driven from {!Mem} *)
+  mem_wdata : int array;
+  mem_ren : int;
+  mem_wen : int;
+  pc : int array;
+  state : int array;
+  ir : int array;
+  fork_net : int option;  (** the jump-decision net; X here forks *)
+}
+
+type t
+
+val create : Netlist.t -> ports:ports -> mem:Mem.t -> t
+val netlist : t -> Netlist.t
+val mem : t -> Mem.t
+val cycle_index : t -> int
+
+(** [set_reset t level] drives the reset input from the next cycle on. *)
+val set_reset : t -> Tri.t -> unit
+
+(** [set_port_in t trits] drives the peripheral input pins; default all
+    X. *)
+val set_port_in : t -> Tri.t array -> unit
+
+val begin_cycle : t -> [ `Ok | `Fork ]
+
+(** Only legal after [`Fork]; overrides the fork net and re-settles. *)
+val force_fork : t -> Tri.t -> unit
+
+val finish_cycle : t -> Trace.cycle
+
+(** [step t] = [begin_cycle] + [finish_cycle]; raises [Failure] on
+    [`Fork] (concrete runs must never fork). *)
+val step : t -> Trace.cycle
+
+(** Current value of an arbitrary net / bus. *)
+val value : t -> int -> Tri.t
+
+val sample : t -> int array -> Tri.Word.t
+
+(** Digest of the architectural state (pending flop values, inputs,
+    memory) — Algorithm 1's "(PC, processor state)" dedup key. Valid
+    after {!finish_cycle}. *)
+val arch_digest : t -> string
+
+(** Trit codes of all net values right now (used as a trace's initial
+    vector). *)
+val values_snapshot : t -> int array
+
+type snapshot
+
+(** Deep-copies the mid-cycle simulator state; used at forks. *)
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit

@@ -1,0 +1,107 @@
+type t = {
+  rom : (int, int) Hashtbl.t;
+  ram_v : int array;  (* value bits per word *)
+  ram_x : int array;  (* unknown mask per word *)
+  ram_base : int;
+  ram_words : int;
+}
+
+let create ~rom ~ram_base ~ram_bytes =
+  let tbl = Hashtbl.create (List.length rom * 2) in
+  List.iter
+    (fun (a, w) ->
+      if a land 1 <> 0 then invalid_arg "Mem.create: odd ROM address";
+      if a >= ram_base && a < ram_base + ram_bytes then
+        invalid_arg "Mem.create: ROM word inside RAM range";
+      Hashtbl.replace tbl (a land 0xFFFF) (w land 0xFFFF))
+    rom;
+  {
+    rom = tbl;
+    ram_v = Array.make (ram_bytes / 2) 0;
+    ram_x = Array.make (ram_bytes / 2) 0xFFFF;
+    ram_base;
+    ram_words = ram_bytes / 2;
+  }
+
+let ram_index t a =
+  let i = (a - t.ram_base) / 2 in
+  if a >= t.ram_base && i < t.ram_words && a land 1 = 0 then Some i else None
+
+let poke_tri t addr (w : Tri.Word.t) =
+  match ram_index t addr with
+  | Some i ->
+    t.ram_v.(i) <- w.Tri.Word.v;
+    t.ram_x.(i) <- w.Tri.Word.x
+  | None -> invalid_arg (Printf.sprintf "Mem.poke: 0x%04x not in RAM" addr)
+
+let poke t addr w = poke_tri t addr (Tri.Word.of_int ~width:16 w)
+
+let peek t addr =
+  match ram_index t addr with
+  | Some i -> Tri.Word.make ~width:16 ~v:t.ram_v.(i) ~x:t.ram_x.(i)
+  | None -> invalid_arg (Printf.sprintf "Mem.peek: 0x%04x not in RAM" addr)
+
+let all_x = Tri.Word.all_x ~width:16
+
+let read t addr =
+  match Tri.Word.to_int addr with
+  | None -> all_x
+  | Some a -> begin
+    let a = a land lnot 1 in
+    (* word-aligned bus *)
+    match ram_index t a with
+    | Some i -> Tri.Word.make ~width:16 ~v:t.ram_v.(i) ~x:t.ram_x.(i)
+    | None -> (
+      match Hashtbl.find_opt t.rom a with
+      | Some w -> Tri.Word.of_int ~width:16 w
+      | None -> all_x)
+  end
+
+let smear_all t =
+  Array.fill t.ram_x 0 t.ram_words 0xFFFF;
+  Array.fill t.ram_v 0 t.ram_words 0
+
+let write t ~strobe addr (data : Tri.Word.t) =
+  match strobe with
+  | Tri.Zero -> ()
+  | Tri.One -> begin
+    match Tri.Word.to_int addr with
+    | None -> smear_all t
+    | Some a -> (
+      let a = a land lnot 1 in
+      match ram_index t a with
+      | Some i ->
+        t.ram_v.(i) <- data.Tri.Word.v;
+        t.ram_x.(i) <- data.Tri.Word.x
+      | None -> () (* peripheral and ROM writes are handled in the netlist *))
+  end
+  | Tri.X -> begin
+    match Tri.Word.to_int addr with
+    | None -> smear_all t
+    | Some a -> (
+      let a = a land lnot 1 in
+      match ram_index t a with
+      | Some i ->
+        let old = Tri.Word.make ~width:16 ~v:t.ram_v.(i) ~x:t.ram_x.(i) in
+        let merged = Tri.Word.merge old data in
+        t.ram_v.(i) <- merged.Tri.Word.v;
+        t.ram_x.(i) <- merged.Tri.Word.x
+      | None -> ())
+  end
+
+let digest t =
+  let buf = Buffer.create (t.ram_words * 4) in
+  Array.iter (fun v -> Buffer.add_int32_le buf (Int32.of_int v)) t.ram_v;
+  Array.iter (fun x -> Buffer.add_int32_le buf (Int32.of_int x)) t.ram_x;
+  Digest.string (Buffer.contents buf)
+
+type snapshot = { s_v : int array; s_x : int array }
+
+let snapshot t = { s_v = Array.copy t.ram_v; s_x = Array.copy t.ram_x }
+
+let restore t s =
+  Array.blit s.s_v 0 t.ram_v 0 t.ram_words;
+  Array.blit s.s_x 0 t.ram_x 0 t.ram_words
+
+let x_word_count t =
+  Array.fold_left (fun acc x -> if x <> 0 then acc + 1 else acc) 0 t.ram_x

@@ -1,0 +1,45 @@
+(** Symbolic memory model.
+
+    Program/data memories are macros outside the synthesized netlist (as
+    in the paper's openMSP430 flow); the simulator models them as arrays
+    of three-valued words. RAM words not initialized by the binary start
+    as X — which is exactly how application input regions become
+    symbolic. Reads at unknown addresses return all-X; writes at unknown
+    addresses conservatively smear X over the whole RAM (sound for any
+    alias). *)
+
+type t
+
+(** [create ~rom ~ram_base ~ram_bytes] builds a memory with the given
+    initialized ROM words (address/value pairs; addresses outside RAM)
+    and an all-X RAM of [ram_bytes] starting at [ram_base]. *)
+val create : rom:(int * int) list -> ram_base:int -> ram_bytes:int -> t
+
+(** [poke t addr w] stores a concrete word in RAM (input loading for
+    profiling runs). *)
+val poke : t -> int -> int -> unit
+
+(** [poke_tri t addr w] stores an arbitrary trit word in RAM. *)
+val poke_tri : t -> int -> Tri.Word.t -> unit
+
+val peek : t -> int -> Tri.Word.t
+
+(** [read t addr] — three-valued read through the map. *)
+val read : t -> Tri.Word.t -> Tri.Word.t
+
+(** [write t ~strobe addr data] — [strobe] is the write-enable trit: [One]
+    writes, [Zero] does nothing, [X] merges (the write may or may not
+    happen). Writes to ROM addresses are ignored (bus masters cannot
+    write flash); writes to unknown addresses X the whole RAM. *)
+val write : t -> strobe:Tri.t -> Tri.Word.t -> Tri.Word.t -> unit
+
+(** [digest t] — stable digest of RAM contents (ROM is immutable). *)
+val digest : t -> string
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
+(** Number of RAM words currently holding any X bit. *)
+val x_word_count : t -> int

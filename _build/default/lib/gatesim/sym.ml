@@ -1,0 +1,149 @@
+type config = {
+  is_end : Trace.cycle -> bool;
+  max_cycles_per_path : int;
+  max_paths : int;
+  revisit_limit : int;
+}
+
+let default_config ~is_end =
+  { is_end; max_cycles_per_path = 20_000; max_paths = 4_096; revisit_limit = 0 }
+
+type stats = {
+  paths : int;
+  forks : int;
+  dedup_hits : int;
+  total_cycles : int;
+}
+
+exception Path_limit of string
+
+let reset_cycles = 2
+
+(* Hold reset, then step through the RESET and VECTOR states so the
+   recorded trace starts at the application's first fetch — the
+   one-time power-on transient is a system event, not part of the
+   application's power profile. *)
+let do_reset e =
+  Engine.set_reset e Tri.One;
+  for _ = 1 to reset_cycles do
+    ignore (Engine.step e : Trace.cycle)
+  done;
+  Engine.set_reset e Tri.Zero;
+  (* RESET state, VECTOR fetch, and the first instruction fetch (whose
+     IR transition from the unknown power-on value is likewise part of
+     the start-up transient, not steady-state application behaviour). *)
+  for _ = 1 to 3 do
+    ignore (Engine.step e : Trace.cycle)
+  done
+
+let run e config =
+  if Engine.cycle_index e <> 0 then invalid_arg "Sym.run: engine not fresh";
+  do_reset e;
+  (* Initial vector for trace replay: the net values at the end of reset,
+     i.e. the previous-cycle baseline of the first recorded cycle. *)
+  let initial = Engine.values_snapshot e in
+  let seen : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  let registry : (string, Trace.node ref) Hashtbl.t = Hashtbl.create 256 in
+  let paths = ref 0 and forks = ref 0 and dedup_hits = ref 0 in
+  let total_cycles = ref 0 in
+  let end_of_path () =
+    incr paths;
+    if !paths > config.max_paths then
+      raise (Path_limit (Printf.sprintf "more than %d paths" config.max_paths))
+  in
+  (* Explore from the current engine state. [acc] is the reversed list of
+     cycles of the current straight-line segment; [len] the path length
+     so far. Returns the node for this segment onward. *)
+  let rec explore acc len =
+    if len > config.max_cycles_per_path then
+      raise
+        (Path_limit
+           (Printf.sprintf "path exceeded %d cycles" config.max_cycles_per_path));
+    match Engine.begin_cycle e with
+    | `Ok ->
+      let c = Engine.finish_cycle e in
+      incr total_cycles;
+      let acc = c :: acc in
+      if config.is_end c then begin
+        end_of_path ();
+        Trace.Run { cycles = Array.of_list (List.rev acc); next = Trace.End_path }
+      end
+      else explore acc (len + 1)
+    | `Fork ->
+      incr forks;
+      let snap = Engine.snapshot e in
+      let branch v =
+        Engine.restore e snap;
+        Engine.force_fork e v;
+        let c = Engine.finish_cycle e in
+        incr total_cycles;
+        let d = Engine.arch_digest e in
+        let visits = Option.value ~default:0 (Hashtbl.find_opt seen d) in
+        if visits > config.revisit_limit then begin
+          incr dedup_hits;
+          end_of_path ();
+          Trace.Run { cycles = [| c |]; next = Trace.Seen d }
+        end
+        else begin
+          Hashtbl.replace seen d (visits + 1);
+          let slot =
+            if visits = 0 then begin
+              let r = ref Trace.End_path in
+              Hashtbl.replace registry d r;
+              Some r
+            end
+            else None
+          in
+          let node =
+            if config.is_end c then begin
+              end_of_path ();
+              Trace.Run { cycles = [| c |]; next = Trace.End_path }
+            end
+            else explore [ c ] (len + 1)
+          in
+          (match slot with
+          | Some r ->
+            (* The registered continuation starts after cycle [c]; store
+               the subtree minus this first cycle so peak-energy lookups
+               do not double-count it. *)
+            (match node with
+            | Trace.Run { cycles; next } when Array.length cycles >= 1 ->
+              r :=
+                Trace.Run
+                  { cycles = Array.sub cycles 1 (Array.length cycles - 1); next }
+            | other -> r := other)
+          | None -> ());
+          node
+        end
+      in
+      let not_taken = branch Tri.Zero in
+      let taken = branch Tri.One in
+      Trace.Run
+        {
+          cycles = Array.of_list (List.rev acc);
+          next = Trace.Fork { not_taken; taken };
+        }
+  in
+  let root = explore [] 0 in
+  ( { Trace.root; registry; initial },
+    {
+      paths = !paths;
+      forks = !forks;
+      dedup_hits = !dedup_hits;
+      total_cycles = !total_cycles;
+    } )
+
+let run_concrete e ~is_end ~max_cycles =
+  if Engine.cycle_index e <> 0 then invalid_arg "Sym.run_concrete: engine not fresh";
+  do_reset e;
+  let initial = Engine.values_snapshot e in
+  let acc = ref [] in
+  let rec go n =
+    if n > max_cycles then
+      raise (Path_limit (Printf.sprintf "concrete run exceeded %d cycles" max_cycles));
+    let c = Engine.step e in
+    acc := c :: !acc;
+    if not (is_end c) then go (n + 1)
+  in
+  go 0;
+  (Array.of_list (List.rev !acc), initial)

@@ -1,0 +1,46 @@
+(** Input-independent gate activity analysis (paper, Algorithm 1).
+
+    Drives an {!Engine} through reset and then depth-first through every
+    execution path of the application: straight-line cycles are
+    simulated once; when the branch-decision net goes to X (an
+    input-dependent branch reached the PC logic), the state is
+    snapshotted and both choices are explored. A branch target whose
+    post-branch architectural state has already been explored is not
+    re-simulated (dedup on state digest), which terminates
+    input-dependent loops. *)
+
+type config = {
+  is_end : Trace.cycle -> bool;
+      (** has the application reached its halt self-jump? *)
+  max_cycles_per_path : int;
+  max_paths : int;
+  revisit_limit : int;
+      (** how many times a previously-seen state may be re-explored
+          (bounded unrolling for input-dependent loops); 0 = always cut *)
+}
+
+val default_config : is_end:(Trace.cycle -> bool) -> config
+
+type stats = {
+  paths : int;
+  forks : int;
+  dedup_hits : int;
+  total_cycles : int;  (** across all explored segments *)
+}
+
+exception Path_limit of string
+
+(** [run engine config] — symbolic execution from reset to the end of
+    every path. The engine must be fresh (cycle 0). *)
+val run : Engine.t -> config -> Trace.tree * stats
+
+(** [run_concrete engine ~is_end ~max_cycles] — single-path concrete
+    simulation from reset (profiling baseline / validation runs). RAM
+    should have been concretized first (see {!Mem.poke}); any X reaching
+    the branch-decision net is an error. Returns the trace and the
+    initial net values. *)
+val run_concrete :
+  Engine.t ->
+  is_end:(Trace.cycle -> bool) ->
+  max_cycles:int ->
+  Trace.cycle array * int array

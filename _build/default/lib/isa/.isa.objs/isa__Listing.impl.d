@@ -1,0 +1,1 @@
+lib/isa/listing.ml: Asm Buffer Hashtbl Insn List Option Printf String

@@ -1,0 +1,1 @@
+lib/isa/listing.mli: Asm

@@ -1,0 +1,1 @@
+lib/isa/parse.ml: Asm Insn List Memmap Printf String

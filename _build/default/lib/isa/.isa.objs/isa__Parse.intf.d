@@ -1,0 +1,1 @@
+lib/isa/parse.mli: Asm Insn

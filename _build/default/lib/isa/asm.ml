@@ -1,0 +1,103 @@
+type item =
+  | Label of string
+  | I of Insn.instr
+  | Word of Insn.value
+  | Words of int list
+
+type section = { org : int; items : item list }
+type program = { name : string; sections : section list; entry : string }
+
+type image = {
+  words : (int * int) list;
+  symbols : (string * int) list;
+  entry_addr : int;
+  halt_addr : int;
+}
+
+exception Asm_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Asm_error s)) fmt
+
+let item_bytes = function
+  | Label _ -> 0
+  | I i -> 2 * Insn.size_words i
+  | Word _ -> 2
+  | Words ws -> 2 * List.length ws
+
+let halt_items = [ Label "_halt"; I (Insn.J (Insn.JMP, Insn.Sym "_halt")) ]
+
+let assemble p =
+  (* Pass 1: layout. *)
+  let symbols = Hashtbl.create 64 in
+  List.iter
+    (fun sec ->
+      if sec.org land 1 <> 0 then err "%s: odd section origin 0x%x" p.name sec.org;
+      let addr = ref sec.org in
+      List.iter
+        (fun item ->
+          (match item with
+          | Label l ->
+            if Hashtbl.mem symbols l then err "%s: duplicate label %s" p.name l;
+            Hashtbl.replace symbols l !addr
+          | I _ | Word _ | Words _ -> ());
+          addr := !addr + item_bytes item)
+        sec.items)
+    p.sections;
+  let lookup_sym s =
+    match Hashtbl.find_opt symbols s with
+    | Some a -> a
+    | None -> err "%s: undefined symbol %s" p.name s
+  in
+  (* Pass 2: encode. *)
+  let out = ref [] in
+  let emit addr w =
+    if addr land 1 <> 0 then err "%s: odd word address 0x%x" p.name addr;
+    out := (addr land 0xFFFF, w land 0xFFFF) :: !out
+  in
+  List.iter
+    (fun sec ->
+      let addr = ref sec.org in
+      List.iter
+        (fun item ->
+          (match item with
+          | Label _ -> ()
+          | I i ->
+            let ws =
+              try Insn.encode ~lookup:lookup_sym ~pc:!addr i
+              with Insn.Encode_error m -> err "%s @0x%04x: %s" p.name !addr m
+            in
+            List.iteri (fun k w -> emit (!addr + (2 * k)) w) ws
+          | Word v ->
+            let n =
+              match v with
+              | Insn.Lit n -> n
+              | Insn.Sym s -> lookup_sym s
+              | Insn.Sym_off (s, o) -> lookup_sym s + o
+            in
+            emit !addr n
+          | Words ws -> List.iteri (fun k w -> emit (!addr + (2 * k)) w) ws);
+          addr := !addr + item_bytes item)
+        sec.items)
+    p.sections;
+  let entry_addr = lookup_sym p.entry in
+  let halt_addr = lookup_sym "_halt" in
+  emit Memmap.reset_vector entry_addr;
+  let words = List.sort (fun (a, _) (b, _) -> Int.compare a b) !out in
+  (* Overlap check. *)
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if a = b then err "%s: overlapping words at 0x%04x" p.name a;
+      check rest
+    | _ -> ()
+  in
+  check words;
+  let symbols =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) symbols []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { words; symbols; entry_addr; halt_addr }
+
+let lookup img s =
+  match List.assoc_opt s img.symbols with
+  | Some a -> a
+  | None -> err "undefined symbol %s" s

@@ -1,0 +1,40 @@
+(** Two-pass assembler for MSP430-subset programs.
+
+    Programs are authored as OCaml ASTs (lists of {!item}s in placed
+    {!section}s); this is the substitute for the msp430-gcc flow that
+    produced the paper's benchmark binaries. *)
+
+type item =
+  | Label of string
+  | I of Insn.instr
+  | Word of Insn.value  (** one initialized data word *)
+  | Words of int list  (** several literal data words *)
+
+type section = { org : int; items : item list }
+
+type program = {
+  name : string;
+  sections : section list;
+  entry : string;  (** label of the first instruction *)
+}
+
+type image = {
+  words : (int * int) list;  (** even address -> 16-bit word, sorted *)
+  symbols : (string * int) list;
+  entry_addr : int;
+  halt_addr : int;  (** address of the final self-jump, see below *)
+}
+
+exception Asm_error of string
+
+(** [assemble p] lays out and encodes [p]. The reset vector (0xFFFE) is
+    pointed at [p.entry] automatically. Every program must define a
+    label ["_halt"] whose instruction is a self-jump; analyses treat
+    reaching it as end-of-application. *)
+val assemble : program -> image
+
+(** [lookup image sym] raises [Asm_error] for undefined symbols. *)
+val lookup : image -> string -> int
+
+(** Convenience: the standard epilogue [_halt: jmp _halt]. *)
+val halt_items : item list

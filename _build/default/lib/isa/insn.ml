@@ -1,0 +1,361 @@
+type reg = int
+
+let pc = 0
+let sp = 1
+let sr = 2
+let cg = 3
+
+type op1 = MOV | ADD | ADDC | SUBC | SUB | CMP | BIT | BIC | BIS | XOR | AND
+type op2 = RRC | SWPB | RRA | SXT | PUSH | CALL
+type cond = JNE | JEQ | JNC | JC | JN | JGE | JL | JMP
+type value = Lit of int | Sym of string | Sym_off of string * int
+
+type src =
+  | S_reg of reg
+  | S_idx of value * reg
+  | S_ind of reg
+  | S_ind_inc of reg
+  | S_imm of value
+  | S_abs of value
+
+type dst = D_reg of reg | D_idx of value * reg | D_abs of value
+
+type instr =
+  | I1 of op1 * src * dst
+  | I2 of op2 * src
+  | J of cond * value
+  | RETI
+
+let nop = I1 (MOV, S_imm (Lit 0), D_reg cg)
+let pop r = I1 (MOV, S_ind_inc sp, D_reg r)
+let ret = I1 (MOV, S_ind_inc sp, D_reg pc)
+let br s = I1 (MOV, s, D_reg pc)
+let clr r = I1 (MOV, S_imm (Lit 0), D_reg r)
+let inc_r r = I1 (ADD, S_imm (Lit 1), D_reg r)
+let dec_r r = I1 (SUB, S_imm (Lit 1), D_reg r)
+let tst r = I1 (CMP, S_imm (Lit 0), D_reg r)
+
+exception Encode_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Encode_error s)) fmt
+
+let op1_code = function
+  | MOV -> 0x4
+  | ADD -> 0x5
+  | ADDC -> 0x6
+  | SUBC -> 0x7
+  | SUB -> 0x8
+  | CMP -> 0x9
+  | BIT -> 0xB
+  | BIC -> 0xC
+  | BIS -> 0xD
+  | XOR -> 0xE
+  | AND -> 0xF
+
+let op1_of_code = function
+  | 0x4 -> Some MOV
+  | 0x5 -> Some ADD
+  | 0x6 -> Some ADDC
+  | 0x7 -> Some SUBC
+  | 0x8 -> Some SUB
+  | 0x9 -> Some CMP
+  | 0xB -> Some BIT
+  | 0xC -> Some BIC
+  | 0xD -> Some BIS
+  | 0xE -> Some XOR
+  | 0xF -> Some AND
+  | _ -> None
+
+let op2_code = function
+  | RRC -> 0
+  | SWPB -> 1
+  | RRA -> 2
+  | SXT -> 3
+  | PUSH -> 4
+  | CALL -> 5
+
+let cond_code = function
+  | JNE -> 0
+  | JEQ -> 1
+  | JNC -> 2
+  | JC -> 3
+  | JN -> 4
+  | JGE -> 5
+  | JL -> 6
+  | JMP -> 7
+
+let cond_of_code = function
+  | 0 -> JNE
+  | 1 -> JEQ
+  | 2 -> JNC
+  | 3 -> JC
+  | 4 -> JN
+  | 5 -> JGE
+  | 6 -> JL
+  | _ -> JMP
+
+let mask16 v = v land 0xFFFF
+
+let resolve ~lookup = function
+  | Lit n -> mask16 n
+  | Sym s -> mask16 (lookup s)
+  | Sym_off (s, off) -> mask16 (lookup s + off)
+
+(* Source operand field encoding: (src reg, As bits, extension word).
+   Constant-generator encodings follow the MSP430 convention. *)
+let encode_src ~lookup s =
+  let imm_cg n =
+    match mask16 n with
+    | 0 -> Some (3, 0b00)
+    | 1 -> Some (3, 0b01)
+    | 2 -> Some (3, 0b10)
+    | 0xFFFF -> Some (3, 0b11)
+    | 4 -> Some (2, 0b10)
+    | 8 -> Some (2, 0b11)
+    | _ -> None
+  in
+  match s with
+  | S_reg r ->
+    if r = 3 then err "S_reg r3 reads the constant generator; use S_imm";
+    (r, 0b00, None)
+  | S_idx (v, r) ->
+    if r <= 3 then err "S_idx with r%d is reserved" r;
+    (r, 0b01, Some (resolve ~lookup v))
+  | S_ind r ->
+    if r = 2 || r = 3 then err "S_ind with r%d is a constant generator" r;
+    (r, 0b10, None)
+  | S_ind_inc r ->
+    if r = 2 || r = 3 then err "S_ind_inc with r%d is a constant generator" r;
+    (r, 0b11, None)
+  | S_imm v -> begin
+    match v with
+    | Lit n when imm_cg n <> None ->
+      let r, a = Option.get (imm_cg n) in
+      (r, a, None)
+    | _ -> (0, 0b11, Some (resolve ~lookup v))
+  end
+  | S_abs v -> (2, 0b01, Some (resolve ~lookup v))
+
+let encode_dst ~lookup d =
+  match d with
+  | D_reg r -> (r, 0, None)
+  | D_idx (v, r) ->
+    if r <= 3 then err "D_idx with r%d is reserved" r;
+    (r, 1, Some (resolve ~lookup v))
+  | D_abs v -> (2, 1, Some (resolve ~lookup v))
+
+let src_ext_words = function
+  | S_reg _ | S_ind _ | S_ind_inc _ -> 0
+  | S_idx _ | S_abs _ -> 1
+  | S_imm (Lit n) -> begin
+    match mask16 n with 0 | 1 | 2 | 4 | 8 | 0xFFFF -> 0 | _ -> 1
+  end
+  | S_imm _ -> 1
+
+let dst_ext_words = function D_reg _ -> 0 | D_idx _ | D_abs _ -> 1
+
+let size_words = function
+  | I1 (_, s, d) -> 1 + src_ext_words s + dst_ext_words d
+  | I2 (_, s) -> 1 + src_ext_words s
+  | J _ | RETI -> 1
+
+let encode ~lookup ~pc:pc_addr = function
+  | I1 (op, s, d) ->
+    let rs, as_, ext_s = encode_src ~lookup s in
+    let rd, ad, ext_d = encode_dst ~lookup d in
+    let w =
+      (op1_code op lsl 12) lor (rs lsl 8) lor (ad lsl 7) lor (as_ lsl 4) lor rd
+    in
+    (w :: Option.to_list ext_s) @ Option.to_list ext_d
+  | I2 (op, s) ->
+    let rs, as_, ext_s = encode_src ~lookup s in
+    let w = (0b000100 lsl 10) lor (op2_code op lsl 7) lor (as_ lsl 4) lor rs in
+    w :: Option.to_list ext_s
+  | RETI -> [ (0b000100 lsl 10) lor (6 lsl 7) ]
+  | J (c, v) ->
+    let target = resolve ~lookup v in
+    let diff = target - (pc_addr + 2) in
+    if diff land 1 <> 0 then err "jump target 0x%04x misaligned" target;
+    let off =
+      let d = diff asr 1 in
+      (* interpret 16-bit wrap-around as signed *)
+      let d = if d > 0x7FFF then d - 0x10000 else d in
+      d
+    in
+    if off < -512 || off > 511 then
+      err "jump offset %d out of range (target 0x%04x)" off target;
+    [ (0b001 lsl 13) lor (cond_code c lsl 10) lor (off land 0x3FF) ]
+
+type decoded = { instr : instr; n_ext : int }
+
+exception Decode_error of int
+
+let decode_src ~ext rs as_ =
+  (* Returns (src, ext words consumed). *)
+  match as_, rs with
+  | 0b00, 3 -> (S_imm (Lit 0), 0)
+  | 0b01, 3 -> (S_imm (Lit 1), 0)
+  | 0b10, 3 -> (S_imm (Lit 2), 0)
+  | 0b11, 3 -> (S_imm (Lit 0xFFFF), 0)
+  | 0b10, 2 -> (S_imm (Lit 4), 0)
+  | 0b11, 2 -> (S_imm (Lit 8), 0)
+  | 0b01, 2 -> (S_abs (Lit ext), 1)
+  | 0b11, 0 -> (S_imm (Lit ext), 1)
+  | 0b00, r -> (S_reg r, 0)
+  | 0b01, r -> (S_idx (Lit ext, r), 1)
+  | 0b10, r -> (S_ind r, 0)
+  | 0b11, r -> (S_ind_inc r, 0)
+  | _ -> assert false
+
+let decode w ~ext1 ~ext2 ~pc:pc_addr =
+  let w = mask16 w in
+  let top3 = w lsr 13 in
+  if top3 = 0b001 then begin
+    let c = cond_of_code ((w lsr 10) land 0x7) in
+    let off = w land 0x3FF in
+    let off = if off >= 512 then off - 1024 else off in
+    let target = mask16 (pc_addr + 2 + (2 * off)) in
+    { instr = J (c, Lit target); n_ext = 0 }
+  end
+  else if w lsr 10 = 0b000100 then begin
+    let opc = (w lsr 7) land 0x7 in
+    if opc = 6 then { instr = RETI; n_ext = 0 }
+    else if opc = 7 then raise (Decode_error w)
+    else begin
+      let op =
+        match opc with
+        | 0 -> RRC
+        | 1 -> SWPB
+        | 2 -> RRA
+        | 3 -> SXT
+        | 4 -> PUSH
+        | _ -> CALL
+      in
+      if (w lsr 6) land 1 = 1 then raise (Decode_error w) (* byte mode *);
+      let s, n = decode_src ~ext:ext1 (w land 0xF) ((w lsr 4) land 0x3) in
+      { instr = I2 (op, s); n_ext = n }
+    end
+  end
+  else begin
+    match op1_of_code (w lsr 12) with
+    | None -> raise (Decode_error w)
+    | Some op ->
+      if (w lsr 6) land 1 = 1 then raise (Decode_error w) (* byte mode *);
+      let rs = (w lsr 8) land 0xF in
+      let ad = (w lsr 7) land 1 in
+      let as_ = (w lsr 4) land 0x3 in
+      let rd = w land 0xF in
+      let s, n_src = decode_src ~ext:ext1 rs as_ in
+      let dext = if n_src = 0 then ext1 else ext2 in
+      let d, n_dst =
+        if ad = 0 then (D_reg rd, 0)
+        else if rd = 2 then (D_abs (Lit dext), 1)
+        else (D_idx (Lit dext, rd), 1)
+      in
+      { instr = I1 (op, s, d); n_ext = n_src + n_dst }
+  end
+
+(* Timing of the reference multi-cycle micro-architecture:
+   FETCH, [SRC_EXT], [SRC_READ], [DST_EXT], [DST_READ], EXEC, [WRITE].
+   {!Cpu} implements exactly this state machine; {!Iss} charges these
+   counts. *)
+let src_cycles = function
+  | S_reg _ -> 0
+  | S_imm (Lit n) when (match mask16 n with 0 | 1 | 2 | 4 | 8 | 0xFFFF -> true | _ -> false) -> 0
+  | S_imm _ -> 1 (* SRC_EXT carries the value *)
+  | S_ind _ | S_ind_inc _ -> 1 (* SRC_READ *)
+  | S_idx _ | S_abs _ -> 2 (* SRC_EXT + SRC_READ *)
+
+let op1_reads_dst = function
+  | MOV -> false
+  | ADD | ADDC | SUBC | SUB | CMP | BIT | BIC | BIS | XOR | AND -> true
+
+let op1_writes_dst = function
+  | CMP | BIT -> false
+  | MOV | ADD | ADDC | SUBC | SUB | BIC | BIS | XOR | AND -> true
+
+let dst_cycles op = function
+  | D_reg _ -> 0
+  | D_idx _ | D_abs _ ->
+    1 (* DST_EXT *)
+    + (if op1_reads_dst op then 1 else 0)
+    + if op1_writes_dst op then 1 else 0
+
+let cycles = function
+  | I1 (op, s, d) -> 1 + src_cycles s + dst_cycles op d + 1
+  | I2 ((RRC | SWPB | RRA | SXT), (S_reg _ as s)) -> 2 + src_cycles s
+  | I2 ((RRC | SWPB | RRA | SXT), s) ->
+    (* read-modify-write through memory: operand read + EXEC + WRITE *)
+    1 + src_cycles s + 1 + 1
+  | I2 (PUSH, s) -> 1 + src_cycles s + 1 + 1
+  | I2 (CALL, s) -> 1 + src_cycles s + 1 + 1
+  | J _ -> 2
+  | RETI -> 3
+
+let pp_reg fmt r =
+  match r with
+  | 0 -> Format.pp_print_string fmt "pc"
+  | 1 -> Format.pp_print_string fmt "sp"
+  | 2 -> Format.pp_print_string fmt "sr"
+  | _ -> Format.fprintf fmt "r%d" r
+
+let pp_value fmt = function
+  | Lit n -> Format.fprintf fmt "0x%04x" (mask16 n)
+  | Sym s -> Format.pp_print_string fmt s
+  | Sym_off (s, o) -> Format.fprintf fmt "%s%+d" s o
+
+let pp_src fmt = function
+  | S_reg r -> pp_reg fmt r
+  | S_idx (v, r) -> Format.fprintf fmt "%a(%a)" pp_value v pp_reg r
+  | S_ind r -> Format.fprintf fmt "@%a" pp_reg r
+  | S_ind_inc r -> Format.fprintf fmt "@%a+" pp_reg r
+  | S_imm v -> Format.fprintf fmt "#%a" pp_value v
+  | S_abs v -> Format.fprintf fmt "&%a" pp_value v
+
+let pp_dst fmt = function
+  | D_reg r -> pp_reg fmt r
+  | D_idx (v, r) -> Format.fprintf fmt "%a(%a)" pp_value v pp_reg r
+  | D_abs v -> Format.fprintf fmt "&%a" pp_value v
+
+let op1_name = function
+  | MOV -> "mov"
+  | ADD -> "add"
+  | ADDC -> "addc"
+  | SUBC -> "subc"
+  | SUB -> "sub"
+  | CMP -> "cmp"
+  | BIT -> "bit"
+  | BIC -> "bic"
+  | BIS -> "bis"
+  | XOR -> "xor"
+  | AND -> "and"
+
+let op2_name = function
+  | RRC -> "rrc"
+  | SWPB -> "swpb"
+  | RRA -> "rra"
+  | SXT -> "sxt"
+  | PUSH -> "push"
+  | CALL -> "call"
+
+let cond_name = function
+  | JNE -> "jne"
+  | JEQ -> "jeq"
+  | JNC -> "jnc"
+  | JC -> "jc"
+  | JN -> "jn"
+  | JGE -> "jge"
+  | JL -> "jl"
+  | JMP -> "jmp"
+
+let pp_instr fmt = function
+  | I1 (MOV, S_imm (Lit 0), D_reg 3) -> Format.pp_print_string fmt "nop"
+  | I1 (MOV, S_ind_inc 1, D_reg 0) -> Format.pp_print_string fmt "ret"
+  | I1 (MOV, S_ind_inc 1, D_reg r) -> Format.fprintf fmt "pop %a" pp_reg r
+  | I1 (op, s, d) ->
+    Format.fprintf fmt "%s %a, %a" (op1_name op) pp_src s pp_dst d
+  | I2 (op, s) -> Format.fprintf fmt "%s %a" (op2_name op) pp_src s
+  | J (c, v) -> Format.fprintf fmt "%s %a" (cond_name c) pp_value v
+  | RETI -> Format.pp_print_string fmt "reti"
+
+let to_string i = Format.asprintf "%a" pp_instr i

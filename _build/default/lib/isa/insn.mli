@@ -1,0 +1,111 @@
+(** MSP430-subset instruction set.
+
+    Word-sized operations only (no [.B] forms), no [DADD], no interrupts
+    in the core flow — see DESIGN.md §2. Registers follow MSP430
+    conventions: [r0] = PC, [r1] = SP, [r2] = SR / constant generator 1,
+    [r3] = constant generator 2, [r4]–[r15] general purpose. *)
+
+type reg = int  (** 0..15 *)
+
+val pc : reg
+val sp : reg
+val sr : reg
+val cg : reg
+
+(** Format-I (double operand) opcodes. *)
+type op1 = MOV | ADD | ADDC | SUBC | SUB | CMP | BIT | BIC | BIS | XOR | AND
+
+(** Format-II (single operand) opcodes. [RETI] is encoded separately. *)
+type op2 = RRC | SWPB | RRA | SXT | PUSH | CALL
+
+(** Jump conditions. *)
+type cond = JNE | JEQ | JNC | JC | JN | JGE | JL | JMP
+
+(** A link-time value: a literal or a symbol (+offset). *)
+type value = Lit of int | Sym of string | Sym_off of string * int
+
+(** Source operands. [Imm] assembles to [@PC+] or a constant-generator
+    encoding when the literal is one of 0, 1, 2, 4, 8, -1. [Abs] is
+    absolute addressing ([&addr], via [r2] As=01). *)
+type src =
+  | S_reg of reg
+  | S_idx of value * reg  (** x(Rn) *)
+  | S_ind of reg  (** @Rn *)
+  | S_ind_inc of reg  (** @Rn+ *)
+  | S_imm of value  (** #v *)
+  | S_abs of value  (** &addr *)
+
+type dst =
+  | D_reg of reg
+  | D_idx of value * reg
+  | D_abs of value
+
+type instr =
+  | I1 of op1 * src * dst
+  | I2 of op2 * src
+  | J of cond * value  (** target is an absolute address/symbol *)
+  | RETI
+
+(** {1 Derived (emulated) instructions} *)
+
+val nop : instr  (** MOV #0, r3 (the canonical MSP430 NOP) *)
+
+val pop : reg -> instr  (** MOV @SP+, dst *)
+
+val ret : instr  (** MOV @SP+, PC *)
+
+val br : src -> instr  (** MOV src, PC *)
+
+val clr : reg -> instr
+val inc_r : reg -> instr
+val dec_r : reg -> instr
+val tst : reg -> instr
+
+(** {1 Encoding}
+
+    An encoded instruction is the opcode word plus 0–2 extension words
+    (source first). Encoding a symbolic [value] requires an environment. *)
+
+exception Encode_error of string
+
+val encode : lookup:(string -> int) -> pc:int -> instr -> int list
+
+(** Number of words the instruction occupies (1–3); independent of the
+    environment. *)
+val size_words : instr -> int
+
+(** [op1_reads_dst op] — does the operation consume the old destination
+    value (everything but MOV)? *)
+val op1_reads_dst : op1 -> bool
+
+(** [op1_writes_dst op] — does the operation write a result (everything
+    but CMP and BIT)? *)
+val op1_writes_dst : op1 -> bool
+
+(** {1 Decoding} *)
+
+type decoded = {
+  instr : instr;  (** symbolic values never appear; [Lit] only *)
+  n_ext : int;  (** extension words consumed *)
+}
+
+exception Decode_error of int  (** the offending opcode word *)
+
+(** [decode w ~ext1 ~ext2 ~pc] decodes opcode word [w]; extension words
+    are consulted lazily. [pc] is the address of the opcode word
+    (needed for jump targets). *)
+val decode : int -> ext1:int -> ext2:int -> pc:int -> decoded
+
+(** {1 Timing}
+
+    Cycle cost of an instruction on the reference multi-cycle
+    micro-architecture (and on {!Cpu}, which implements the same state
+    machine). *)
+
+val cycles : instr -> int
+
+(** {1 Printing} *)
+
+val pp_reg : Format.formatter -> reg -> unit
+val pp_instr : Format.formatter -> instr -> unit
+val to_string : instr -> string

@@ -1,0 +1,322 @@
+type t = {
+  regs : int array;
+  ram : int array;
+  rom : int array;
+  mutable mpy_op1 : int;
+  mutable mpy_signed : bool;
+  mutable mpy_op2 : int;
+  mutable reslo : int;
+  mutable reshi : int;
+  mutable sumext : int;
+  mutable wdt : int;
+  mutable p1out : int;
+  mutable ie1 : int;
+  mutable ifg1 : int;
+  mutable p1in : int;
+  mutable cycles : int;
+  mutable insn_count : int;
+  mutable halted : bool;
+  halt_addr : int;
+}
+
+exception Mem_fault of int
+exception Illegal of int
+
+let m16 v = v land 0xFFFF
+
+let create (img : Asm.image) =
+  let rom = Array.make (Memmap.rom_size / 2) 0 in
+  List.iter
+    (fun (addr, w) ->
+      if not (Memmap.in_rom addr) then
+        invalid_arg (Printf.sprintf "Iss.create: image word at 0x%04x not in ROM" addr);
+      rom.((addr - Memmap.rom_base) / 2) <- w)
+    img.Asm.words;
+  let t =
+    {
+      regs = Array.make 16 0;
+      ram = Array.make (Memmap.ram_size / 2) 0;
+      rom;
+      mpy_op1 = 0;
+      mpy_signed = false;
+      mpy_op2 = 0;
+      reslo = 0;
+      reshi = 0;
+      sumext = 0;
+      wdt = 0;
+      p1out = 0;
+      ie1 = 0;
+      ifg1 = 0;
+      p1in = 0;
+      cycles = 0;
+      insn_count = 0;
+      halted = false;
+      halt_addr = img.Asm.halt_addr;
+    }
+  in
+  t.regs.(0) <- img.Asm.entry_addr;
+  (* Reset costs four cycles, matching the gate-level CPU: two cycles of
+     reset assertion, one RESET state, one VECTOR fetch. *)
+  t.cycles <- 4;
+  t
+
+let signed16 v = if v land 0x8000 <> 0 then v - 0x10000 else v
+
+let do_multiply t =
+  if t.mpy_signed then begin
+    let p = signed16 t.mpy_op1 * signed16 t.mpy_op2 in
+    let p32 = p land 0xFFFFFFFF in
+    t.reslo <- m16 p32;
+    t.reshi <- m16 (p32 lsr 16);
+    t.sumext <- if p < 0 then 0xFFFF else 0
+  end
+  else begin
+    let p = t.mpy_op1 * t.mpy_op2 in
+    t.reslo <- m16 p;
+    t.reshi <- m16 (p lsr 16);
+    t.sumext <- 0
+  end
+
+let read_word t addr =
+  let addr = m16 addr in
+  if addr land 1 <> 0 then raise (Mem_fault addr);
+  if Memmap.in_ram addr then t.ram.((addr - Memmap.ram_base) / 2)
+  else if Memmap.in_rom addr then t.rom.((addr - Memmap.rom_base) / 2)
+  else if addr = Memmap.p1in then t.p1in
+  else if addr = Memmap.p1out then t.p1out
+  else if addr = Memmap.wdtctl then 0x6900 lor (t.wdt land 0xFF)
+  else if addr = Memmap.sfr_ie1 then t.ie1
+  else if addr = Memmap.sfr_ifg1 then t.ifg1
+  else if addr = Memmap.mpy || addr = Memmap.mpys then t.mpy_op1
+  else if addr = Memmap.op2 then t.mpy_op2
+  else if addr = Memmap.reslo then t.reslo
+  else if addr = Memmap.reshi then t.reshi
+  else if addr = Memmap.sumext then t.sumext
+  else raise (Mem_fault addr)
+
+let write_word t addr w =
+  let addr = m16 addr and w = m16 w in
+  if addr land 1 <> 0 then raise (Mem_fault addr);
+  if Memmap.in_ram addr then t.ram.((addr - Memmap.ram_base) / 2) <- w
+  else if addr = Memmap.p1out then t.p1out <- w
+  else if addr = Memmap.wdtctl then t.wdt <- w land 0xFF
+  else if addr = Memmap.sfr_ie1 then t.ie1 <- w
+  else if addr = Memmap.sfr_ifg1 then t.ifg1 <- w
+  else if addr = Memmap.mpy then begin
+    t.mpy_op1 <- w;
+    t.mpy_signed <- false
+  end
+  else if addr = Memmap.mpys then begin
+    t.mpy_op1 <- w;
+    t.mpy_signed <- true
+  end
+  else if addr = Memmap.op2 then begin
+    t.mpy_op2 <- w;
+    do_multiply t
+  end
+  else if addr = Memmap.reslo then t.reslo <- w
+  else if addr = Memmap.reshi then t.reshi <- w
+  else raise (Mem_fault addr)
+
+let load_ram t ~addr ws =
+  List.iteri (fun i w -> write_word t (addr + (2 * i)) w) ws
+
+(* Status register bits *)
+let bit_c = 0x0001
+let bit_z = 0x0002
+let bit_n = 0x0004
+let bit_v = 0x0100
+
+let flag_c t = t.regs.(2) land bit_c <> 0
+let flag_z t = t.regs.(2) land bit_z <> 0
+let flag_n t = t.regs.(2) land bit_n <> 0
+let flag_v t = t.regs.(2) land bit_v <> 0
+
+let set_flags t ~c ~z ~n ~v =
+  let sr = t.regs.(2) land lnot (bit_c lor bit_z lor bit_n lor bit_v) in
+  t.regs.(2) <-
+    sr
+    lor (if c then bit_c else 0)
+    lor (if z then bit_z else 0)
+    lor (if n then bit_n else 0)
+    lor if v then bit_v else 0
+
+let zn r = (r = 0, r land 0x8000 <> 0)
+
+(* ALU with MSP430 flag semantics (word ops). Returns (result, flag
+   update option); [None] means flags unchanged. *)
+let alu1 t (op : Insn.op1) ~src ~dst =
+  let module I = Insn in
+  match op with
+  | I.MOV -> (src, true)
+  | I.ADD | I.ADDC ->
+    let cin = if op = I.ADDC && flag_c t then 1 else 0 in
+    let sum = dst + src + cin in
+    let r = m16 sum in
+    let z, n = zn r in
+    let v = lnot (dst lxor src) land (dst lxor r) land 0x8000 <> 0 in
+    set_flags t ~c:(sum > 0xFFFF) ~z ~n ~v;
+    (r, true)
+  | I.SUB | I.SUBC | I.CMP ->
+    let cin =
+      if op = I.SUBC then if flag_c t then 1 else 0
+      else 1
+    in
+    let sum = dst + m16 (lnot src) + cin in
+    let r = m16 sum in
+    let z, n = zn r in
+    let v = (dst lxor src) land (dst lxor r) land 0x8000 <> 0 in
+    set_flags t ~c:(sum > 0xFFFF) ~z ~n ~v;
+    ((if op = I.CMP then dst else r), op <> I.CMP)
+  | I.BIT | I.AND ->
+    let r = dst land src in
+    let z, n = zn r in
+    set_flags t ~c:(not z) ~z ~n ~v:false;
+    ((if op = I.BIT then dst else r), op <> I.BIT)
+  | I.XOR ->
+    let r = dst lxor src in
+    let z, n = zn r in
+    let v = dst land src land 0x8000 <> 0 in
+    set_flags t ~c:(not z) ~z ~n ~v;
+    (r, true)
+  | I.BIC -> (dst land m16 (lnot src), true)
+  | I.BIS -> (dst lor src, true)
+
+let cond_met t (c : Insn.cond) =
+  match c with
+  | Insn.JNE -> not (flag_z t)
+  | Insn.JEQ -> flag_z t
+  | Insn.JNC -> not (flag_c t)
+  | Insn.JC -> flag_c t
+  | Insn.JN -> flag_n t
+  | Insn.JGE -> flag_n t = flag_v t
+  | Insn.JL -> flag_n t <> flag_v t
+  | Insn.JMP -> true
+
+let lit = function
+  | Insn.Lit n -> m16 n
+  | Insn.Sym _ | Insn.Sym_off _ ->
+    invalid_arg "Iss: unresolved symbol (decode always yields literals)"
+
+(* Evaluate a source operand. Auto-increment side effects happen here,
+   before the destination write, matching the gate CPU's SRC_READ
+   state. *)
+let eval_src t (s : Insn.src) =
+  match s with
+  | Insn.S_reg r -> t.regs.(r)
+  | Insn.S_imm v -> lit v
+  | Insn.S_idx (v, r) -> read_word t (m16 (t.regs.(r) + lit v))
+  | Insn.S_ind r -> read_word t t.regs.(r)
+  | Insn.S_ind_inc r ->
+    let w = read_word t t.regs.(r) in
+    t.regs.(r) <- m16 (t.regs.(r) + 2);
+    w
+  | Insn.S_abs v -> read_word t (lit v)
+
+let dst_value t (d : Insn.dst) =
+  match d with
+  | Insn.D_reg r -> t.regs.(r)
+  | Insn.D_idx (v, r) -> read_word t (m16 (t.regs.(r) + lit v))
+  | Insn.D_abs v -> read_word t (lit v)
+
+let write_dst t (d : Insn.dst) w =
+  match d with
+  | Insn.D_reg r -> t.regs.(r) <- m16 w
+  | Insn.D_idx (v, r) -> write_word t (m16 (t.regs.(r) + lit v)) w
+  | Insn.D_abs v -> write_word t (lit v) w
+
+let push t w =
+  t.regs.(1) <- m16 (t.regs.(1) - 2);
+  write_word t t.regs.(1) w
+
+let step t =
+  if t.halted then ()
+  else begin
+    let pc0 = t.regs.(0) in
+    if pc0 = t.halt_addr then t.halted <- true
+    else begin
+      let w = read_word t pc0 in
+      let ext1 = if Memmap.in_rom (pc0 + 2) then read_word t (m16 (pc0 + 2)) else 0 in
+      let ext2 = if Memmap.in_rom (pc0 + 4) then read_word t (m16 (pc0 + 4)) else 0 in
+      let { Insn.instr; n_ext } =
+        try Insn.decode w ~ext1 ~ext2 ~pc:pc0 with Insn.Decode_error w -> raise (Illegal w)
+      in
+      t.regs.(0) <- m16 (pc0 + 2 + (2 * n_ext));
+      (match instr with
+      | Insn.I1 (op, s, d) ->
+        let src = eval_src t s in
+        let dstv = if Insn.op1_reads_dst op then dst_value t d else 0 in
+        let r, write = alu1 t op ~src ~dst:dstv in
+        if write then write_dst t d r
+      | Insn.I2 (op, s) -> begin
+        match op with
+        | Insn.PUSH ->
+          let v = eval_src t s in
+          push t v
+        | Insn.CALL ->
+          (* The operand is an address; for @Rn etc. it is the word read
+             from memory, for #imm the literal. *)
+          let target =
+            match s with
+            | Insn.S_imm v -> lit v
+            | Insn.S_reg r -> t.regs.(r)
+            | _ -> eval_src t s
+          in
+          push t t.regs.(0);
+          t.regs.(0) <- target
+        | Insn.RRA | Insn.RRC | Insn.SWPB | Insn.SXT ->
+          let operand, write_back =
+            match s with
+            | Insn.S_reg r -> (t.regs.(r), fun w -> t.regs.(r) <- w)
+            | Insn.S_ind r ->
+              let a = t.regs.(r) in
+              (read_word t a, fun w -> write_word t a w)
+            | Insn.S_idx (v, r) ->
+              let a = m16 (t.regs.(r) + lit v) in
+              (read_word t a, fun w -> write_word t a w)
+            | Insn.S_abs v ->
+              let a = lit v in
+              (read_word t a, fun w -> write_word t a w)
+            | Insn.S_ind_inc _ | Insn.S_imm _ ->
+              raise (Illegal w)
+          in
+          let r =
+            match op with
+            | Insn.RRA ->
+              let r = (operand lsr 1) lor (operand land 0x8000) in
+              let z, n = zn r in
+              set_flags t ~c:(operand land 1 <> 0) ~z ~n ~v:false;
+              r
+            | Insn.RRC ->
+              let r = (operand lsr 1) lor (if flag_c t then 0x8000 else 0) in
+              let z, n = zn r in
+              set_flags t ~c:(operand land 1 <> 0) ~z ~n ~v:false;
+              r
+            | Insn.SWPB -> ((operand land 0xFF) lsl 8) lor (operand lsr 8)
+            | Insn.SXT ->
+              let r = m16 (if operand land 0x80 <> 0 then operand lor 0xFF00 else operand land 0xFF) in
+              let z, n = zn r in
+              set_flags t ~c:(not z) ~z ~n ~v:false;
+              r
+            | Insn.PUSH | Insn.CALL -> assert false
+          in
+          write_back (m16 r)
+        end
+      | Insn.J (c, v) -> if cond_met t c then t.regs.(0) <- lit v
+      | Insn.RETI ->
+        t.regs.(2) <- read_word t t.regs.(1);
+        t.regs.(1) <- m16 (t.regs.(1) + 2);
+        t.regs.(0) <- read_word t t.regs.(1);
+        t.regs.(1) <- m16 (t.regs.(1) + 2));
+      t.cycles <- t.cycles + Insn.cycles instr;
+      t.insn_count <- t.insn_count + 1
+    end
+  end
+
+let run ?(max_insns = 1_000_000) t =
+  let n = ref 0 in
+  while (not t.halted) && !n < max_insns do
+    step t;
+    incr n
+  done;
+  if not t.halted then failwith "Iss.run: instruction budget exhausted"

@@ -1,0 +1,62 @@
+(** Reference instruction-set simulator.
+
+    A concrete (two-valued) interpreter for the MSP430 subset, including
+    the memory-mapped multiplier, watchdog control, SFRs and port 1. It
+    is the executable specification of {!Cpu}: the gate-level processor
+    is validated by lockstep comparison of architectural state against
+    this interpreter, and it charges exactly the cycle counts of
+    {!Insn.cycles}. *)
+
+type t = {
+  regs : int array;  (** 16 registers, 16-bit values *)
+  ram : int array;  (** word-indexed *)
+  rom : int array;  (** word-indexed *)
+  mutable mpy_op1 : int;
+  mutable mpy_signed : bool;
+  mutable mpy_op2 : int;
+  mutable reslo : int;
+  mutable reshi : int;
+  mutable sumext : int;
+  mutable wdt : int;
+  mutable p1out : int;
+  mutable ie1 : int;
+  mutable ifg1 : int;
+  mutable p1in : int;  (** drive externally before port reads *)
+  mutable cycles : int;
+  mutable insn_count : int;
+  mutable halted : bool;
+  halt_addr : int;
+}
+
+exception Mem_fault of int  (** unmapped or misaligned access *)
+
+exception Illegal of int  (** undecodable opcode word *)
+
+(** [create image] loads the image's words (ROM contents and reset
+    vector), zero-fills RAM, and sets the PC from the reset vector. *)
+val create : Asm.image -> t
+
+(** [write_word t addr w] stores through the full memory map (RAM and
+    peripherals; ROM is read-only and faults). *)
+val write_word : t -> int -> int -> unit
+
+val read_word : t -> int -> int
+
+(** [load_ram t ~addr ws] poke words into RAM (input data for concrete
+    profiling runs). *)
+val load_ram : t -> addr:int -> int list -> unit
+
+(** Execute one instruction; updates [cycles] by {!Insn.cycles}. Sets
+    [halted] when the halt self-jump is reached. *)
+val step : t -> unit
+
+(** [run ?max_insns t] steps until halted. Raises [Failure] if the
+    instruction budget (default 1_000_000) is exhausted. *)
+val run : ?max_insns:int -> t -> unit
+
+(** {1 Status register accessors} *)
+
+val flag_c : t -> bool
+val flag_z : t -> bool
+val flag_n : t -> bool
+val flag_v : t -> bool

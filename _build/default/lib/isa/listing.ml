@@ -1,0 +1,63 @@
+type line = {
+  addr : int;
+  words : int list;
+  text : string;
+  symbol : string option;
+}
+
+let lines (img : Asm.image) =
+  let word_at = Hashtbl.create 64 in
+  List.iter (fun (a, w) -> Hashtbl.replace word_at a w) img.Asm.words;
+  let symbol_at = Hashtbl.create 64 in
+  List.iter (fun (s, a) -> Hashtbl.replace symbol_at a s) img.Asm.symbols;
+  (* decode contiguous stretches; addresses in ascending order *)
+  let addrs = List.sort compare (List.map fst img.Asm.words) in
+  let out = ref [] in
+  let consumed = Hashtbl.create 64 in
+  List.iter
+    (fun a ->
+      if not (Hashtbl.mem consumed a) then begin
+        let w = Hashtbl.find word_at a in
+        let ext k = Option.value ~default:0 (Hashtbl.find_opt word_at (a + (2 * k))) in
+        let line =
+          match Insn.decode w ~ext1:(ext 1) ~ext2:(ext 2) ~pc:a with
+          | { Insn.instr; n_ext } ->
+            (* only treat as an instruction if its extension words exist *)
+            let have_exts =
+              List.for_all
+                (fun k -> Hashtbl.mem word_at (a + (2 * k)))
+                (List.init n_ext (fun k -> k + 1))
+            in
+            if have_exts then begin
+              let words = List.init (n_ext + 1) (fun k -> ext k) in
+              List.iteri
+                (fun k _ -> if k > 0 then Hashtbl.replace consumed (a + (2 * k)) ())
+                words;
+              { addr = a; words; text = Insn.to_string instr;
+                symbol = Hashtbl.find_opt symbol_at a }
+            end
+            else
+              { addr = a; words = [ w ]; text = Printf.sprintf ".word 0x%04x" w;
+                symbol = Hashtbl.find_opt symbol_at a }
+          | exception Insn.Decode_error _ ->
+            { addr = a; words = [ w ]; text = Printf.sprintf ".word 0x%04x" w;
+              symbol = Hashtbl.find_opt symbol_at a }
+        in
+        out := line :: !out
+      end)
+    addrs;
+  List.rev !out
+
+let to_string img =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun l ->
+      (match l.symbol with
+      | Some s -> Buffer.add_string buf (Printf.sprintf "%s:\n" s)
+      | None -> ());
+      Buffer.add_string buf
+        (Printf.sprintf "  %04x: %-14s %s\n" l.addr
+           (String.concat " " (List.map (Printf.sprintf "%04x") l.words))
+           l.text))
+    (lines img);
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Disassembly listings.
+
+    Renders an assembled image as an annotated listing: address,
+    encoded words, decoded instruction (or [.word] for data that does
+    not decode). Instruction boundaries are tracked by following the
+    decoder's extension-word consumption from the entry point. *)
+
+(** One listing line. *)
+type line = {
+  addr : int;
+  words : int list;  (** opcode word plus extension words *)
+  text : string;  (** mnemonic or [.word 0x....] *)
+  symbol : string option;  (** label defined at this address *)
+}
+
+val lines : Asm.image -> line list
+val to_string : Asm.image -> string

@@ -1,0 +1,29 @@
+(* Memory map shared by the reference ISS and the gate-level CPU. A
+   simplified MSP430 layout: 2 KB RAM, 8 KB ROM, and the standard
+   peripheral addresses used by the paper's benchmarks and
+   optimizations. *)
+
+let sfr_ie1 = 0x0000
+let sfr_ifg1 = 0x0002
+let p1in = 0x0020
+let p1out = 0x0022
+let wdtctl = 0x0120
+let mpy = 0x0130 (* unsigned multiply operand 1 *)
+let mpys = 0x0132 (* signed multiply operand 1 *)
+let op2 = 0x0138 (* operand 2; writing starts the multiply *)
+let reslo = 0x013A
+let reshi = 0x013C
+let sumext = 0x013E
+let ram_base = 0x0200
+let ram_size = 2048 (* bytes *)
+let ram_limit = ram_base + ram_size
+let rom_base = 0xE000
+let rom_size = 8192 (* bytes *)
+let reset_vector = 0xFFFE
+
+let in_ram a = a >= ram_base && a < ram_limit
+let in_rom a = a >= rom_base && a < 0x10000
+
+let is_peripheral a =
+  a = sfr_ie1 || a = sfr_ifg1 || a = p1in || a = p1out || a = wdtctl
+  || (a >= mpy && a <= sumext)

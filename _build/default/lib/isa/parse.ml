@@ -1,0 +1,322 @@
+exception Syntax_error of int * string
+
+let err line fmt = Printf.ksprintf (fun s -> raise (Syntax_error (line, s))) fmt
+
+(* ---------- lexical helpers ---------- *)
+
+let strip s =
+  let n = String.length s in
+  let is_ws c = c = ' ' || c = '\t' || c = '\r' in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && is_ws s.[!i] do incr i done;
+  while !j >= !i && is_ws s.[!j] do decr j done;
+  String.sub s !i (!j - !i + 1)
+
+let drop_comment s =
+  match String.index_opt s ';' with
+  | Some k -> String.sub s 0 k
+  | None -> s
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '.'
+
+let lowercase = String.lowercase_ascii
+
+(* split "mnemonic operands" *)
+let split_mnemonic s =
+  match String.index_opt s ' ' with
+  | None -> (
+    match String.index_opt s '\t' with
+    | None -> (s, "")
+    | Some k -> (String.sub s 0 k, strip (String.sub s k (String.length s - k))))
+  | Some k -> (String.sub s 0 k, strip (String.sub s k (String.length s - k)))
+
+(* split operands on top-level commas (no nesting to worry about) *)
+let split_operands s =
+  if strip s = "" then []
+  else List.map strip (String.split_on_char ',' s)
+
+(* ---------- values and registers ---------- *)
+
+let parse_number line s =
+  let s = strip s in
+  let neg, s =
+    if String.length s > 0 && s.[0] = '-' then
+      (true, String.sub s 1 (String.length s - 1))
+    else (false, s)
+  in
+  let v =
+    try
+      if String.length s > 2 && (String.sub s 0 2 = "0x" || String.sub s 0 2 = "0X")
+      then int_of_string s
+      else int_of_string s
+    with Failure _ -> err line "bad number %S" s
+  in
+  if neg then -v else v
+
+let is_number s =
+  let s = strip s in
+  let s = if String.length s > 0 && s.[0] = '-' then String.sub s 1 (String.length s - 1) else s in
+  String.length s > 0
+  && (s.[0] >= '0' && s.[0] <= '9')
+
+let parse_value line s =
+  let s = strip s in
+  if is_number s then Insn.Lit (parse_number line s)
+  else begin
+    (* symbol, possibly symbol+off / symbol-off *)
+    let plus = String.index_opt s '+' in
+    let minus = String.rindex_opt s '-' in
+    match plus, minus with
+    | Some k, _ ->
+      Insn.Sym_off
+        (strip (String.sub s 0 k), parse_number line (String.sub s (k + 1) (String.length s - k - 1)))
+    | None, Some k when k > 0 ->
+      Insn.Sym_off
+        (strip (String.sub s 0 k), -parse_number line (String.sub s (k + 1) (String.length s - k - 1)))
+    | None, _ ->
+      if s = "" then err line "empty value";
+      String.iter (fun c -> if not (is_ident_char c) then err line "bad symbol %S" s) s;
+      Insn.Sym s
+  end
+
+let parse_reg line s =
+  match lowercase (strip s) with
+  | "pc" | "r0" -> 0
+  | "sp" | "r1" -> 1
+  | "sr" | "r2" -> 2
+  | "cg" | "r3" -> 3
+  | s when String.length s >= 2 && s.[0] = 'r' -> (
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some n when n >= 0 && n <= 15 -> n
+    | _ -> err line "bad register %S" s)
+  | s -> err line "bad register %S" s
+
+let reg_opt s =
+  match lowercase (strip s) with
+  | "pc" | "r0" -> Some 0
+  | "sp" | "r1" -> Some 1
+  | "sr" | "r2" -> Some 2
+  | "cg" | "r3" -> Some 3
+  | s when String.length s >= 2 && s.[0] = 'r' -> (
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some n when n >= 0 && n <= 15 -> Some n
+    | _ -> None)
+  | _ -> None
+
+(* ---------- operands ---------- *)
+
+let parse_src line s =
+  let s = strip s in
+  if s = "" then err line "missing operand";
+  if s.[0] = '#' then Insn.S_imm (parse_value line (String.sub s 1 (String.length s - 1)))
+  else if s.[0] = '&' then Insn.S_abs (parse_value line (String.sub s 1 (String.length s - 1)))
+  else if s.[0] = '@' then begin
+    let rest = String.sub s 1 (String.length s - 1) in
+    if String.length rest > 0 && rest.[String.length rest - 1] = '+' then
+      Insn.S_ind_inc (parse_reg line (String.sub rest 0 (String.length rest - 1)))
+    else Insn.S_ind (parse_reg line rest)
+  end
+  else
+    match String.index_opt s '(' with
+    | Some k ->
+      let close =
+        match String.index_opt s ')' with
+        | Some c when c > k -> c
+        | _ -> err line "unbalanced parentheses in %S" s
+      in
+      let off = parse_value line (String.sub s 0 k) in
+      let r = parse_reg line (String.sub s (k + 1) (close - k - 1)) in
+      Insn.S_idx (off, r)
+    | None -> (
+      match reg_opt s with
+      | Some r -> Insn.S_reg r
+      | None -> err line "bad source operand %S" s)
+
+let parse_dst line s =
+  match parse_src line s with
+  | Insn.S_reg r -> Insn.D_reg r
+  | Insn.S_idx (v, r) -> Insn.D_idx (v, r)
+  | Insn.S_abs v -> Insn.D_abs v
+  | Insn.S_imm _ | Insn.S_ind _ | Insn.S_ind_inc _ ->
+    err line "bad destination operand %S" s
+
+(* ---------- instructions ---------- *)
+
+let op1_of_name = function
+  | "mov" -> Some Insn.MOV
+  | "add" -> Some Insn.ADD
+  | "addc" -> Some Insn.ADDC
+  | "subc" | "sbc" -> Some Insn.SUBC
+  | "sub" -> Some Insn.SUB
+  | "cmp" -> Some Insn.CMP
+  | "bit" -> Some Insn.BIT
+  | "bic" -> Some Insn.BIC
+  | "bis" -> Some Insn.BIS
+  | "xor" -> Some Insn.XOR
+  | "and" -> Some Insn.AND
+  | _ -> None
+
+let op2_of_name = function
+  | "rrc" -> Some Insn.RRC
+  | "swpb" -> Some Insn.SWPB
+  | "rra" -> Some Insn.RRA
+  | "sxt" -> Some Insn.SXT
+  | "push" -> Some Insn.PUSH
+  | "call" -> Some Insn.CALL
+  | _ -> None
+
+let cond_of_name = function
+  | "jne" | "jnz" -> Some Insn.JNE
+  | "jeq" | "jz" -> Some Insn.JEQ
+  | "jnc" | "jlo" -> Some Insn.JNC
+  | "jc" | "jhs" -> Some Insn.JC
+  | "jn" -> Some Insn.JN
+  | "jge" -> Some Insn.JGE
+  | "jl" -> Some Insn.JL
+  | "jmp" -> Some Insn.JMP
+  | _ -> None
+
+let parse_instr_line line text =
+  let mnemonic, rest = split_mnemonic (strip text) in
+  let mnemonic = lowercase mnemonic in
+  let mnemonic =
+    if String.length mnemonic > 2 && String.sub mnemonic (String.length mnemonic - 2) 2 = ".w"
+    then String.sub mnemonic 0 (String.length mnemonic - 2)
+    else if
+      String.length mnemonic > 2
+      && String.sub mnemonic (String.length mnemonic - 2) 2 = ".b"
+    then err line "byte operations are not supported (word-only subset)"
+    else mnemonic
+  in
+  let ops = split_operands rest in
+  let one () =
+    match ops with [ a ] -> a | _ -> err line "%s expects one operand" mnemonic
+  in
+  let two () =
+    match ops with
+    | [ a; b ] -> (a, b)
+    | _ -> err line "%s expects two operands" mnemonic
+  in
+  let none () =
+    match ops with [] -> () | _ -> err line "%s expects no operands" mnemonic
+  in
+  match op1_of_name mnemonic with
+  | Some op ->
+    let s, d = two () in
+    Insn.I1 (op, parse_src line s, parse_dst line d)
+  | None -> (
+    match op2_of_name mnemonic with
+    | Some op -> Insn.I2 (op, parse_src line (one ()))
+    | None -> (
+      match cond_of_name mnemonic with
+      | Some c -> Insn.J (c, parse_value line (one ()))
+      | None -> (
+        match mnemonic with
+        | "reti" ->
+          none ();
+          Insn.RETI
+        | "nop" ->
+          none ();
+          Insn.nop
+        | "ret" ->
+          none ();
+          Insn.ret
+        | "pop" -> Insn.pop (parse_reg line (one ()))
+        | "br" -> Insn.br (parse_src line (one ()))
+        | "clr" -> Insn.clr (parse_reg line (one ()))
+        | "inc" -> Insn.inc_r (parse_reg line (one ()))
+        | "dec" -> Insn.dec_r (parse_reg line (one ()))
+        | "tst" -> Insn.tst (parse_reg line (one ()))
+        | "clrc" ->
+          none ();
+          Insn.I1 (Insn.BIC, Insn.S_imm (Insn.Lit 1), Insn.D_reg 2)
+        | "setc" ->
+          none ();
+          Insn.I1 (Insn.BIS, Insn.S_imm (Insn.Lit 1), Insn.D_reg 2)
+        | "clrz" ->
+          none ();
+          Insn.I1 (Insn.BIC, Insn.S_imm (Insn.Lit 2), Insn.D_reg 2)
+        | "clrn" ->
+          none ();
+          Insn.I1 (Insn.BIC, Insn.S_imm (Insn.Lit 4), Insn.D_reg 2)
+        | _ -> err line "unknown mnemonic %S" mnemonic)))
+
+let instr text = parse_instr_line 0 text
+
+(* ---------- whole programs ---------- *)
+
+type pending_section = { org : int; mutable rev_items : Asm.item list }
+
+let program ~name text =
+  let lines = String.split_on_char '\n' text in
+  let sections = ref [] in
+  let current = ref { org = Memmap.rom_base; rev_items = [] } in
+  let has_halt = ref false in
+  let push_section () =
+    if !current.rev_items <> [] then
+      sections := { !current with rev_items = !current.rev_items } :: !sections
+  in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let s = strip (drop_comment raw) in
+      if s <> "" then begin
+        (* labels: one or more "ident:" prefixes *)
+        let rec eat_labels s =
+          match String.index_opt s ':' with
+          | Some k
+            when k > 0
+                 && String.for_all is_ident_char (String.sub s 0 k)
+                 && not (is_number (String.sub s 0 k)) ->
+            let label = String.sub s 0 k in
+            if label = "_halt" then has_halt := true;
+            !current.rev_items <- Asm.Label label :: !current.rev_items;
+            eat_labels (strip (String.sub s (k + 1) (String.length s - k - 1)))
+          | _ -> s
+        in
+        let s = eat_labels s in
+        if s <> "" then begin
+          if s.[0] = '.' then begin
+            let d, rest = split_mnemonic s in
+            match lowercase d with
+            | ".org" ->
+              push_section ();
+              current := { org = parse_number line rest; rev_items = [] }
+            | ".word" ->
+              List.iter
+                (fun w ->
+                  !current.rev_items <-
+                    Asm.Word (parse_value line w) :: !current.rev_items)
+                (split_operands rest)
+            | d -> err line "unknown directive %S" d
+          end
+          else
+            !current.rev_items <- Asm.I (parse_instr_line line s) :: !current.rev_items
+        end
+      end)
+    lines;
+  push_section ();
+  let sections = List.rev !sections in
+  let sections =
+    List.map
+      (fun s -> { Asm.org = s.org; items = List.rev s.rev_items })
+      sections
+  in
+  let sections =
+    if sections = [] then err 0 "empty program"
+    else if !has_halt then sections
+    else
+      (* append the halt epilogue to the section holding the entry *)
+      let has_start items =
+        List.exists (function Asm.Label "start" -> true | _ -> false) items
+      in
+      List.map
+        (fun (sec : Asm.section) ->
+          if has_start sec.Asm.items then
+            { sec with Asm.items = sec.Asm.items @ Asm.halt_items }
+          else sec)
+        sections
+  in
+  { Asm.name; entry = "start"; sections }

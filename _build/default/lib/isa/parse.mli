@@ -1,0 +1,41 @@
+(** Text-format assembler.
+
+    Parses MSP430-subset assembly source into an {!Asm.program}, so
+    applications can be brought to the tool as [.s] files rather than
+    OCaml ASTs. The accepted syntax is the conventional MSP430 one:
+
+    {v
+        ; comment
+        .org 0xE000          ; section origin (default 0xE000)
+    start:
+        mov   #0x5A80, &0x0120
+        mov   &in, r4
+        cmp   #5, r4
+        jeq   equal
+        mov   #1, r5
+        jmp   _halt
+    equal:
+        mov   #2, r5
+    _halt:
+        jmp   _halt
+    in:  .word 0x1234, 7, start
+    v}
+
+    Mnemonics: the Format-I/II/jump instructions of {!Insn} plus the
+    standard emulated forms (nop, pop, ret, br, clr, inc, dec, tst,
+    clrc, setc, clrz, clrn). [.w] suffixes are accepted; [.b] is
+    rejected (word-only subset). Operands: [#imm], [&abs], [@rn],
+    [@rn+], [off(rn)], [rN]/[pc]/[sp]/[sr], and symbols wherever a
+    value may appear. Numbers are decimal, [0x..] hex, or ['-']
+    negated. *)
+
+exception Syntax_error of int * string  (** line number, message *)
+
+(** [program ~name text] parses a full source file. The entry point is
+    the label [start] (must exist); a [_halt] self-jump is appended if
+    the source does not define [_halt]. *)
+val program : name:string -> string -> Asm.program
+
+(** [instr text] parses a single instruction line (no labels or
+    directives) — handy for tests and tooling. *)
+val instr : string -> Insn.instr

@@ -1,0 +1,294 @@
+type cell =
+  | Input
+  | Const of Tri.t
+  | Buf
+  | Inv
+  | And2
+  | Or2
+  | Nand2
+  | Nor2
+  | Xor2
+  | Xnor2
+  | Mux2
+  | Dff
+  | Dffe
+
+let cell_name = function
+  | Input -> "input"
+  | Const Tri.Zero -> "const0"
+  | Const Tri.One -> "const1"
+  | Const Tri.X -> "constx"
+  | Buf -> "buf"
+  | Inv -> "inv"
+  | And2 -> "and2"
+  | Or2 -> "or2"
+  | Nand2 -> "nand2"
+  | Nor2 -> "nor2"
+  | Xor2 -> "xor2"
+  | Xnor2 -> "xnor2"
+  | Mux2 -> "mux2"
+  | Dff -> "dff"
+  | Dffe -> "dffe"
+
+let cell_arity = function
+  | Input | Const _ -> 0
+  | Buf | Inv | Dff -> 1
+  | And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2 | Dffe -> 2
+  | Mux2 -> 3
+
+let is_sequential = function
+  | Dff | Dffe -> true
+  | Input | Const _ | Buf | Inv | And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2
+  | Mux2 ->
+    false
+
+type gate = { id : int; cell : cell; fanins : int array; module_id : int }
+
+type t = {
+  gates : gate array;
+  module_names : string array;
+  net_names : (string * int) list;
+  topo : int array;
+  dffs : int array;
+  inputs : int array;
+  fanouts : int array array;
+}
+
+let gate_count nl = Array.length nl.gates
+let dff_count nl = Array.length nl.dffs
+
+let find_net nl name =
+  match List.assoc_opt name nl.net_names with
+  | Some id -> id
+  | None -> invalid_arg (Printf.sprintf "Netlist.find_net: no net %S" name)
+
+let module_of nl id = nl.module_names.(nl.gates.(id).module_id)
+
+exception Combinational_loop of int list
+
+module Builder = struct
+  type netlist = t
+
+  type pending = {
+    mutable p_cell : cell;
+    mutable p_fanins : int array;
+    p_module : int;
+  }
+
+  type t = {
+    mutable rev_gates : pending list;
+    mutable by_id : pending array;
+    mutable count : int;
+    mutable modules : string list;  (* reversed *)
+    mutable module_count : int;
+    mutable current_module : int;
+    mutable names : (string * int) list;
+  }
+
+  let create () =
+    {
+      rev_gates = [];
+      by_id = [||];
+      count = 0;
+      modules = [ "top" ];
+      module_count = 1;
+      current_module = 0;
+      names = [];
+    }
+
+  let set_module b name =
+    let rec find i = function
+      | [] -> None
+      | m :: _ when String.equal m name -> Some (b.module_count - 1 - i)
+      | _ :: rest -> find (i + 1) rest
+    in
+    match find 0 b.modules with
+    | Some id -> b.current_module <- id
+    | None ->
+      b.modules <- name :: b.modules;
+      b.current_module <- b.module_count;
+      b.module_count <- b.module_count + 1
+
+  let push b p =
+    b.rev_gates <- p :: b.rev_gates;
+    let id = b.count in
+    b.count <- id + 1;
+    id
+
+  let add_raw b cell fanins =
+    push b { p_cell = cell; p_fanins = fanins; p_module = b.current_module }
+
+  let add_input b = add_raw b Input [||]
+  let add_const b v = add_raw b (Const v) [||]
+
+  let add_gate b cell fanins =
+    let arity = cell_arity cell in
+    if Array.length fanins <> arity then
+      invalid_arg
+        (Printf.sprintf "Netlist.Builder.add_gate: %s expects %d fanins, got %d"
+           (cell_name cell) arity (Array.length fanins));
+    if not (is_sequential cell) then
+      Array.iter
+        (fun f ->
+          if f < 0 || f >= b.count then
+            invalid_arg
+              (Printf.sprintf
+                 "Netlist.Builder.add_gate: forward combinational fanin %d" f))
+        fanins;
+    add_raw b cell fanins
+
+  let add_dff b = add_raw b Dff [| -1 |]
+  let add_dffe b = add_raw b Dffe [| -1; -1 |]
+
+  let finalize_ids b =
+    if Array.length b.by_id <> b.count then
+      b.by_id <- Array.of_list (List.rev b.rev_gates)
+
+  let set_dff_input b dff d =
+    finalize_ids b;
+    if dff < 0 || dff >= b.count then invalid_arg "set_dff_input: bad dff id";
+    let p = b.by_id.(dff) in
+    (match p.p_cell with
+    | Dff -> ()
+    | _ -> invalid_arg "set_dff_input: target is not a dff");
+    p.p_fanins <- [| d |]
+
+  let set_dffe_inputs b dff ~en ~d =
+    finalize_ids b;
+    if dff < 0 || dff >= b.count then invalid_arg "set_dffe_inputs: bad dff id";
+    let p = b.by_id.(dff) in
+    (match p.p_cell with
+    | Dffe -> ()
+    | _ -> invalid_arg "set_dffe_inputs: target is not a dffe");
+    p.p_fanins <- [| en; d |]
+
+  let name_net b name id =
+    if id < 0 || id >= b.count then invalid_arg "name_net: bad net id";
+    b.names <- (name, id) :: b.names
+
+  let freeze b =
+    finalize_ids b;
+    let n = b.count in
+    let gates =
+      Array.mapi
+        (fun id p ->
+          Array.iter
+            (fun f ->
+              if f < 0 || f >= n then
+                invalid_arg
+                  (Printf.sprintf "Netlist.freeze: gate %d has dangling fanin"
+                     id))
+            p.p_fanins;
+          { id; cell = p.p_cell; fanins = p.p_fanins; module_id = p.p_module })
+        b.by_id
+    in
+    let module_names =
+      let arr = Array.of_list (List.rev b.modules) in
+      arr
+    in
+    (* Topological sort of combinational gates; Dff/Input/Const are
+       sources whose values exist before combinational evaluation. *)
+    let state = Array.make n 0 (* 0 unvisited, 1 in progress, 2 done *) in
+    let order = ref [] in
+    let rec visit id stack =
+      match state.(id) with
+      | 2 -> ()
+      | 1 -> raise (Combinational_loop (id :: stack))
+      | _ ->
+        let g = gates.(id) in
+        if is_sequential g.cell || g.cell = Input then state.(id) <- 2
+        else begin
+          state.(id) <- 1;
+          Array.iter (fun f -> visit f (id :: stack)) g.fanins;
+          state.(id) <- 2;
+          match g.cell with
+          | Const _ | Input | Dff | Dffe -> ()
+          | Buf | Inv | And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2 | Mux2 ->
+            order := id :: !order
+        end
+    in
+    for id = 0 to n - 1 do
+      visit id []
+    done;
+    (* Dff data inputs participate in no combinational cycle check beyond
+       their cone, which [visit] already covered from each gate. Also walk
+       them so purely-registered cones are ordered. *)
+    let topo = Array.of_list (List.rev !order) in
+    let dffs =
+      Array.of_seq
+        (Seq.filter
+           (fun id -> match gates.(id).cell with Dff | Dffe -> true | _ -> false)
+           (Seq.init n (fun i -> i)))
+    in
+    let inputs =
+      Array.of_seq
+        (Seq.filter (fun id -> gates.(id).cell = Input)
+           (Seq.init n (fun i -> i)))
+    in
+    let fanout_counts = Array.make n 0 in
+    Array.iter
+      (fun g ->
+        Array.iter (fun f -> fanout_counts.(f) <- fanout_counts.(f) + 1) g.fanins)
+      gates;
+    let fanouts = Array.map (fun c -> Array.make c 0) fanout_counts in
+    let fill = Array.make n 0 in
+    Array.iter
+      (fun g ->
+        Array.iter
+          (fun f ->
+            fanouts.(f).(fill.(f)) <- g.id;
+            fill.(f) <- fill.(f) + 1)
+          g.fanins)
+      gates;
+    {
+      gates;
+      module_names;
+      net_names = b.names;
+      topo;
+      dffs;
+      inputs;
+      fanouts;
+    }
+end
+
+module Stats = struct
+  type counts = {
+    total : int;
+    sequential : int;
+    combinational : int;
+    by_cell : (string * int) list;
+    by_module : (string * int) list;
+  }
+
+  let bump tbl key =
+    Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+  let compute nl =
+    let cells = Hashtbl.create 16 and mods = Hashtbl.create 16 in
+    let seq = ref 0 in
+    Array.iter
+      (fun g ->
+        bump cells (cell_name g.cell);
+        bump mods nl.module_names.(g.module_id);
+        if is_sequential g.cell then incr seq)
+      nl.gates;
+    let sorted tbl =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    {
+      total = Array.length nl.gates;
+      sequential = !seq;
+      combinational = Array.length nl.gates - !seq;
+      by_cell = sorted cells;
+      by_module = sorted mods;
+    }
+
+  let pp fmt c =
+    Format.fprintf fmt "gates: %d (%d seq, %d comb)@." c.total c.sequential
+      c.combinational;
+    Format.fprintf fmt "by cell:@.";
+    List.iter (fun (k, v) -> Format.fprintf fmt "  %-8s %6d@." k v) c.by_cell;
+    Format.fprintf fmt "by module:@.";
+    List.iter (fun (k, v) -> Format.fprintf fmt "  %-14s %6d@." k v) c.by_module
+end

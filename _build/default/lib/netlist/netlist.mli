@@ -1,0 +1,113 @@
+(** Gate-level netlist intermediate representation.
+
+    A netlist is a flat array of gates; each gate drives exactly one net
+    and the gate's index {e is} the net id. State elements are single-clock
+    D flip-flops ([Dff]); synchronous enables and resets are built from
+    muxes by the {!Rtl} layer. Every gate carries a module tag
+    (e.g. ["exec_unit"], ["multiplier"]) used for per-module power
+    breakdowns (paper, Fig. 3.6). *)
+
+type cell =
+  | Input  (** primary input; value driven externally each cycle *)
+  | Const of Tri.t
+  | Buf
+  | Inv
+  | And2
+  | Or2
+  | Nand2
+  | Nor2
+  | Xor2
+  | Xnor2
+  | Mux2  (** fanins [[|sel; a; b|]]: [a] when [sel=0], [b] when [sel=1] *)
+  | Dff  (** fanins [[|d|]]; output updates to [d] at the clock edge *)
+  | Dffe
+      (** fanins [[|en; d|]]; loads [d] when [en]=1, holds when [en]=0.
+          Holds are first-class (not a mux back to the output) so the
+          symbolic activity analysis can see that a held unknown value
+          cannot toggle. *)
+
+val cell_name : cell -> string
+val cell_arity : cell -> int
+val is_sequential : cell -> bool
+
+type gate = {
+  id : int;  (** equals the driven net id *)
+  cell : cell;
+  fanins : int array;
+  module_id : int;
+}
+
+type t = private {
+  gates : gate array;
+  module_names : string array;
+  net_names : (string * int) list;  (** probe name -> net id *)
+  topo : int array;  (** combinational gates, fanins-first order *)
+  dffs : int array;
+  inputs : int array;
+  fanouts : int array array;  (** per net: ids of gates reading it *)
+}
+
+val gate_count : t -> int
+val dff_count : t -> int
+val find_net : t -> string -> int
+
+(** [module_of nl id] is the module name of gate [id]. *)
+val module_of : t -> int -> string
+
+exception Combinational_loop of int list
+
+(** {1 Building}
+
+    A mutable builder; [freeze] levelizes and checks the design.
+    Raises {!Combinational_loop} (with a witness cycle) if a
+    combinational path feeds back on itself. *)
+
+module Builder : sig
+  type netlist = t
+  type t
+
+  val create : unit -> t
+
+  (** [set_module b name] makes [name] the module tag for subsequently
+      added gates. *)
+  val set_module : t -> string -> unit
+
+  val add_input : t -> int
+  val add_const : t -> Tri.t -> int
+
+  (** [add_gate b cell fanins] returns the new net id. Fanin net ids may
+      be forward references only for [Dff] data inputs — combinational
+      fanins must already exist. [Dff] data inputs may be patched later
+      with [set_dff_input]. *)
+  val add_gate : t -> cell -> int array -> int
+
+  (** [add_dff b] creates a flip-flop with a dangling data input, to be
+      connected with [set_dff_input] (needed for feedback paths such as
+      the PC). *)
+  val add_dff : t -> int
+
+  (** [add_dffe b] creates an enable-flop with dangling enable and data
+      inputs, to be connected with [set_dffe_inputs]. *)
+  val add_dffe : t -> int
+
+  val set_dff_input : t -> int -> int -> unit
+  val set_dffe_inputs : t -> int -> en:int -> d:int -> unit
+
+  val name_net : t -> string -> int -> unit
+  val freeze : t -> netlist
+end
+
+(** {1 Statistics} *)
+
+module Stats : sig
+  type counts = {
+    total : int;
+    sequential : int;
+    combinational : int;
+    by_cell : (string * int) list;
+    by_module : (string * int) list;
+  }
+
+  val compute : t -> counts
+  val pp : Format.formatter -> counts -> unit
+end

@@ -1,0 +1,122 @@
+type t = {
+  nl : Netlist.t;
+  period_ : float;
+  rise : float array;  (* per net: energy of a 0->1 output transition *)
+  fall : float array;
+  emax : float array;
+  base : float;
+  base_by_module : float array;
+  module_count : int;
+}
+
+let create ?(bus = [||]) ?(bus_cap = 450e-15) ?(module_scale = []) nl lib ~period =
+  let n = Netlist.gate_count nl in
+  let rise = Array.make n 0. and fall = Array.make n 0. and emax = Array.make n 0. in
+  for id = 0 to n - 1 do
+    let k =
+      match List.assoc_opt (Netlist.module_of nl id) module_scale with
+      | Some k -> k
+      | None -> 1.
+    in
+    rise.(id) <- k *. Stdcell.switch_energy lib nl id ~rising:true;
+    fall.(id) <- k *. Stdcell.switch_energy lib nl id ~rising:false;
+    emax.(id) <- Float.max rise.(id) fall.(id)
+  done;
+  (* Lumped memory-macro access energy on the bus pins. *)
+  let bus_e = 0.5 *. bus_cap *. lib.Stdcell.vdd *. lib.Stdcell.vdd in
+  Array.iter
+    (fun id ->
+      rise.(id) <- rise.(id) +. bus_e;
+      fall.(id) <- fall.(id) +. bus_e;
+      emax.(id) <- emax.(id) +. bus_e)
+    bus;
+  let module_count = Array.length nl.Netlist.module_names in
+  let base_by_module = Array.make module_count 0. in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let leak = (lib.Stdcell.of_cell g.Netlist.cell).Stdcell.leakage in
+      let clk =
+        if Netlist.is_sequential g.Netlist.cell then
+          lib.Stdcell.clk_pin_energy /. period
+        else 0.
+      in
+      base_by_module.(g.Netlist.module_id) <-
+        base_by_module.(g.Netlist.module_id) +. leak +. clk)
+    nl.Netlist.gates;
+  let base = Array.fold_left ( +. ) 0. base_by_module in
+  { nl; period_ = period; rise; fall; emax; base; base_by_module; module_count }
+
+let netlist t = t.nl
+let period t = t.period_
+let base_power t = t.base
+
+(* Energy of one recorded delta under each mode. *)
+let delta_energy t ~max_mode packed =
+  let net, old_v, new_v = Gatesim.Trace.unpack packed in
+  match old_v, new_v with
+  | 0, 1 -> t.rise.(net)
+  | 1, 0 -> t.fall.(net)
+  | 0, 2 | 2, 1 ->
+    (* was/becomes unknown: the transition that may have happened is a
+       rise; count it when maximizing, and also when observing (an X
+       delta in an observed trace is already a modeling escape — be
+       conservative). *)
+    if max_mode then t.rise.(net) else t.rise.(net)
+  | 1, 2 | 2, 0 -> t.fall.(net)
+  | _ -> if max_mode then t.emax.(net) else 0.
+
+let cycle_energy t ~max_mode (cy : Gatesim.Trace.cycle) =
+  let e = ref 0. in
+  Array.iter (fun d -> e := !e +. delta_energy t ~max_mode d) cy.Gatesim.Trace.deltas;
+  if max_mode then
+    Array.iter
+      (fun net -> e := !e +. t.emax.(net))
+      cy.Gatesim.Trace.x_active;
+  !e
+
+let cycle_power_observed t cy = t.base +. (cycle_energy t ~max_mode:false cy /. t.period_)
+let cycle_power_max t cy = t.base +. (cycle_energy t ~max_mode:true cy /. t.period_)
+
+let trace_power t ~mode cycles =
+  let f =
+    match mode with `Observed -> cycle_power_observed t | `Max -> cycle_power_max t
+  in
+  Array.map f cycles
+
+let peak_of series =
+  let best = ref neg_infinity and at = ref 0 in
+  Array.iteri
+    (fun k p ->
+      if p > !best then begin
+        best := p;
+        at := k
+      end)
+    series;
+  (!best, !at)
+
+let trace_energy t ~mode cycles =
+  Array.fold_left ( +. ) 0. (trace_power t ~mode cycles) *. t.period_
+
+let module_breakdown t ~mode (cy : Gatesim.Trace.cycle) =
+  let max_mode = match mode with `Max -> true | `Observed -> false in
+  let acc = Array.copy t.base_by_module in
+  let add net e =
+    let m = t.nl.Netlist.gates.(net).Netlist.module_id in
+    acc.(m) <- acc.(m) +. (e /. t.period_)
+  in
+  Array.iter
+    (fun d ->
+      let net, _, _ = Gatesim.Trace.unpack d in
+      add net (delta_energy t ~max_mode d))
+    cy.Gatesim.Trace.deltas;
+  if max_mode then
+    Array.iter (fun net -> add net t.emax.(net)) cy.Gatesim.Trace.x_active;
+  Array.to_list
+    (Array.mapi (fun m p -> (t.nl.Netlist.module_names.(m), p)) acc)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let default_design_activity = 0.40
+
+let design_tool_power t ~activity =
+  let sw = Array.fold_left ( +. ) 0. t.emax in
+  t.base +. (activity *. sw /. t.period_)

@@ -1,0 +1,1 @@
+lib/report/context.ml: Baselines Benchprogs Core Cpu Hashtbl Optrun Poweran Printf Stdcell

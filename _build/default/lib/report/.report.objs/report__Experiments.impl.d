@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Array Baselines Benchprogs Bytes Char Context Core Cpu Format Gatesim Hashtbl Isa List Netlist Option Optrun Poweran Printf Render Rtl Sizing Stdcell String Tri

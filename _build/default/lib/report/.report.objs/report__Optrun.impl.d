@@ -1,0 +1,1 @@
+lib/report/optrun.ml: Benchprogs Core Isa List Poweran

@@ -1,0 +1,1 @@
+lib/report/render.ml: Array Buffer Float List Printf String

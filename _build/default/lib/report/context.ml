@@ -1,0 +1,116 @@
+(* Shared experiment context: the CPU is built once, and per-benchmark
+   analyses, profiles and stressmarks are computed on demand and
+   cached, so one harness process can regenerate every table and
+   figure without redundant simulation. *)
+
+type t = {
+  cpu : Cpu.t;
+  pa : Poweran.t;
+  pa_f1610 : Poweran.t;
+      (** the Chapter-2 measurement stand-in: 130 nm / 3 V / 8 MHz *)
+  analyses : (string, Core.Analyze.t) Hashtbl.t;
+  profiles : (string, Baselines.Profiling.result) Hashtbl.t;
+  profiles_f1610 : (string, Baselines.Profiling.result) Hashtbl.t;
+  mutable stress_peak : Baselines.Stressmark.result option;
+  mutable stress_avg : Baselines.Stressmark.result option;
+  opts : (string, Optrun.t) Hashtbl.t;
+  mutable log : string -> unit;
+}
+
+let create ?(log = fun s -> prerr_endline s) () =
+  let cpu = Cpu.build () in
+  let pa = Core.Analyze.poweran_for cpu in
+  let pa_f1610 =
+    Core.Analyze.poweran_for ~lib:Stdcell.msp430f1610 ~period:125e-9 cpu
+  in
+  {
+    cpu;
+    pa;
+    pa_f1610;
+    analyses = Hashtbl.create 16;
+    profiles = Hashtbl.create 16;
+    profiles_f1610 = Hashtbl.create 16;
+    stress_peak = None;
+    stress_avg = None;
+    opts = Hashtbl.create 16;
+    log;
+  }
+
+let period t = Poweran.period t.pa
+
+let analysis t (b : Benchprogs.Bench.t) =
+  match Hashtbl.find_opt t.analyses b.Benchprogs.Bench.name with
+  | Some a -> a
+  | None ->
+    t.log (Printf.sprintf "  [x-based analysis] %s" b.Benchprogs.Bench.name);
+    let config =
+      {
+        Core.Analyze.default_config with
+        Core.Analyze.loop_bound = b.Benchprogs.Bench.loop_bound;
+        max_paths = b.Benchprogs.Bench.max_paths;
+      }
+    in
+    let a = Core.Analyze.run ~config t.pa t.cpu (Benchprogs.Bench.assemble b) in
+    Hashtbl.replace t.analyses b.Benchprogs.Bench.name a;
+    a
+
+let profile t (b : Benchprogs.Bench.t) =
+  match Hashtbl.find_opt t.profiles b.Benchprogs.Bench.name with
+  | Some p -> p
+  | None ->
+    t.log (Printf.sprintf "  [profiling] %s" b.Benchprogs.Bench.name);
+    let p = Baselines.Profiling.run t.pa t.cpu b in
+    Hashtbl.replace t.profiles b.Benchprogs.Bench.name p;
+    p
+
+(* Chapter 2's bench measurements: same netlist, the F1610 operating
+   point. *)
+let profile_f1610 t (b : Benchprogs.Bench.t) =
+  match Hashtbl.find_opt t.profiles_f1610 b.Benchprogs.Bench.name with
+  | Some p -> p
+  | None ->
+    t.log (Printf.sprintf "  [profiling @130nm/3V/8MHz] %s" b.Benchprogs.Bench.name);
+    let p = Baselines.Profiling.run t.pa_f1610 t.cpu b in
+    Hashtbl.replace t.profiles_f1610 b.Benchprogs.Bench.name p;
+    p
+
+let stressmark_peak t =
+  match t.stress_peak with
+  | Some s -> s
+  | None ->
+    t.log "  [stressmark GA, peak-power fitness]";
+    let s = Baselines.Stressmark.run ~fitness:Baselines.Stressmark.Peak t.pa t.cpu in
+    t.stress_peak <- Some s;
+    s
+
+let stressmark_avg t =
+  match t.stress_avg with
+  | Some s -> s
+  | None ->
+    t.log "  [stressmark GA, average-power fitness]";
+    let s =
+      Baselines.Stressmark.run ~fitness:Baselines.Stressmark.Average t.pa t.cpu
+    in
+    t.stress_avg <- Some s;
+    s
+
+let design_peak t =
+  Poweran.design_tool_power t.pa ~activity:Poweran.default_design_activity
+
+(* The design-tool peak-energy rating assumes the rated power is drawn
+   every cycle: NPE = rated power * period. *)
+let design_npe t = design_peak t *. period t
+
+let optimization t (b : Benchprogs.Bench.t) =
+  match Hashtbl.find_opt t.opts b.Benchprogs.Bench.name with
+  | Some o -> o
+  | None ->
+    t.log (Printf.sprintf "  [optimizing] %s" b.Benchprogs.Bench.name);
+    let o = Optrun.greedy ~analysis:(analysis t b) t.pa t.cpu b in
+    Hashtbl.replace t.opts b.Benchprogs.Bench.name o;
+    o
+
+let x_peak a = a.Core.Analyze.peak_power
+let x_npe a = a.Core.Analyze.peak_energy.Core.Peak_energy.npe
+
+let all_benchmarks = Benchprogs.Bench.all

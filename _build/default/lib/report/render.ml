@@ -1,0 +1,63 @@
+(* ASCII rendering of tables and series for the experiment harness. *)
+
+let table ~header ~rows =
+  let cols = List.length header in
+  let widths = Array.make cols 0 in
+  List.iteri (fun i h -> widths.(i) <- String.length h) header;
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell)
+        row)
+    rows;
+  let buf = Buffer.create 1024 in
+  let line row =
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf (Printf.sprintf "%-*s" (widths.(i) + 2) cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  line header;
+  line (List.map (fun w -> String.make w '-') (Array.to_list (Array.sub widths 0 cols)));
+  List.iter line rows;
+  Buffer.contents buf
+
+let spark_chars = [| " "; "_"; "."; ":"; "-"; "="; "+"; "*"; "#"; "@" |]
+
+(* A textual sparkline: one character per bucket, height-coded. *)
+let series ?(width = 72) data =
+  let n = Array.length data in
+  if n = 0 then "(empty)"
+  else begin
+    let lo = Array.fold_left Float.min infinity data in
+    let hi = Array.fold_left Float.max neg_infinity data in
+    let buckets = min width n in
+    let per = float_of_int n /. float_of_int buckets in
+    let buf = Buffer.create (buckets + 16) in
+    for b = 0 to buckets - 1 do
+      let i0 = int_of_float (float_of_int b *. per) in
+      let i1 = min (n - 1) (int_of_float ((float_of_int (b + 1) *. per) -. 1.)) in
+      let m = ref neg_infinity in
+      for i = i0 to max i0 i1 do
+        if data.(i) > !m then m := data.(i)
+      done;
+      let level =
+        if hi -. lo < 1e-30 then 0
+        else
+          int_of_float
+            ((!m -. lo) /. (hi -. lo) *. float_of_int (Array.length spark_chars - 1))
+      in
+      Buffer.add_string buf spark_chars.(max 0 (min 9 level))
+    done;
+    Buffer.contents buf
+  end
+
+let mw w = Printf.sprintf "%.3f" (w *. 1e3)
+let pj e = Printf.sprintf "%.2f" (e *. 1e12)
+let pct x = Printf.sprintf "%.1f" x
+let npe_pj e = Printf.sprintf "%.3f" (e *. 1e12)
+
+let heading title =
+  let bar = String.make (String.length title) '=' in
+  Printf.sprintf "%s\n%s\n" title bar

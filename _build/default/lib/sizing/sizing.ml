@@ -1,0 +1,65 @@
+module Battery = struct
+  type t = { name : string; specific_energy : float; energy_density : float }
+
+  (* Table 1.1 *)
+  let all =
+    [
+      { name = "Li-ion"; specific_energy = 460.; energy_density = 1.152 };
+      { name = "Alkaline"; specific_energy = 400.; energy_density = 0.331 };
+      { name = "Carbon-zinc"; specific_energy = 130.; energy_density = 1.080 };
+      { name = "Ni-MH"; specific_energy = 340.; energy_density = 0.504 };
+      { name = "Ni-cad"; specific_energy = 140.; energy_density = 0.828 };
+      { name = "Lead-acid"; specific_energy = 146.; energy_density = 0.360 };
+    ]
+
+  let find name =
+    match List.find_opt (fun b -> String.equal b.name name) all with
+    | Some b -> b
+    | None -> invalid_arg ("Sizing.Battery.find: " ^ name)
+
+  let volume_l t ~energy_j = energy_j /. (t.energy_density *. 1e6)
+end
+
+module Harvester = struct
+  type t = { name : string; power_density : float }
+
+  (* Table 1.2, converted to W/cm^2 *)
+  let all =
+    [
+      { name = "Photovoltaic (sun)"; power_density = 100e-3 };
+      { name = "Photovoltaic (indoor)"; power_density = 100e-6 };
+      { name = "Thermoelectric"; power_density = 60e-6 };
+      { name = "Ambient airflow"; power_density = 1e-3 };
+    ]
+
+  let find name =
+    match List.find_opt (fun h -> String.equal h.name name) all with
+    | Some h -> h
+    | None -> invalid_arg ("Sizing.Harvester.find: " ^ name)
+
+  let area_cm2 t ~power_w = power_w /. t.power_density
+end
+
+(* The component scales with the system requirement; the processor
+   contributes [fraction] of it, so tightening the processor's bound
+   from [baseline] to [ours] shrinks the component by
+   fraction * (1 - ours/baseline). *)
+let reduction_pct ~baseline ~ours ~fraction =
+  if baseline <= 0. then 0.
+  else 100. *. fraction *. (1. -. (ours /. baseline))
+
+let fractions = [ 0.10; 0.25; 0.50; 0.75; 0.90; 1.00 ]
+
+let sensor_node_savings ~baseline_peak ~x_peak ~baseline_energy ~x_energy =
+  let harvester_area = 32.6 (* cm^2, eZ430-RF2500-SEH solar cell *) in
+  let battery_volume = 6.95 (* mm^3, thin-film cell *) in
+  let area_saved =
+    harvester_area *. reduction_pct ~baseline:baseline_peak ~ours:x_peak ~fraction:1.0
+    /. 100.
+  in
+  let volume_saved =
+    battery_volume
+    *. reduction_pct ~baseline:baseline_energy ~ours:x_energy ~fraction:1.0
+    /. 100.
+  in
+  (area_saved, volume_saved)

@@ -1,0 +1,50 @@
+(** Energy-harvester and battery sizing model (paper, Chapter 1 and
+    Tables 5.1/5.2).
+
+    Type 1 systems are sized by peak power (harvester area), Type 2 by
+    peak energy (harvester) and both peak power and energy (battery),
+    Type 3 by battery capacity/effective capacity. Tighter bounds on
+    the processor's peak power/energy translate into roughly
+    proportional reductions of the component sized by them, weighted by
+    the processor's share of the system budget. *)
+
+(** Table 1.1: battery specific energy [J/g] and energy density [MJ/L]. *)
+module Battery : sig
+  type t = {
+    name : string;
+    specific_energy : float;  (** J/g *)
+    energy_density : float;  (** MJ/L *)
+  }
+
+  val all : t list
+  val find : string -> t
+
+  (** [volume_l t ~energy_j] — liters needed to store [energy_j]. *)
+  val volume_l : t -> energy_j:float -> float
+end
+
+(** Table 1.2: harvester power density [W/cm^2]. *)
+module Harvester : sig
+  type t = { name : string; power_density : float (** W/cm^2 *) }
+
+  val all : t list
+  val find : string -> t
+
+  (** [area_cm2 t ~power_w] — harvester area delivering [power_w]. *)
+  val area_cm2 : t -> power_w:float -> float
+end
+
+(** Percentage reduction of a component sized by requirement [baseline]
+    when the requirement tightens to [ours], with the processor
+    contributing [fraction] of the system budget (Tables 5.1/5.2). *)
+val reduction_pct : baseline:float -> ours:float -> fraction:float -> float
+
+(** The paper's processor-contribution fractions: 10/25/50/75/90/100%. *)
+val fractions : float list
+
+(** Worked example of Figure 1.2's sensor node: harvester area 32.6 cm^2
+    and battery volume 6.95 mm^3; returns (area saved cm^2, volume saved
+    mm^3) at 100% contribution. *)
+val sensor_node_savings :
+  baseline_peak:float -> x_peak:float -> baseline_energy:float -> x_energy:float
+  -> float * float

@@ -1,0 +1,168 @@
+let base = 94
+let first = Char.code '!'
+
+let id_code n =
+  if n < 0 then invalid_arg "Vcd.id_code";
+  let rec go n acc =
+    let digit = Char.chr (first + (n mod base)) in
+    let acc = String.make 1 digit ^ acc in
+    if n < base then acc else go ((n / base) - 1) acc
+  in
+  go n ""
+
+let of_id_code s =
+  if String.length s = 0 then invalid_arg "Vcd.of_id_code";
+  let v = ref 0 in
+  String.iter
+    (fun c ->
+      let d = Char.code c - first in
+      if d < 0 || d >= base then invalid_arg "Vcd.of_id_code";
+      v := (!v * base) + d + 1)
+    s;
+  !v - 1
+
+module Writer = struct
+  type t = { buf : Buffer.t; mutable last_time : int }
+
+  let create buf ~timescale ~names =
+    Buffer.add_string buf "$comment xbound gate activity dump $end\n";
+    Buffer.add_string buf (Printf.sprintf "$timescale %s $end\n" timescale);
+    Buffer.add_string buf "$scope module top $end\n";
+    Array.iteri
+      (fun i name ->
+        Buffer.add_string buf
+          (Printf.sprintf "$var wire 1 %s %s $end\n" (id_code i) name))
+      names;
+    Buffer.add_string buf "$upscope $end\n";
+    Buffer.add_string buf "$enddefinitions $end\n";
+    { buf; last_time = -1 }
+
+  let time w t =
+    if t <= w.last_time then invalid_arg "Vcd.Writer.time: not increasing";
+    w.last_time <- t;
+    Buffer.add_char w.buf '#';
+    Buffer.add_string w.buf (string_of_int t);
+    Buffer.add_char w.buf '\n'
+
+  let change w net value =
+    Buffer.add_char w.buf (Tri.to_char value);
+    Buffer.add_string w.buf (id_code net);
+    Buffer.add_char w.buf '\n'
+
+  let dumpvars w values =
+    Buffer.add_string w.buf "$dumpvars\n";
+    Array.iteri (fun i v -> change w i v) values;
+    Buffer.add_string w.buf "$end\n"
+
+  let finish w = ignore w
+end
+
+let write_trace ~names ~initial ~changes =
+  let buf = Buffer.create (4096 + (Array.length changes * 64)) in
+  let w = Writer.create buf ~timescale:"10 ns" ~names in
+  Writer.time w 0;
+  Writer.dumpvars w initial;
+  Array.iteri
+    (fun c deltas ->
+      if deltas <> [] then begin
+        (* Cycle c's transitions land at time c+1: the trace's time-0
+           values are the cycle-0 state. *)
+        Writer.time w (c + 1);
+        List.iter (fun (net, v) -> Writer.change w net v) deltas
+      end)
+    changes;
+  Writer.finish w;
+  Buffer.contents buf
+
+type document = {
+  timescale : string option;
+  var_names : (int * string) list;
+  initial : (int * Tri.t) list;
+  steps : (int * (int * Tri.t) list) list;
+}
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse text =
+  let tokens =
+    String.split_on_char '\n' text
+    |> List.concat_map (fun line ->
+           String.split_on_char ' ' line |> List.filter (fun s -> s <> ""))
+  in
+  let timescale = ref None in
+  let vars = ref [] in
+  let steps = ref [] in
+  let current_time = ref (-1) in
+  let current_changes = ref [] in
+  let in_dumpvars = ref false in
+  let initial = ref [] in
+  let flush_step () =
+    if !current_time >= 0 then
+      steps := (!current_time, List.rev !current_changes) :: !steps;
+    current_changes := []
+  in
+  let rec skip_to_end = function
+    | [] -> fail "unterminated $ directive"
+    | "$end" :: rest -> rest
+    | _ :: rest -> skip_to_end rest
+  in
+  let rec go = function
+    | [] -> ()
+    | "$timescale" :: rest ->
+      let rec collect acc = function
+        | "$end" :: rest -> (String.concat " " (List.rev acc), rest)
+        | tok :: rest -> collect (tok :: acc) rest
+        | [] -> fail "unterminated $timescale"
+      in
+      let ts, rest = collect [] rest in
+      timescale := Some ts;
+      go rest
+    | "$var" :: _kind :: _width :: id :: name :: rest ->
+      vars := (of_id_code id, name) :: !vars;
+      let rest = skip_to_end rest in
+      go rest
+    | "$dumpvars" :: rest ->
+      in_dumpvars := true;
+      go rest
+    | "$end" :: rest when !in_dumpvars ->
+      in_dumpvars := false;
+      go rest
+    | ("$comment" | "$scope" | "$upscope" | "$enddefinitions" | "$date"
+      | "$version") :: rest ->
+      go (skip_to_end rest)
+    | tok :: rest when String.length tok > 0 && tok.[0] = '#' ->
+      flush_step ();
+      (try current_time := int_of_string (String.sub tok 1 (String.length tok - 1))
+       with Failure _ -> fail "bad timestamp %s" tok);
+      go rest
+    | tok :: rest when String.length tok >= 2 ->
+      let v =
+        try Tri.of_char tok.[0]
+        with Invalid_argument _ -> fail "bad value char in %s" tok
+      in
+      let net = of_id_code (String.sub tok 1 (String.length tok - 1)) in
+      if !in_dumpvars then initial := (net, v) :: !initial
+      else if !current_time < 0 then fail "value change before first timestamp"
+      else current_changes := (net, v) :: !current_changes;
+      go rest
+    | tok :: _ -> fail "unexpected token %s" tok
+  in
+  go tokens;
+  flush_step ();
+  {
+    timescale = !timescale;
+    var_names = List.rev !vars;
+    initial = List.rev !initial;
+    steps = List.rev !steps;
+  }
+
+let replay doc ~nets =
+  let values = Array.make nets Tri.X in
+  List.iter (fun (net, v) -> if net < nets then values.(net) <- v) doc.initial;
+  List.map
+    (fun (t, changes) ->
+      List.iter (fun (net, v) -> if net < nets then values.(net) <- v) changes;
+      (t, Array.copy values))
+    doc.steps

@@ -1,0 +1,64 @@
+(** Value change dump (IEEE 1364 subset, three-valued).
+
+    Algorithm 2 records the X-maximized activity of the flattened
+    execution trace in two VCD files (even- and odd-cycle maximization);
+    the power analyzer consumes them. Only scalar wires and the values
+    [0], [1], [x] are supported — exactly what gate-level power analysis
+    needs. *)
+
+(** {1 Identifier codes} *)
+
+(** [id_code n] is the printable short identifier for net [n]
+    (base-94, characters ['!'..'~']). *)
+val id_code : int -> string
+
+val of_id_code : string -> int
+
+(** {1 Writing} *)
+
+module Writer : sig
+  type t
+
+  (** [create buf ~timescale ~names] writes the header declaring one
+      scalar wire per element of [names]; net [i] gets id code
+      [id_code i]. *)
+  val create : Buffer.t -> timescale:string -> names:string array -> t
+
+  (** [time w t] emits a [#t] timestamp. Timestamps must increase. *)
+  val time : t -> int -> unit
+
+  (** [change w net value] records a value change for [net] at the
+      current time. *)
+  val change : t -> int -> Tri.t -> unit
+
+  (** [dumpvars w values] emits the initial [$dumpvars] block. *)
+  val dumpvars : t -> Tri.t array -> unit
+
+  val finish : t -> unit
+end
+
+(** [write_trace ~names ~initial ~changes] renders a full VCD document:
+    [changes.(c)] lists the per-cycle value changes, applied at time
+    [c]. *)
+val write_trace :
+  names:string array ->
+  initial:Tri.t array ->
+  changes:(int * Tri.t) list array ->
+  string
+
+(** {1 Parsing} *)
+
+type document = {
+  timescale : string option;
+  var_names : (int * string) list;  (** net id (decoded) -> name *)
+  initial : (int * Tri.t) list;
+  steps : (int * (int * Tri.t) list) list;  (** time -> changes *)
+}
+
+exception Parse_error of string
+
+val parse : string -> document
+
+(** [replay doc ~nets] folds a document back into per-time dense value
+    arrays (for round-trip tests and external traces). *)
+val replay : document -> nets:int -> (int * Tri.t array) list

@@ -1,0 +1,94 @@
+let cell_models =
+  {|// Behavioral cell models for the xbound gate library.
+module X_BUF(input a, output y);   assign y = a;      endmodule
+module X_INV(input a, output y);   assign y = ~a;     endmodule
+module X_AND2(input a, b, output y);  assign y = a & b;   endmodule
+module X_OR2(input a, b, output y);   assign y = a | b;   endmodule
+module X_NAND2(input a, b, output y); assign y = ~(a & b); endmodule
+module X_NOR2(input a, b, output y);  assign y = ~(a | b); endmodule
+module X_XOR2(input a, b, output y);  assign y = a ^ b;   endmodule
+module X_XNOR2(input a, b, output y); assign y = ~(a ^ b); endmodule
+module X_MUX2(input s, a, b, output y); assign y = s ? b : a; endmodule
+module X_DFF(input clk, d, output reg q);
+  always @(posedge clk) q <= d;
+endmodule
+module X_DFFE(input clk, en, d, output reg q);
+  always @(posedge clk) if (en) q <= d;
+endmodule
+|}
+
+let sanitize name =
+  String.map
+    (fun c ->
+      if
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_'
+      then c
+      else '_')
+    name
+
+let module_text ?(name = "xbound_core") (nl : Netlist.t) =
+  let buf = Buffer.create (64 * Netlist.gate_count nl) in
+  let net id = Printf.sprintf "n%d" id in
+  let inputs = Array.to_list nl.Netlist.inputs in
+  let outputs =
+    List.filter (fun (_, id) -> id >= 0) nl.Netlist.net_names
+    |> List.sort_uniq compare
+  in
+  Buffer.add_string buf (Printf.sprintf "module %s (\n  input clk" name);
+  List.iter (fun id -> Buffer.add_string buf (Printf.sprintf ",\n  input %s" (net id))) inputs;
+  List.iter
+    (fun (nm, _) ->
+      Buffer.add_string buf (Printf.sprintf ",\n  output %s" (sanitize nm)))
+    outputs;
+  Buffer.add_string buf "\n);\n";
+  (* wires *)
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      match g.Netlist.cell with
+      | Netlist.Input -> ()
+      | _ -> Buffer.add_string buf (Printf.sprintf "  wire %s;\n" (net g.Netlist.id)))
+    nl.Netlist.gates;
+  (* gates *)
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let id = g.Netlist.id in
+      let f k = net g.Netlist.fanins.(k) in
+      let inst cell args =
+        Buffer.add_string buf
+          (Printf.sprintf "  %s g%d (%s, %s); // %s\n" cell id
+             (String.concat ", " args) (net id)
+             nl.Netlist.module_names.(g.Netlist.module_id))
+      in
+      match g.Netlist.cell with
+      | Netlist.Input -> ()
+      | Netlist.Const Tri.Zero ->
+        Buffer.add_string buf (Printf.sprintf "  assign %s = 1'b0;\n" (net id))
+      | Netlist.Const Tri.One ->
+        Buffer.add_string buf (Printf.sprintf "  assign %s = 1'b1;\n" (net id))
+      | Netlist.Const Tri.X ->
+        Buffer.add_string buf (Printf.sprintf "  assign %s = 1'bx;\n" (net id))
+      | Netlist.Buf -> inst "X_BUF" [ f 0 ]
+      | Netlist.Inv -> inst "X_INV" [ f 0 ]
+      | Netlist.And2 -> inst "X_AND2" [ f 0; f 1 ]
+      | Netlist.Or2 -> inst "X_OR2" [ f 0; f 1 ]
+      | Netlist.Nand2 -> inst "X_NAND2" [ f 0; f 1 ]
+      | Netlist.Nor2 -> inst "X_NOR2" [ f 0; f 1 ]
+      | Netlist.Xor2 -> inst "X_XOR2" [ f 0; f 1 ]
+      | Netlist.Xnor2 -> inst "X_XNOR2" [ f 0; f 1 ]
+      | Netlist.Mux2 -> inst "X_MUX2" [ f 0; f 1; f 2 ]
+      | Netlist.Dff -> inst "X_DFF" [ "clk"; f 0 ]
+      | Netlist.Dffe -> inst "X_DFFE" [ "clk"; f 0; f 1 ])
+    nl.Netlist.gates;
+  (* probe aliases *)
+  List.iter
+    (fun (nm, id) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  assign %s = %s;\n" (sanitize nm) (net id)))
+    outputs;
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let file_text ?name nl = cell_models ^ "\n" ^ module_text ?name nl

@@ -1,0 +1,19 @@
+(** Structural Verilog export.
+
+    Dumps a {!Netlist.t} as a flat gate-level Verilog module over a
+    small cell library (INV/BUF/AND2/.../MUX2/DFF/DFFE behavioral
+    models included), so the processor netlist can be inspected or
+    simulated with standard EDA tooling. Net [n] is emitted as
+    [n<id>]; named probe nets get Verilog aliases. *)
+
+(** [module_text ?name nl] is the gate-level module source. Primary
+    inputs become module inputs (plus [clk]); named nets become output
+    ports. *)
+val module_text : ?name:string -> Netlist.t -> string
+
+(** Behavioral models for the cells used by {!module_text}; prepend to
+    the module for a self-contained file. *)
+val cell_models : string
+
+(** [file_text ?name nl] = models + module. *)
+val file_text : ?name:string -> Netlist.t -> string

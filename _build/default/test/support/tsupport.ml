@@ -1,0 +1,158 @@
+(* Shared test harness: builds the CPU once, runs programs on the
+   gate-level engine and on the reference ISS, and compares architectural
+   state. *)
+
+let cpu = lazy (Cpu.build ())
+
+let the_cpu () = Lazy.force cpu
+
+let assemble_body ?(name = "test") body =
+  Isa.Asm.assemble
+    {
+      Isa.Asm.name;
+      entry = "start";
+      sections =
+        [
+          {
+            Isa.Asm.org = Isa.Memmap.rom_base;
+            items = (Isa.Asm.Label "start" :: body) @ Isa.Asm.halt_items;
+          };
+        ];
+    }
+
+(* Standard prologue: set up the stack and stop the watchdog, as every
+   benchmark does. *)
+let prologue =
+  [
+    Isa.Asm.I
+      (Isa.Insn.I1
+         ( Isa.Insn.MOV,
+           Isa.Insn.S_imm (Isa.Insn.Lit (Isa.Memmap.ram_limit - 0x80)),
+           Isa.Insn.D_reg 1 ));
+    Isa.Asm.I
+      (Isa.Insn.I1
+         ( Isa.Insn.MOV,
+           Isa.Insn.S_imm (Isa.Insn.Lit 0x5A80),
+           Isa.Insn.D_abs (Isa.Insn.Lit Isa.Memmap.wdtctl) ));
+    (* one NOP initializes r3 so later NOPs are zero-activity writes *)
+    Isa.Asm.I Isa.Insn.nop;
+  ]
+
+let fresh_engine ?(concrete = true) img =
+  let c = the_cpu () in
+  let mem = Cpu.mem_of_image img in
+  if concrete then Cpu.zero_ram mem;
+  let e = Gatesim.Engine.create c.Cpu.netlist ~ports:c.Cpu.ports ~mem in
+  if concrete then
+    Gatesim.Engine.set_port_in e (Array.make 16 Tri.Zero);
+  e
+
+(* Step the engine to the next cycle whose state is FETCH; returns the
+   cycle record. *)
+let step_to_fetch e =
+  let rec go n =
+    if n > 100 then failwith "no FETCH within 100 cycles";
+    let cy = Gatesim.Engine.step e in
+    match Tri.Word.to_int cy.Gatesim.Trace.state with
+    | Some s when s = Cpu.st_fetch -> cy
+    | _ -> go (n + 1)
+  in
+  go 0
+
+type lockstep_result = {
+  insns : int;
+  reg_compares : int;
+  reg_skips : int;
+  cpu_cycles : int;
+  iss_cycles : int;
+  ram_compares : int;
+  ram_skips : int;
+}
+
+let sr_mask = 0x0107 (* C, Z, N, V *)
+
+(* Run the program on both models in lockstep, comparing registers at
+   every instruction boundary and RAM at the end. [fail] is called with
+   a message on divergence. *)
+let lockstep ?(max_insns = 20_000) ~fail img =
+  let c = the_cpu () in
+  let e = fresh_engine img in
+  let iss = Isa.Iss.create img in
+  Gatesim.Engine.set_reset e Tri.One;
+  ignore (Gatesim.Engine.step e);
+  ignore (Gatesim.Engine.step e);
+  Gatesim.Engine.set_reset e Tri.Zero;
+  (* skip the VECTOR state *)
+  let compares = ref 0 and skips = ref 0 and insns = ref 0 in
+  let compare_state () =
+    for r = 0 to 15 do
+      if r <> 2 then begin
+        let w = Gatesim.Engine.sample e c.Cpu.reg_nets.(r) in
+        match Tri.Word.to_int w with
+        | Some v ->
+          incr compares;
+          if v <> iss.Isa.Iss.regs.(r) then
+            fail
+              (Printf.sprintf "after %d insns: r%d cpu=0x%04x iss=0x%04x"
+                 !insns r v iss.Isa.Iss.regs.(r))
+        | None -> incr skips
+      end
+    done;
+    (* SR: compare the flag bits when known *)
+    let w = Gatesim.Engine.sample e c.Cpu.sr_nets in
+    let all_known =
+      List.for_all
+        (fun bit -> not (Tri.is_x (Tri.Word.bit w bit)))
+        [ 0; 1; 2; 8 ]
+    in
+    if all_known then begin
+      incr compares;
+      let bit b =
+        match Tri.Word.bit w b with Tri.One -> 1 lsl b | _ -> 0
+      in
+      let v = bit 0 lor bit 1 lor bit 2 lor bit 8 in
+      if v <> iss.Isa.Iss.regs.(2) land sr_mask then
+        fail
+          (Printf.sprintf "after %d insns: SR cpu=0x%04x iss=0x%04x" !insns v
+             (iss.Isa.Iss.regs.(2) land sr_mask))
+    end
+    else incr skips
+  in
+  let rec go () =
+    let cy = step_to_fetch e in
+    compare_state ();
+    let pc = Tri.Word.to_int cy.Gatesim.Trace.pc in
+    match pc with
+    | Some p when p = img.Isa.Asm.halt_addr -> ()
+    | Some _ ->
+      if !insns >= max_insns then failwith "lockstep: instruction budget";
+      Isa.Iss.step iss;
+      incr insns;
+      go ()
+    | None -> fail "PC became X in concrete lockstep run"
+  in
+  go ();
+  (* final RAM comparison *)
+  let mem = Gatesim.Engine.mem e in
+  let ram_compares = ref 0 and ram_skips = ref 0 in
+  let a = ref Isa.Memmap.ram_base in
+  while !a < Isa.Memmap.ram_limit do
+    let w = Gatesim.Mem.peek mem !a in
+    (match Tri.Word.to_int w with
+    | Some v ->
+      incr ram_compares;
+      let iv = iss.Isa.Iss.ram.((!a - Isa.Memmap.ram_base) / 2) in
+      if v <> iv then
+        fail (Printf.sprintf "ram[0x%04x] cpu=0x%04x iss=0x%04x" !a v iv)
+    | None -> incr ram_skips);
+    a := !a + 2
+  done;
+  {
+    insns = !insns;
+    reg_compares = !compares;
+    reg_skips = !skips;
+    cpu_cycles = Gatesim.Engine.cycle_index e;
+    iss_cycles = iss.Isa.Iss.cycles;
+    ram_compares = !ram_compares;
+    ram_skips = !ram_skips;
+  }

@@ -1,0 +1,138 @@
+(* Baseline-technique tests: guardbanded profiling, the GA stressmark,
+   and design-tool rating, plus the orderings the paper's comparison
+   depends on. *)
+
+let cpu = Tsupport.the_cpu ()
+let pa = lazy (Core.Analyze.poweran_for cpu)
+
+let small_bench = Benchprogs.Bench.find "intAVG"
+
+let test_profiling_guardband () =
+  let p = Baselines.Profiling.run ~seeds:[ 1; 2; 3 ] (Lazy.force pa) cpu small_bench in
+  Alcotest.(check int) "three peaks" 3 (List.length p.Baselines.Profiling.peaks);
+  Alcotest.(check bool) "max >= min" true
+    (p.Baselines.Profiling.max_peak >= p.Baselines.Profiling.min_peak);
+  let expect = p.Baselines.Profiling.max_peak *. (4. /. 3.) in
+  Alcotest.(check bool) "guardband is 4/3 of max" true
+    (Float.abs (p.Baselines.Profiling.gb_peak -. expect) < 1e-12);
+  Alcotest.(check bool) "npe guardband" true
+    (Float.abs
+       (p.Baselines.Profiling.gb_npe
+       -. (p.Baselines.Profiling.max_npe *. (4. /. 3.)))
+    < 1e-18)
+
+let test_profiling_deterministic () =
+  let p1 = Baselines.Profiling.run ~seeds:[ 5 ] (Lazy.force pa) cpu small_bench in
+  let p2 = Baselines.Profiling.run ~seeds:[ 5 ] (Lazy.force pa) cpu small_bench in
+  Alcotest.(check (list (float 1e-15))) "same peaks"
+    p1.Baselines.Profiling.peaks p2.Baselines.Profiling.peaks
+
+let test_input_variation_visible () =
+  (* adversarial seeds must produce a visible peak-power spread on a
+     data-driven benchmark (the Chapter 2 motivation) *)
+  let b = Benchprogs.Bench.find "mult" in
+  let p = Baselines.Profiling.run ~seeds:[ 1; 2; 3; 8 ] (Lazy.force pa) cpu b in
+  let spread =
+    (p.Baselines.Profiling.max_peak -. p.Baselines.Profiling.min_peak)
+    /. p.Baselines.Profiling.max_peak
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "input-induced spread %.1f%% is over 2%%" (spread *. 100.))
+    true (spread > 0.02)
+
+let tiny_ga =
+  {
+    Baselines.Stressmark.default_config with
+    Baselines.Stressmark.genome_len = 10;
+    population = 6;
+    generations = 2;
+    repeats = 1;
+  }
+
+let test_stressmark_runs_and_is_deterministic () =
+  let s1 =
+    Baselines.Stressmark.run ~config:tiny_ga ~fitness:Baselines.Stressmark.Peak
+      (Lazy.force pa) cpu
+  in
+  let s2 =
+    Baselines.Stressmark.run ~config:tiny_ga ~fitness:Baselines.Stressmark.Peak
+      (Lazy.force pa) cpu
+  in
+  Alcotest.(check (float 1e-12)) "deterministic"
+    s1.Baselines.Stressmark.best_fitness s2.Baselines.Stressmark.best_fitness;
+  Alcotest.(check int) "evaluations counted"
+    (6 * 3) (* initial population + 2 generations *)
+    s1.Baselines.Stressmark.evaluations;
+  Alcotest.(check bool) "peak above base" true
+    (s1.Baselines.Stressmark.peak_power > Poweran.base_power (Lazy.force pa))
+
+let test_stressmark_improves_over_generations () =
+  let short =
+    Baselines.Stressmark.run
+      ~config:{ tiny_ga with Baselines.Stressmark.generations = 0 }
+      ~fitness:Baselines.Stressmark.Peak (Lazy.force pa) cpu
+  in
+  let long =
+    Baselines.Stressmark.run
+      ~config:{ tiny_ga with Baselines.Stressmark.generations = 4 }
+      ~fitness:Baselines.Stressmark.Peak (Lazy.force pa) cpu
+  in
+  Alcotest.(check bool) "GA does not regress" true
+    (long.Baselines.Stressmark.best_fitness
+    >= short.Baselines.Stressmark.best_fitness -. 1e-12)
+
+let test_stressmark_avg_fitness () =
+  let s =
+    Baselines.Stressmark.run ~config:tiny_ga ~fitness:Baselines.Stressmark.Average
+      (Lazy.force pa) cpu
+  in
+  Alcotest.(check bool) "avg <= peak" true
+    (s.Baselines.Stressmark.avg_power <= s.Baselines.Stressmark.peak_power)
+
+let test_design_tool_monotonic () =
+  let p = Lazy.force pa in
+  let d1 = Poweran.design_tool_power p ~activity:0.1 in
+  let d2 = Poweran.design_tool_power p ~activity:0.3 in
+  Alcotest.(check bool) "monotonic in activity" true (d2 > d1);
+  Alcotest.(check bool) "activity 0 = base" true
+    (Float.abs (Poweran.design_tool_power p ~activity:0. -. Poweran.base_power p)
+    < 1e-15)
+
+let test_orderings () =
+  (* the orderings the paper's figures depend on, for one benchmark *)
+  let b = Benchprogs.Bench.find "tea8" in
+  let p = Baselines.Profiling.run ~seeds:[ 2; 8 ] (Lazy.force pa) cpu b in
+  let img = Benchprogs.Bench.assemble b in
+  let a = Core.Analyze.run (Lazy.force pa) cpu img in
+  let x = a.Core.Analyze.peak_power in
+  Alcotest.(check bool) "input max <= X" true (p.Baselines.Profiling.max_peak <= x);
+  Alcotest.(check bool) "X <= GB input" true (x <= p.Baselines.Profiling.gb_peak);
+  let design =
+    Poweran.design_tool_power (Lazy.force pa)
+      ~activity:Poweran.default_design_activity
+  in
+  Alcotest.(check bool) "X <= design rating" true (x <= design)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "profiling",
+        [
+          Alcotest.test_case "guardband" `Quick test_profiling_guardband;
+          Alcotest.test_case "deterministic" `Quick test_profiling_deterministic;
+          Alcotest.test_case "input variation" `Quick test_input_variation_visible;
+        ] );
+      ( "stressmark",
+        [
+          Alcotest.test_case "runs deterministically" `Quick
+            test_stressmark_runs_and_is_deterministic;
+          Alcotest.test_case "no regression" `Quick
+            test_stressmark_improves_over_generations;
+          Alcotest.test_case "average fitness" `Quick test_stressmark_avg_fitness;
+        ] );
+      ( "design-tool",
+        [
+          Alcotest.test_case "monotonic" `Quick test_design_tool_monotonic;
+          Alcotest.test_case "orderings" `Quick test_orderings;
+        ] );
+    ]

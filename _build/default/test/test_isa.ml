@@ -1,0 +1,407 @@
+(* Tests for the ISA layer: encode/decode roundtrip, the assembler, and
+   the reference ISS's architectural semantics. *)
+
+open Isa
+
+let lookup_empty s = failwith ("no symbol " ^ s)
+
+(* --- encode/decode roundtrip --- *)
+
+let qgen_reg = QCheck2.Gen.int_range 4 15
+
+let qgen_src =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun r -> Insn.S_reg r) qgen_reg;
+        map2 (fun v r -> Insn.S_idx (Insn.Lit v, r)) (int_range 0 0xFFFF) qgen_reg;
+        map (fun r -> Insn.S_ind r) qgen_reg;
+        map (fun r -> Insn.S_ind_inc r) qgen_reg;
+        map (fun v -> Insn.S_imm (Insn.Lit v)) (int_range 0 0xFFFF);
+        map (fun v -> Insn.S_abs (Insn.Lit v)) (int_range 0 0xFFFF);
+      ])
+
+let qgen_dst =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun r -> Insn.D_reg r) qgen_reg;
+        map2 (fun v r -> Insn.D_idx (Insn.Lit v, r)) (int_range 0 0xFFFF) qgen_reg;
+        map (fun v -> Insn.D_abs (Insn.Lit v)) (int_range 0 0xFFFF);
+      ])
+
+let qgen_op1 =
+  QCheck2.Gen.oneofl
+    Insn.[ MOV; ADD; ADDC; SUBC; SUB; CMP; BIT; BIC; BIS; XOR; AND ]
+
+let qgen_instr =
+  QCheck2.Gen.(
+    oneof
+      [
+        map3 (fun op s d -> Insn.I1 (op, s, d)) qgen_op1 qgen_src qgen_dst;
+        map2
+          (fun op s -> Insn.I2 (op, s))
+          (oneofl Insn.[ RRC; SWPB; RRA; SXT; PUSH ])
+          (oneof
+             [
+               map (fun r -> Insn.S_reg r) qgen_reg;
+               map (fun r -> Insn.S_ind r) qgen_reg;
+             ]);
+        map2
+          (fun c off ->
+            Insn.J (c, Insn.Lit ((0x1000 + (2 * off)) land 0xFFFF)))
+          (oneofl Insn.[ JNE; JEQ; JNC; JC; JN; JGE; JL; JMP ])
+          (int_range (-500) 500);
+        return Insn.RETI;
+      ])
+
+(* Normalize: immediates that hit the constant generator decode back as
+   S_imm of the same literal, so roundtripping is exact on our
+   generator's space except PUSH #cg forms we don't generate. *)
+let roundtrip =
+  QCheck2.Test.make ~count:1000 ~name:"encode/decode roundtrip" qgen_instr
+    (fun i ->
+      let pc = 0x1000 in
+      let ws = Insn.encode ~lookup:lookup_empty ~pc i in
+      match ws with
+      | [] -> false
+      | w :: ext ->
+        let ext1 = match ext with e :: _ -> e | [] -> 0 in
+        let ext2 = match ext with _ :: e :: _ -> e | _ -> 0 in
+        let d = Insn.decode w ~ext1 ~ext2 ~pc in
+        d.Insn.n_ext = List.length ext && d.Insn.instr = i)
+
+let size_words_matches_encode =
+  QCheck2.Test.make ~count:1000 ~name:"size_words = |encode|" qgen_instr
+    (fun i ->
+      List.length (Insn.encode ~lookup:lookup_empty ~pc:0x1000 i)
+      = Insn.size_words i)
+
+let test_cg_encodings () =
+  (* MOV #1, r5 must use the constant generator: single word *)
+  List.iter
+    (fun n ->
+      let i = Insn.I1 (Insn.MOV, Insn.S_imm (Insn.Lit n), Insn.D_reg 5) in
+      Alcotest.(check int)
+        (Printf.sprintf "cg imm %d one word" n)
+        1
+        (List.length (Insn.encode ~lookup:lookup_empty ~pc:0 i)))
+    [ 0; 1; 2; 4; 8; 0xFFFF ];
+  let i = Insn.I1 (Insn.MOV, Insn.S_imm (Insn.Lit 3), Insn.D_reg 5) in
+  Alcotest.(check int) "imm 3 needs ext" 2
+    (List.length (Insn.encode ~lookup:lookup_empty ~pc:0 i))
+
+let test_jump_range () =
+  let far = Insn.J (Insn.JMP, Insn.Lit 0x3000) in
+  Alcotest.check_raises "jump out of range"
+    (Insn.Encode_error "jump offset 4095 out of range (target 0x3000)")
+    (fun () -> ignore (Insn.encode ~lookup:lookup_empty ~pc:0x1000 far))
+
+(* --- assembler --- *)
+
+let tiny_program body =
+  {
+    Asm.name = "tiny";
+    entry = "start";
+    sections =
+      [ { Asm.org = Memmap.rom_base; items = (Asm.Label "start" :: body) @ Asm.halt_items } ];
+  }
+
+let test_asm_layout () =
+  let img =
+    Asm.assemble
+      (tiny_program
+         [
+           Asm.I (Insn.I1 (Insn.MOV, Insn.S_imm (Insn.Lit 0x1234), Insn.D_reg 4));
+           Asm.I Insn.nop;
+           Asm.Label "data_follows";
+           Asm.Words [ 0xAAAA; 0x5555 ];
+         ])
+  in
+  Alcotest.(check int) "entry" Memmap.rom_base img.Asm.entry_addr;
+  (* mov #imm,r4 = 2 words; nop = 1 word *)
+  Alcotest.(check int) "label addr"
+    (Memmap.rom_base + 6)
+    (Asm.lookup img "data_follows");
+  Alcotest.(check int) "halt label"
+    (Memmap.rom_base + 10)
+    (Asm.lookup img "_halt");
+  (* reset vector present *)
+  Alcotest.(check int) "reset vector" img.Asm.entry_addr
+    (List.assoc Memmap.reset_vector img.Asm.words)
+
+let test_asm_duplicate_label () =
+  Alcotest.check_raises "duplicate"
+    (Asm.Asm_error "tiny: duplicate label start") (fun () ->
+      ignore (Asm.assemble (tiny_program [ Asm.Label "start" ])))
+
+let test_asm_undefined_symbol () =
+  let p = tiny_program [ Asm.I (Insn.J (Insn.JMP, Insn.Sym "nowhere")) ] in
+  Alcotest.check_raises "undefined"
+    (Asm.Asm_error "tiny: undefined symbol nowhere") (fun () ->
+      ignore (Asm.assemble p))
+
+(* --- ISS semantics --- *)
+
+let run_iss body =
+  let img = Asm.assemble (tiny_program body) in
+  let t = Iss.create img in
+  Iss.run t;
+  t
+
+let mov_imm n r = Asm.I (Insn.I1 (Insn.MOV, Insn.S_imm (Insn.Lit n), Insn.D_reg r))
+
+let test_iss_mov_add () =
+  let t =
+    run_iss
+      [
+        mov_imm 40 4;
+        mov_imm 2 5;
+        Asm.I (Insn.I1 (Insn.ADD, Insn.S_reg 5, Insn.D_reg 4));
+      ]
+  in
+  Alcotest.(check int) "r4" 42 t.Iss.regs.(4)
+
+let test_iss_flags_carry () =
+  let t =
+    run_iss
+      [
+        mov_imm 0xFFFF 4;
+        Asm.I (Insn.I1 (Insn.ADD, Insn.S_imm (Insn.Lit 1), Insn.D_reg 4));
+      ]
+  in
+  Alcotest.(check int) "r4 wrapped" 0 t.Iss.regs.(4);
+  Alcotest.(check bool) "carry" true (Iss.flag_c t);
+  Alcotest.(check bool) "zero" true (Iss.flag_z t);
+  Alcotest.(check bool) "neg" false (Iss.flag_n t)
+
+let test_iss_overflow () =
+  let t =
+    run_iss
+      [
+        mov_imm 0x7FFF 4;
+        Asm.I (Insn.I1 (Insn.ADD, Insn.S_imm (Insn.Lit 1), Insn.D_reg 4));
+      ]
+  in
+  Alcotest.(check bool) "overflow" true (Iss.flag_v t);
+  Alcotest.(check bool) "neg" true (Iss.flag_n t)
+
+let test_iss_sub_cmp () =
+  let t =
+    run_iss
+      [
+        mov_imm 5 4;
+        Asm.I (Insn.I1 (Insn.CMP, Insn.S_imm (Insn.Lit 5), Insn.D_reg 4));
+      ]
+  in
+  Alcotest.(check bool) "z after cmp equal" true (Iss.flag_z t);
+  Alcotest.(check bool) "c after cmp equal" true (Iss.flag_c t);
+  Alcotest.(check int) "cmp does not write" 5 t.Iss.regs.(4)
+
+let test_iss_memory () =
+  let addr = Memmap.ram_base + 0x10 in
+  let t =
+    run_iss
+      [
+        mov_imm 0xBEEF 4;
+        Asm.I (Insn.I1 (Insn.MOV, Insn.S_reg 4, Insn.D_abs (Insn.Lit addr)));
+        Asm.I (Insn.I1 (Insn.MOV, Insn.S_abs (Insn.Lit addr), Insn.D_reg 5));
+      ]
+  in
+  Alcotest.(check int) "loaded back" 0xBEEF t.Iss.regs.(5)
+
+let test_iss_indexed () =
+  let base = Memmap.ram_base + 0x20 in
+  let t =
+    run_iss
+      [
+        mov_imm base 4;
+        mov_imm 0x1111 5;
+        Asm.I (Insn.I1 (Insn.MOV, Insn.S_reg 5, Insn.D_idx (Insn.Lit 4, 4)));
+        Asm.I (Insn.I1 (Insn.MOV, Insn.S_idx (Insn.Lit 4, 4), Insn.D_reg 6));
+      ]
+  in
+  Alcotest.(check int) "indexed store/load" 0x1111 t.Iss.regs.(6)
+
+let test_iss_autoincrement () =
+  let base = Memmap.ram_base in
+  let t =
+    run_iss
+      [
+        mov_imm base 4;
+        mov_imm 7 5;
+        Asm.I (Insn.I1 (Insn.MOV, Insn.S_reg 5, Insn.D_abs (Insn.Lit base)));
+        Asm.I (Insn.I1 (Insn.MOV, Insn.S_ind_inc 4, Insn.D_reg 6));
+      ]
+  in
+  Alcotest.(check int) "value" 7 t.Iss.regs.(6);
+  Alcotest.(check int) "r4 incremented" (base + 2) t.Iss.regs.(4)
+
+let test_iss_push_pop () =
+  let t =
+    run_iss
+      [
+        mov_imm (Memmap.ram_limit) 1;
+        mov_imm 0xCAFE 4;
+        Asm.I (Insn.I2 (Insn.PUSH, Insn.S_reg 4));
+        Asm.I (Insn.pop 5);
+      ]
+  in
+  Alcotest.(check int) "popped" 0xCAFE t.Iss.regs.(5);
+  Alcotest.(check int) "sp restored" Memmap.ram_limit t.Iss.regs.(1)
+
+let test_iss_call_ret () =
+  let t =
+    run_iss
+      [
+        mov_imm (Memmap.ram_limit) 1;
+        Asm.I (Insn.I2 (Insn.CALL, Insn.S_imm (Insn.Sym "fn")));
+        Asm.I (Insn.J (Insn.JMP, Insn.Sym "_halt"));
+        Asm.Label "fn";
+        mov_imm 99 4;
+        Asm.I Insn.ret;
+      ]
+  in
+  Alcotest.(check int) "fn ran" 99 t.Iss.regs.(4);
+  Alcotest.(check int) "sp balanced" Memmap.ram_limit t.Iss.regs.(1)
+
+let test_iss_jumps () =
+  let t =
+    run_iss
+      [
+        mov_imm 3 4;
+        mov_imm 0 5;
+        Asm.Label "loop";
+        Asm.I (Insn.I1 (Insn.ADD, Insn.S_reg 4, Insn.D_reg 5));
+        Asm.I (Insn.dec_r 4);
+        Asm.I (Insn.J (Insn.JNE, Insn.Sym "loop"));
+      ]
+  in
+  Alcotest.(check int) "loop sum 3+2+1" 6 t.Iss.regs.(5);
+  Alcotest.(check int) "counter exhausted" 0 t.Iss.regs.(4)
+
+let test_iss_signed_jumps () =
+  (* JL: -1 < 1 *)
+  let t =
+    run_iss
+      [
+        mov_imm 0xFFFF 4;
+        Asm.I (Insn.I1 (Insn.CMP, Insn.S_imm (Insn.Lit 1), Insn.D_reg 4));
+        Asm.I (Insn.J (Insn.JL, Insn.Sym "less"));
+        mov_imm 0 5;
+        Asm.I (Insn.J (Insn.JMP, Insn.Sym "_halt"));
+        Asm.Label "less";
+        mov_imm 1 5;
+      ]
+  in
+  Alcotest.(check int) "jl taken" 1 t.Iss.regs.(5)
+
+let test_iss_multiplier () =
+  let t =
+    run_iss
+      [
+        mov_imm 1234 4;
+        Asm.I (Insn.I1 (Insn.MOV, Insn.S_reg 4, Insn.D_abs (Insn.Lit Memmap.mpy)));
+        mov_imm 5678 5;
+        Asm.I (Insn.I1 (Insn.MOV, Insn.S_reg 5, Insn.D_abs (Insn.Lit Memmap.op2)));
+        Asm.I (Insn.I1 (Insn.MOV, Insn.S_abs (Insn.Lit Memmap.reslo), Insn.D_reg 6));
+        Asm.I (Insn.I1 (Insn.MOV, Insn.S_abs (Insn.Lit Memmap.reshi), Insn.D_reg 7));
+      ]
+  in
+  let p = 1234 * 5678 in
+  Alcotest.(check int) "reslo" (p land 0xFFFF) t.Iss.regs.(6);
+  Alcotest.(check int) "reshi" (p lsr 16) t.Iss.regs.(7)
+
+let test_iss_signed_multiplier () =
+  let t =
+    run_iss
+      [
+        mov_imm 0xFFFE 4 (* -2 *);
+        Asm.I (Insn.I1 (Insn.MOV, Insn.S_reg 4, Insn.D_abs (Insn.Lit Memmap.mpys)));
+        mov_imm 3 5;
+        Asm.I (Insn.I1 (Insn.MOV, Insn.S_reg 5, Insn.D_abs (Insn.Lit Memmap.op2)));
+        Asm.I (Insn.I1 (Insn.MOV, Insn.S_abs (Insn.Lit Memmap.reslo), Insn.D_reg 6));
+        Asm.I (Insn.I1 (Insn.MOV, Insn.S_abs (Insn.Lit Memmap.reshi), Insn.D_reg 7));
+      ]
+  in
+  (* -6 = 0xFFFFFFFA *)
+  Alcotest.(check int) "reslo" 0xFFFA t.Iss.regs.(6);
+  Alcotest.(check int) "reshi" 0xFFFF t.Iss.regs.(7)
+
+let test_iss_rra_rrc_swpb_sxt () =
+  let t =
+    run_iss
+      [
+        mov_imm 0x8004 4;
+        Asm.I (Insn.I2 (Insn.RRA, Insn.S_reg 4));
+        mov_imm 0x1234 5;
+        Asm.I (Insn.I2 (Insn.SWPB, Insn.S_reg 5));
+        mov_imm 0x0080 6;
+        Asm.I (Insn.I2 (Insn.SXT, Insn.S_reg 6));
+      ]
+  in
+  Alcotest.(check int) "rra keeps sign" 0xC002 t.Iss.regs.(4);
+  Alcotest.(check int) "swpb" 0x3412 t.Iss.regs.(5);
+  Alcotest.(check int) "sxt" 0xFF80 t.Iss.regs.(6)
+
+let test_iss_cycles () =
+  (* mov #n,r (ext) = 3; add r,r = 2; plus 4 reset cycles; the halt
+     self-jump is detected at fetch and never charged *)
+  let t =
+    run_iss
+      [
+        mov_imm 1000 4;
+        Asm.I (Insn.I1 (Insn.ADD, Insn.S_reg 4, Insn.D_reg 5));
+      ]
+  in
+  Alcotest.(check int) "cycle count" (4 + 3 + 2) t.Iss.cycles
+
+let test_iss_watchdog_stop () =
+  let t =
+    run_iss
+      [
+        Asm.I
+          (Insn.I1
+             ( Insn.MOV,
+               Insn.S_imm (Insn.Lit 0x5A80),
+               Insn.D_abs (Insn.Lit Memmap.wdtctl) ));
+      ]
+  in
+  Alcotest.(check int) "wdt hold bit stored" 0x80 t.Iss.wdt
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "encode",
+        [
+          QCheck_alcotest.to_alcotest roundtrip;
+          QCheck_alcotest.to_alcotest size_words_matches_encode;
+          Alcotest.test_case "constant generator" `Quick test_cg_encodings;
+          Alcotest.test_case "jump range" `Quick test_jump_range;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "layout" `Quick test_asm_layout;
+          Alcotest.test_case "duplicate label" `Quick test_asm_duplicate_label;
+          Alcotest.test_case "undefined symbol" `Quick test_asm_undefined_symbol;
+        ] );
+      ( "iss",
+        [
+          Alcotest.test_case "mov/add" `Quick test_iss_mov_add;
+          Alcotest.test_case "carry/zero" `Quick test_iss_flags_carry;
+          Alcotest.test_case "overflow" `Quick test_iss_overflow;
+          Alcotest.test_case "cmp" `Quick test_iss_sub_cmp;
+          Alcotest.test_case "memory" `Quick test_iss_memory;
+          Alcotest.test_case "indexed" `Quick test_iss_indexed;
+          Alcotest.test_case "autoincrement" `Quick test_iss_autoincrement;
+          Alcotest.test_case "push/pop" `Quick test_iss_push_pop;
+          Alcotest.test_case "call/ret" `Quick test_iss_call_ret;
+          Alcotest.test_case "loop" `Quick test_iss_jumps;
+          Alcotest.test_case "signed jump" `Quick test_iss_signed_jumps;
+          Alcotest.test_case "multiplier" `Quick test_iss_multiplier;
+          Alcotest.test_case "signed multiplier" `Quick test_iss_signed_multiplier;
+          Alcotest.test_case "format II" `Quick test_iss_rra_rrc_swpb_sxt;
+          Alcotest.test_case "cycle accounting" `Quick test_iss_cycles;
+          Alcotest.test_case "watchdog stop" `Quick test_iss_watchdog_stop;
+        ] );
+    ]

@@ -1,0 +1,186 @@
+(* Structural tests for the netlist IR and the RTL builder, plus
+   standard-cell library sanity checks. Functional (simulation-based)
+   checks of the RTL combinators live in test_gatesim.ml. *)
+
+let build_simple () =
+  let b = Netlist.Builder.create () in
+  let a = Netlist.Builder.add_input b in
+  let c = Netlist.Builder.add_input b in
+  let n = Netlist.Builder.add_gate b Netlist.And2 [| a; c |] in
+  let inv = Netlist.Builder.add_gate b Netlist.Inv [| n |] in
+  Netlist.Builder.name_net b "out" inv;
+  Netlist.Builder.freeze b
+
+let test_topo_order () =
+  let nl = build_simple () in
+  (* every combinational gate appears after its fanins *)
+  let pos = Array.make (Netlist.gate_count nl) (-1) in
+  Array.iteri (fun i id -> pos.(id) <- i) nl.Netlist.topo;
+  Array.iter
+    (fun id ->
+      let g = nl.Netlist.gates.(id) in
+      if not (Netlist.is_sequential g.Netlist.cell || g.Netlist.cell = Netlist.Input)
+      then
+        Array.iter
+          (fun f ->
+            let fg = nl.Netlist.gates.(f) in
+            if
+              not
+                (Netlist.is_sequential fg.Netlist.cell
+                || fg.Netlist.cell = Netlist.Input
+                ||
+                match fg.Netlist.cell with Netlist.Const _ -> true | _ -> false)
+            then
+              Alcotest.(check bool)
+                (Printf.sprintf "gate %d after fanin %d" id f)
+                true
+                (pos.(f) >= 0 && pos.(f) < pos.(id)))
+          g.Netlist.fanins)
+    nl.Netlist.topo
+
+let test_find_net () =
+  let nl = build_simple () in
+  Alcotest.(check int) "named net" 3 (Netlist.find_net nl "out");
+  Alcotest.check_raises "missing net"
+    (Invalid_argument "Netlist.find_net: no net \"nope\"") (fun () ->
+      ignore (Netlist.find_net nl "nope"))
+
+let test_loop_detection () =
+  let b = Netlist.Builder.create () in
+  let i = Netlist.Builder.add_input b in
+  (* combinational loop through a dff-less path: use set_dff_input trick
+     is not possible for combinational gates, so build a self-feeding
+     gate via a dff replaced by direct id arithmetic: create gate that
+     references itself is rejected at add time, so build a 2-gate loop
+     via dff patching misuse instead. *)
+  let d = Netlist.Builder.add_dff b in
+  ignore (Netlist.Builder.add_gate b Netlist.And2 [| i; d |]);
+  Netlist.Builder.set_dff_input b d i;
+  (* this netlist is fine: dff breaks the cycle *)
+  ignore (Netlist.Builder.freeze b);
+  (* now a true combinational loop: forward fanin refs are rejected *)
+  let b2 = Netlist.Builder.create () in
+  let x = Netlist.Builder.add_input b2 in
+  Alcotest.check_raises "forward ref rejected"
+    (Invalid_argument "Netlist.Builder.add_gate: forward combinational fanin 2")
+    (fun () -> ignore (Netlist.Builder.add_gate b2 Netlist.And2 [| x; 2 |]))
+
+let test_fanouts () =
+  let nl = build_simple () in
+  (* input 0 feeds gate 2; gate 2 feeds gate 3 *)
+  Alcotest.(check (array int)) "fanout of and" [| 3 |] nl.Netlist.fanouts.(2);
+  Alcotest.(check (array int)) "fanout of input" [| 2 |] nl.Netlist.fanouts.(0);
+  Alcotest.(check (array int)) "fanout of out" [||] nl.Netlist.fanouts.(3)
+
+let test_stats () =
+  let nl = build_simple () in
+  let s = Netlist.Stats.compute nl in
+  Alcotest.(check int) "total" 4 s.Netlist.Stats.total;
+  Alcotest.(check int) "seq" 0 s.Netlist.Stats.sequential;
+  Alcotest.(check (list (pair string int)))
+    "cells"
+    [ ("and2", 1); ("input", 2); ("inv", 1) ]
+    s.Netlist.Stats.by_cell
+
+let test_module_attribution () =
+  let ctx = Rtl.create () in
+  Rtl.set_module ctx "alpha";
+  let a = Rtl.input ctx and b = Rtl.input ctx in
+  let _ = Rtl.and_ ctx a b in
+  Rtl.set_module ctx "beta";
+  let _ = Rtl.or_ ctx a b in
+  let nl = Rtl.freeze ctx in
+  let s = Netlist.Stats.compute nl in
+  Alcotest.(check (list (pair string int)))
+    "modules"
+    [ ("alpha", 3); ("beta", 1) ]
+    s.Netlist.Stats.by_module
+
+let test_rtl_const_folding () =
+  let ctx = Rtl.create () in
+  let a = Rtl.input ctx in
+  let t = Rtl.vdd ctx and f = Rtl.gnd ctx in
+  (* all of these should fold, creating no new gates *)
+  let n0 = Netlist.Builder.create () in
+  ignore n0;
+  Alcotest.(check int) "and with vdd folds" a (Rtl.and_ ctx a t);
+  Alcotest.(check int) "and with gnd folds" f (Rtl.and_ ctx a f);
+  Alcotest.(check int) "or with gnd folds" a (Rtl.or_ ctx a f);
+  Alcotest.(check int) "or with vdd folds" t (Rtl.or_ ctx a t);
+  Alcotest.(check int) "xor with gnd folds" a (Rtl.xor_ ctx a f);
+  Alcotest.(check int) "a and a" a (Rtl.and_ ctx a a);
+  Alcotest.(check int) "mux same" a (Rtl.mux ctx ~sel:(Rtl.input ctx) a a)
+
+let test_rtl_register_rules () =
+  let ctx = Rtl.create () in
+  let r = Rtl.reg ctx ~width:4 in
+  let d = Rtl.const ctx ~width:4 5 in
+  Rtl.connect ctx r d;
+  Alcotest.check_raises "double connect"
+    (Invalid_argument "Rtl.connect: register already connected") (fun () ->
+      Rtl.connect ctx r d);
+  let r2 = Rtl.reg ctx ~width:4 in
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Rtl.connect: width mismatch") (fun () ->
+      Rtl.connect ctx r2 (Rtl.const ctx ~width:3 0))
+
+let test_stdcell_monotone () =
+  (* max_transition must pick the costlier direction *)
+  let ctx = Rtl.create () in
+  let a = Rtl.input ctx and b = Rtl.input ctx in
+  let n = Rtl.and_ ctx a b in
+  let _sink = Rtl.and_ ctx n b in
+  let nl = Rtl.freeze ctx in
+  let lib = Stdcell.default in
+  let e_max = Stdcell.max_switch_energy lib nl n in
+  let er = Stdcell.switch_energy lib nl n ~rising:true in
+  let ef = Stdcell.switch_energy lib nl n ~rising:false in
+  Alcotest.(check bool) "max is max" true (e_max >= er && e_max >= ef);
+  let t1, t2 = Stdcell.max_transition lib nl n in
+  let dir_rising = t1 = Tri.Zero && t2 = Tri.One in
+  Alcotest.(check bool) "direction matches"
+    (er >= ef)
+    dir_rising
+
+let test_stdcell_load () =
+  let ctx = Rtl.create () in
+  let a = Rtl.input ctx and b = Rtl.input ctx in
+  let n = Rtl.and_ ctx a b in
+  let _s1 = Rtl.not_ ctx n in
+  let _s2 = Rtl.not_ ctx n in
+  let nl = Rtl.freeze ctx in
+  let lib = Stdcell.default in
+  (* two fanouts load more than zero fanouts *)
+  Alcotest.(check bool) "fanout load positive" true
+    (Stdcell.load_cap lib nl n > 0.);
+  Alcotest.(check bool) "leakage positive" true
+    (Stdcell.leakage_power lib nl > 0.);
+  (* scale doubles energies *)
+  let lib2 = Stdcell.scale lib 2.0 in
+  let e1 = Stdcell.switch_energy lib nl n ~rising:true in
+  let e2 = Stdcell.switch_energy lib2 nl n ~rising:true in
+  Alcotest.(check bool) "scaled internal grows" true (e2 > e1)
+
+let () =
+  Alcotest.run "netlist"
+    [
+      ( "ir",
+        [
+          Alcotest.test_case "topo order" `Quick test_topo_order;
+          Alcotest.test_case "find_net" `Quick test_find_net;
+          Alcotest.test_case "loops" `Quick test_loop_detection;
+          Alcotest.test_case "fanouts" `Quick test_fanouts;
+          Alcotest.test_case "stats" `Quick test_stats;
+        ] );
+      ( "rtl",
+        [
+          Alcotest.test_case "module attribution" `Quick test_module_attribution;
+          Alcotest.test_case "const folding" `Quick test_rtl_const_folding;
+          Alcotest.test_case "register rules" `Quick test_rtl_register_rules;
+        ] );
+      ( "stdcell",
+        [
+          Alcotest.test_case "max transition" `Quick test_stdcell_monotone;
+          Alcotest.test_case "load model" `Quick test_stdcell_load;
+        ] );
+    ]

@@ -1,0 +1,204 @@
+(* Text-assembler tests: instruction syntax, whole-program parsing,
+   error reporting, and agreement with the EDSL path (same image, same
+   ISS results). *)
+
+open Isa
+
+let check_instr text expect =
+  Alcotest.(check string) text (Insn.to_string expect) (Insn.to_string (Parse.instr text))
+
+let test_format1 () =
+  check_instr "mov #0x1234, r4"
+    (Insn.I1 (Insn.MOV, Insn.S_imm (Insn.Lit 0x1234), Insn.D_reg 4));
+  check_instr "add r5, r6" (Insn.I1 (Insn.ADD, Insn.S_reg 5, Insn.D_reg 6));
+  check_instr "cmp &0x0120, r7"
+    (Insn.I1 (Insn.CMP, Insn.S_abs (Insn.Lit 0x120), Insn.D_reg 7));
+  check_instr "mov @r4+, r5" (Insn.I1 (Insn.MOV, Insn.S_ind_inc 4, Insn.D_reg 5));
+  check_instr "mov @r4, r5" (Insn.I1 (Insn.MOV, Insn.S_ind 4, Insn.D_reg 5));
+  check_instr "mov 6(r4), r5"
+    (Insn.I1 (Insn.MOV, Insn.S_idx (Insn.Lit 6, 4), Insn.D_reg 5));
+  check_instr "mov r5, 8(r4)"
+    (Insn.I1 (Insn.MOV, Insn.S_reg 5, Insn.D_idx (Insn.Lit 8, 4)));
+  check_instr "xor.w #-1, r9"
+    (Insn.I1 (Insn.XOR, Insn.S_imm (Insn.Lit (-1)), Insn.D_reg 9));
+  check_instr "mov #label, sp"
+    (Insn.I1 (Insn.MOV, Insn.S_imm (Insn.Sym "label"), Insn.D_reg 1))
+
+let test_format2_jumps_emulated () =
+  check_instr "rra r4" (Insn.I2 (Insn.RRA, Insn.S_reg 4));
+  check_instr "push #8" (Insn.I2 (Insn.PUSH, Insn.S_imm (Insn.Lit 8)));
+  check_instr "call #fn" (Insn.I2 (Insn.CALL, Insn.S_imm (Insn.Sym "fn")));
+  check_instr "jne loop" (Insn.J (Insn.JNE, Insn.Sym "loop"));
+  check_instr "jz done" (Insn.J (Insn.JEQ, Insn.Sym "done"));
+  check_instr "nop" Insn.nop;
+  check_instr "ret" Insn.ret;
+  check_instr "pop r7" (Insn.pop 7);
+  check_instr "clr r4" (Insn.clr 4);
+  check_instr "tst r4" (Insn.tst 4);
+  check_instr "clrc" (Insn.I1 (Insn.BIC, Insn.S_imm (Insn.Lit 1), Insn.D_reg 2));
+  check_instr "reti" Insn.RETI
+
+let expect_error text =
+  match Parse.instr text with
+  | exception Parse.Syntax_error _ -> ()
+  | i -> Alcotest.failf "expected syntax error for %S, got %s" text (Insn.to_string i)
+
+let test_errors () =
+  expect_error "mov.b #1, r4";
+  expect_error "frob r4";
+  expect_error "mov #1";
+  expect_error "mov #1, #2";
+  expect_error "mov r16, r4";
+  expect_error "jmp";
+  expect_error "mov 4(r4, r5"
+
+let sample_source =
+  {|
+; sample program: conditional increment
+        .org 0xE000
+start:
+        mov   #0x05f0, sp
+        mov   #0x5A80, &0x0120
+        nop
+        mov   &0x0300, r4      ; the input
+        cmp   #5, r4
+        jeq   equal
+        mov   #1, r5
+        jmp   done
+equal:  mov   #2, r5
+done:   mov   r5, &0x0400
+|}
+
+let test_program_parse_and_run () =
+  let p = Parse.program ~name:"sample" sample_source in
+  let img = Asm.assemble p in
+  Alcotest.(check int) "entry at org" 0xE000 img.Asm.entry_addr;
+  (* _halt was appended automatically *)
+  Alcotest.(check bool) "halt exists" true (Asm.lookup img "_halt" > 0);
+  let run input =
+    let t = Iss.create img in
+    Iss.write_word t 0x0300 input;
+    Iss.run t;
+    Iss.read_word t 0x0400
+  in
+  Alcotest.(check int) "taken" 2 (run 5);
+  Alcotest.(check int) "not taken" 1 (run 99)
+
+let test_program_matches_edsl () =
+  (* the same kernel written in text and via the EDSL must assemble to
+     the same image *)
+  let open Benchprogs.Bench.E in
+  let edsl =
+    [
+      mov (imm 0x1234) (dreg 4);
+      add (reg 4) (dreg 5);
+      i (Insn.J (Insn.JMP, Insn.Sym "_halt"));
+    ]
+  in
+  let p_edsl =
+    {
+      Asm.name = "x";
+      entry = "start";
+      sections =
+        [
+          {
+            Asm.org = Memmap.rom_base;
+            items = (Asm.Label "start" :: edsl) @ Asm.halt_items;
+          };
+        ];
+    }
+  in
+  let text = {|
+start:
+    mov #0x1234, r4
+    add r4, r5
+    jmp _halt
+|} in
+  let p_text = Parse.program ~name:"x" text in
+  let w_of p = (Asm.assemble p).Asm.words in
+  Alcotest.(check (list (pair int int))) "same image" (w_of p_edsl) (w_of p_text)
+
+let test_word_directive_and_sections () =
+  let text = {|
+start:
+    mov &table, r4
+    jmp _halt
+table:
+    .word 0x1111, 0x2222, start
+    .org 0xF000
+more:
+    .word more
+|} in
+  let img = Asm.assemble (Parse.program ~name:"w" text) in
+  let at a = List.assoc a img.Asm.words in
+  let table = Asm.lookup img "table" in
+  Alcotest.(check int) "word 1" 0x1111 (at table);
+  Alcotest.(check int) "word 2" 0x2222 (at (table + 2));
+  Alcotest.(check int) "symbol word" img.Asm.entry_addr (at (table + 4));
+  Alcotest.(check int) "second section" 0xF000 (Asm.lookup img "more");
+  Alcotest.(check int) "self reference" 0xF000 (at 0xF000)
+
+let test_line_numbers_in_errors () =
+  let text = "start:\n  nop\n  frob r4\n" in
+  match Parse.program ~name:"e" text with
+  | exception Parse.Syntax_error (3, _) -> ()
+  | exception Parse.Syntax_error (n, m) ->
+    Alcotest.failf "wrong line %d (%s)" n m
+  | _ -> Alcotest.fail "expected error"
+
+(* property: pretty-printed instructions reparse to themselves *)
+let qgen_reg = QCheck2.Gen.int_range 4 12
+
+let qgen_printable_instr =
+  QCheck2.Gen.(
+    oneof
+      [
+        map3
+          (fun op s d -> Insn.I1 (op, s, d))
+          (oneofl Insn.[ MOV; ADD; SUB; CMP; XOR; AND; BIS; BIC ])
+          (oneof
+             [
+               map (fun r -> Insn.S_reg r) qgen_reg;
+               map (fun v -> Insn.S_imm (Insn.Lit v)) (int_range 0 0xFFFF);
+               map2 (fun v r -> Insn.S_idx (Insn.Lit v, r)) (int_range 0 0xFF) qgen_reg;
+               map (fun r -> Insn.S_ind r) qgen_reg;
+               map (fun v -> Insn.S_abs (Insn.Lit v)) (int_range 0 0xFFFF);
+             ])
+          (oneof
+             [
+               map (fun r -> Insn.D_reg r) qgen_reg;
+               map2 (fun v r -> Insn.D_idx (Insn.Lit v, r)) (int_range 0 0xFF) qgen_reg;
+               map (fun v -> Insn.D_abs (Insn.Lit v)) (int_range 0 0xFFFF);
+             ]);
+        map2
+          (fun op r -> Insn.I2 (op, Insn.S_reg r))
+          (oneofl Insn.[ RRC; SWPB; RRA; SXT; PUSH ])
+          qgen_reg;
+      ])
+
+let print_parse_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"to_string |> parse = id"
+    qgen_printable_instr (fun i ->
+      Parse.instr (Insn.to_string i) = i)
+
+let () =
+  Alcotest.run "parse"
+    [
+      ( "instructions",
+        [
+          Alcotest.test_case "format I" `Quick test_format1;
+          Alcotest.test_case "format II / jumps / emulated" `Quick
+            test_format2_jumps_emulated;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "parse and run" `Quick test_program_parse_and_run;
+          Alcotest.test_case "matches EDSL" `Quick test_program_matches_edsl;
+          Alcotest.test_case "words and sections" `Quick
+            test_word_directive_and_sections;
+          Alcotest.test_case "error line numbers" `Quick
+            test_line_numbers_in_errors;
+        ] );
+      ("roundtrip", [ QCheck_alcotest.to_alcotest print_parse_roundtrip ]);
+    ]

@@ -1,0 +1,148 @@
+(* Power-analysis properties on the real CPU netlist: mode ordering,
+   breakdown consistency, energy accounting, and the calibration
+   knobs. *)
+
+let cpu = Tsupport.the_cpu ()
+let nl = cpu.Cpu.netlist
+let period = 1e-8
+let pa = lazy (Core.Analyze.poweran_for ~period cpu)
+
+(* random synthetic cycle records over real nets *)
+let gen_cycle =
+  QCheck2.Gen.(
+    let n = Netlist.gate_count nl in
+    let* n_deltas = int_range 0 60 in
+    let* n_x = int_range 0 40 in
+    let* deltas =
+      list_size (return n_deltas)
+        (let* net = int_range 0 (n - 1) in
+         let* old_v = int_range 0 2 in
+         let* new_v = int_range 0 2 in
+         let new_v = if new_v = old_v then (new_v + 1) mod 3 else new_v in
+         return (Gatesim.Trace.pack ~net ~old_v ~new_v))
+    in
+    let* x_active = list_size (return n_x) (int_range 0 (n - 1)) in
+    return
+      {
+        Gatesim.Trace.deltas = Array.of_list deltas;
+        x_active = Array.of_list x_active;
+        pc = Tri.Word.all_x ~width:16;
+        state = Tri.Word.all_x ~width:16;
+        ir = Tri.Word.all_x ~width:16;
+      })
+
+let max_dominates_observed =
+  QCheck2.Test.make ~count:300 ~name:"max mode >= observed mode" gen_cycle
+    (fun cy ->
+      Poweran.cycle_power_max (Lazy.force pa) cy
+      >= Poweran.cycle_power_observed (Lazy.force pa) cy -. 1e-18)
+
+let breakdown_sums =
+  QCheck2.Test.make ~count:200 ~name:"module breakdown sums to cycle power"
+    gen_cycle (fun cy ->
+      let pa = Lazy.force pa in
+      let check mode total =
+        let sum =
+          List.fold_left
+            (fun acc (_, p) -> acc +. p)
+            0.
+            (Poweran.module_breakdown pa ~mode cy)
+        in
+        Float.abs (sum -. total) < 1e-9 *. Float.max 1. total
+      in
+      check `Max (Poweran.cycle_power_max pa cy)
+      && check `Observed (Poweran.cycle_power_observed pa cy))
+
+let base_is_floor =
+  QCheck2.Test.make ~count:200 ~name:"base power is the floor" gen_cycle
+    (fun cy ->
+      Poweran.cycle_power_observed (Lazy.force pa) cy
+      >= Poweran.base_power (Lazy.force pa) -. 1e-18)
+
+let peak_of_props =
+  QCheck2.Test.make ~count:300 ~name:"peak_of returns the max and its index"
+    QCheck2.Gen.(array_size (int_range 1 50) (float_range 0. 10.))
+    (fun arr ->
+      let p, i = Poweran.peak_of arr in
+      Array.for_all (fun v -> v <= p) arr && arr.(i) = p)
+
+let test_trace_energy () =
+  let pa = Lazy.force pa in
+  let cycles =
+    Array.init 5 (fun _ ->
+        {
+          Gatesim.Trace.deltas = [||];
+          x_active = [||];
+          pc = Tri.Word.all_x ~width:16;
+          state = Tri.Word.all_x ~width:16;
+          ir = Tri.Word.all_x ~width:16;
+        })
+  in
+  (* quiet cycles: energy = 5 * base * T *)
+  let e = Poweran.trace_energy pa ~mode:`Observed cycles in
+  Alcotest.(check bool) "quiet trace energy" true
+    (Float.abs (e -. (5. *. Poweran.base_power pa *. period)) < 1e-15)
+
+let test_bus_cap_raises_energy () =
+  let plain = Poweran.create nl Stdcell.default ~period in
+  let bused =
+    Poweran.create ~bus:cpu.Cpu.bus_nets ~bus_cap:1e-12 nl Stdcell.default ~period
+  in
+  (* a delta on a bus net costs more with the bus cap *)
+  let net = cpu.Cpu.bus_nets.(0) in
+  let cy =
+    {
+      Gatesim.Trace.deltas = [| Gatesim.Trace.pack ~net ~old_v:0 ~new_v:1 |];
+      x_active = [||];
+      pc = Tri.Word.all_x ~width:16;
+      state = Tri.Word.all_x ~width:16;
+      ir = Tri.Word.all_x ~width:16;
+    }
+  in
+  Alcotest.(check bool) "bus cap adds energy" true
+    (Poweran.cycle_power_observed bused cy > Poweran.cycle_power_observed plain cy)
+
+let test_module_scale () =
+  let plain = Poweran.create nl Stdcell.default ~period in
+  let scaled =
+    Poweran.create ~module_scale:[ ("multiplier", 2.0) ] nl Stdcell.default ~period
+  in
+  (* find a multiplier net *)
+  let net = ref (-1) in
+  Array.iteri
+    (fun id (_ : Netlist.gate) ->
+      if !net < 0 && Netlist.module_of nl id = "multiplier"
+         && not (Netlist.is_sequential nl.Netlist.gates.(id).Netlist.cell)
+         && nl.Netlist.gates.(id).Netlist.cell <> Netlist.Input
+      then net := id)
+    nl.Netlist.gates;
+  let cy =
+    {
+      Gatesim.Trace.deltas = [| Gatesim.Trace.pack ~net:!net ~old_v:0 ~new_v:1 |];
+      x_active = [||];
+      pc = Tri.Word.all_x ~width:16;
+      state = Tri.Word.all_x ~width:16;
+      ir = Tri.Word.all_x ~width:16;
+    }
+  in
+  let d p = Poweran.cycle_power_observed p cy -. Poweran.base_power p in
+  Alcotest.(check bool) "scaled multiplier net costs 2x" true
+    (Float.abs ((d scaled /. d plain) -. 2.0) < 1e-6)
+
+let () =
+  Alcotest.run "poweran"
+    [
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest max_dominates_observed;
+          QCheck_alcotest.to_alcotest breakdown_sums;
+          QCheck_alcotest.to_alcotest base_is_floor;
+          QCheck_alcotest.to_alcotest peak_of_props;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "trace energy" `Quick test_trace_energy;
+          Alcotest.test_case "bus capacitance" `Quick test_bus_cap_raises_energy;
+          Alcotest.test_case "module scale" `Quick test_module_scale;
+        ] );
+    ]

@@ -1,0 +1,238 @@
+(* The central soundness property, tested on random netlists rather
+   than just the CPU: for any circuit, any X-driven symbolic evaluation
+   refines every concrete evaluation obtained by concretizing the X
+   inputs — per gate, per cycle. This exercises the levelized
+   evaluator, Dff/Dffe latching and X-merge semantics independently of
+   the processor. *)
+
+type rcell =
+  | RInv of int
+  | RAnd of int * int
+  | ROr of int * int
+  | RXor of int * int
+  | RMux of int * int * int
+  | RDff of int  (* d, connected later *)
+  | RDffe of int * int
+
+(* A random netlist description: [n_in] primary inputs then cells whose
+   fanins point at any earlier node (flops may point anywhere). *)
+type rnet = { n_in : int; cells : rcell array }
+
+let gen_rnet =
+  QCheck2.Gen.(
+    let* n_in = int_range 1 5 in
+    let* n_cells = int_range 3 40 in
+    let* cells =
+      let cell_at idx =
+        let earlier = int_range 0 (n_in + idx - 1) in
+        let anywhere = int_range 0 (n_in + n_cells - 1) in
+        oneof
+          [
+            map (fun a -> RInv a) earlier;
+            map2 (fun a b -> RAnd (a, b)) earlier earlier;
+            map2 (fun a b -> ROr (a, b)) earlier earlier;
+            map2 (fun a b -> RXor (a, b)) earlier earlier;
+            map3 (fun s a b -> RMux (s, a, b)) earlier earlier earlier;
+            map (fun d -> RDff d) anywhere;
+            map2 (fun en d -> RDffe (en, d)) earlier anywhere;
+          ]
+      in
+      (* build sequentially so "earlier" grows *)
+      let rec go idx acc =
+        if idx = n_cells then return (Array.of_list (List.rev acc))
+        else
+          let* c = cell_at idx in
+          go (idx + 1) (c :: acc)
+      in
+      go 0 []
+    in
+    return { n_in; cells })
+
+(* Three-valued reference evaluation of the random netlist, entirely
+   independent of the Gatesim engine: full re-evaluation each cycle. *)
+let eval_reference (r : rnet) ~(inputs : int array array) ~cycles =
+  let n = r.n_in + Array.length r.cells in
+  let state = Array.make n Tri.I.x in
+  let out = Array.make cycles [||] in
+  for c = 0 to cycles - 1 do
+    (* drive inputs *)
+    for k = 0 to r.n_in - 1 do
+      state.(k) <- inputs.(c).(k)
+    done;
+    (* settle combinational in definition order (acyclic by construction) *)
+    let next_flops = ref [] in
+    Array.iteri
+      (fun i cell ->
+        let id = r.n_in + i in
+        match cell with
+        | RInv a -> state.(id) <- Tri.I.lnot state.(a)
+        | RAnd (a, b) -> state.(id) <- Tri.I.land_ state.(a) state.(b)
+        | ROr (a, b) -> state.(id) <- Tri.I.lor_ state.(a) state.(b)
+        | RXor (a, b) -> state.(id) <- Tri.I.lxor_ state.(a) state.(b)
+        | RMux (s, a, b) -> state.(id) <- Tri.I.mux state.(s) state.(a) state.(b)
+        | RDff _ | RDffe _ -> ())
+      r.cells;
+    out.(c) <- Array.copy state;
+    (* latch flops from the settled values *)
+    Array.iteri
+      (fun i cell ->
+        let id = r.n_in + i in
+        match cell with
+        | RDff d -> next_flops := (id, state.(d)) :: !next_flops
+        | RDffe (en, d) ->
+          let nv =
+            if state.(en) = 0 then state.(id)
+            else if state.(en) = 1 then state.(d)
+            else if state.(d) = state.(id) then state.(id)
+            else Tri.I.x
+          in
+          next_flops := (id, nv) :: !next_flops
+        | _ -> ())
+      r.cells;
+    List.iter (fun (id, v) -> state.(id) <- v) !next_flops
+  done;
+  out
+
+(* Build the same circuit through Netlist.Builder and run it on the
+   Engine; flop feedback is resolved with the two-phase builder API. *)
+let build_engine (r : rnet) =
+  let b = Netlist.Builder.create () in
+  let ids = Array.make (r.n_in + Array.length r.cells) (-1) in
+  for k = 0 to r.n_in - 1 do
+    ids.(k) <- Netlist.Builder.add_input b
+  done;
+  (* first pass: create flops so forward references resolve *)
+  Array.iteri
+    (fun i cell ->
+      match cell with
+      | RDff _ -> ids.(r.n_in + i) <- Netlist.Builder.add_dff b
+      | RDffe _ -> ids.(r.n_in + i) <- Netlist.Builder.add_dffe b
+      | _ -> ())
+    r.cells;
+  Array.iteri
+    (fun i cell ->
+      let mk cell fanins = Netlist.Builder.add_gate b cell fanins in
+      match cell with
+      | RInv a -> ids.(r.n_in + i) <- mk Netlist.Inv [| ids.(a) |]
+      | RAnd (a, c) -> ids.(r.n_in + i) <- mk Netlist.And2 [| ids.(a); ids.(c) |]
+      | ROr (a, c) -> ids.(r.n_in + i) <- mk Netlist.Or2 [| ids.(a); ids.(c) |]
+      | RXor (a, c) -> ids.(r.n_in + i) <- mk Netlist.Xor2 [| ids.(a); ids.(c) |]
+      | RMux (s, a, c) ->
+        ids.(r.n_in + i) <- mk Netlist.Mux2 [| ids.(s); ids.(a); ids.(c) |]
+      | RDff _ | RDffe _ -> ())
+    r.cells;
+  Array.iteri
+    (fun i cell ->
+      match cell with
+      | RDff d -> Netlist.Builder.set_dff_input b ids.(r.n_in + i) ids.(d)
+      | RDffe (en, d) ->
+        Netlist.Builder.set_dffe_inputs b ids.(r.n_in + i) ~en:ids.(en) ~d:ids.(d)
+      | _ -> ())
+    r.cells;
+  let const0 = Netlist.Builder.add_const b Tri.Zero in
+  let nl = Netlist.Builder.freeze b in
+  (nl, ids, const0)
+
+(* Drive the circuit's inputs through the engine's port_in machinery
+   (the memory interface is tied off to a constant-0 strobe). *)
+let run_engine (r : rnet) ~(inputs : int array array) ~cycles =
+  let nl, ids, const0 = build_engine r in
+  let in_nets = Array.sub ids 0 r.n_in in
+  let ports =
+    {
+      Gatesim.Engine.reset = const0;
+      port_in = in_nets;
+      mem_addr = Array.make 16 const0;
+      mem_rdata = [||];
+      mem_wdata = Array.make 16 const0;
+      mem_ren = const0;
+      mem_wen = const0;
+      pc = [| const0 |];
+      state = [| const0 |];
+      ir = [| const0 |];
+      fork_net = None;
+    }
+  in
+  let mem =
+    Gatesim.Mem.create ~rom:[ (0xFFFE, 0xE000) ] ~ram_base:0x200 ~ram_bytes:64
+  in
+  let e = Gatesim.Engine.create nl ~ports ~mem in
+  let out = Array.make cycles [||] in
+  for c = 0 to cycles - 1 do
+    Gatesim.Engine.set_port_in e (Array.map Tri.of_int inputs.(c));
+    ignore (Gatesim.Engine.begin_cycle e);
+    let snapshot =
+      Array.init (r.n_in + Array.length r.cells) (fun k ->
+          Tri.to_int (Gatesim.Engine.value e ids.(k)))
+    in
+    ignore (Gatesim.Engine.finish_cycle e);
+    out.(c) <- snapshot
+  done;
+  out
+
+let refines sym conc =
+  sym = Tri.I.x || sym = conc
+
+let gen_case =
+  QCheck2.Gen.(
+    let* r = gen_rnet in
+    let* cycles = int_range 2 8 in
+    (* symbolic input stream: trits; concrete stream: a concretization *)
+    let* sym_inputs =
+      array_size (return cycles)
+        (array_size (return r.n_in) (int_range 0 2))
+    in
+    let* fills =
+      array_size (return cycles) (array_size (return r.n_in) (int_range 0 1))
+    in
+    let conc_inputs =
+      Array.mapi
+        (fun c row ->
+          Array.mapi (fun k v -> if v = Tri.I.x then fills.(c).(k) else v) row)
+        sym_inputs
+    in
+    return (r, cycles, sym_inputs, conc_inputs))
+
+let reference_refinement =
+  QCheck2.Test.make ~count:300 ~name:"3-valued reference refines concrete"
+    gen_case (fun (r, cycles, sym_inputs, conc_inputs) ->
+      let sym = eval_reference r ~inputs:sym_inputs ~cycles in
+      let conc = eval_reference r ~inputs:conc_inputs ~cycles in
+      let ok = ref true in
+      for c = 0 to cycles - 1 do
+        Array.iteri
+          (fun k s -> if not (refines s conc.(c).(k)) then ok := false)
+          sym.(c)
+      done;
+      !ok)
+
+let engine_matches_reference =
+  QCheck2.Test.make ~count:300 ~name:"engine = reference evaluator"
+    QCheck2.Gen.(
+      let* r = gen_rnet in
+      let* cycles = int_range 2 8 in
+      let* inputs =
+        array_size (return cycles)
+          (array_size (return r.n_in) (int_range 0 2))
+      in
+      return (r, cycles, inputs))
+    (fun (r, cycles, inputs) ->
+      let ref_out = eval_reference r ~inputs ~cycles in
+      let eng_out = run_engine r ~inputs ~cycles in
+      let ok = ref true in
+      for c = 0 to cycles - 1 do
+        Array.iteri
+          (fun k v -> if v <> ref_out.(c).(k) then ok := false)
+          eng_out.(c)
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "refinement"
+    [
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest reference_refinement;
+          QCheck_alcotest.to_alcotest engine_matches_reference;
+        ] );
+    ]

@@ -1,0 +1,95 @@
+(* Report-layer tests: renderers, the experiment registry, and a few
+   cheap end-to-end experiment runs. *)
+
+let test_table_render () =
+  let s =
+    Report.Render.table ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "four lines + trailing" 5 (List.length lines);
+  Alcotest.(check bool) "contains separator" true
+    (String.length (List.nth lines 1) > 0 && (List.nth lines 1).[0] = '-');
+  Alcotest.(check bool) "pads to widest cell" true
+    (String.length (List.nth lines 0) >= String.length "a    bb")
+
+let test_series_render () =
+  Alcotest.(check string) "empty" "(empty)" (Report.Render.series [||]);
+  let flat = Report.Render.series ~width:8 (Array.make 20 1.0) in
+  Alcotest.(check int) "bucketed width" 8 (String.length flat);
+  let ramp = Report.Render.series ~width:10 (Array.init 10 float_of_int) in
+  Alcotest.(check int) "one char per point" 10 (String.length ramp);
+  (* last bucket is the maximum *)
+  Alcotest.(check char) "max mark" '@' ramp.[9]
+
+let test_units () =
+  Alcotest.(check string) "mw" "1.234" (Report.Render.mw 1.234e-3);
+  Alcotest.(check string) "pj" "2.50" (Report.Render.pj 2.5e-12)
+
+let test_registry_unique_ids () =
+  let ids = List.map (fun (i, _, _) -> i) Report.Experiments.all in
+  Alcotest.(check int) "all ids unique"
+    (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  Alcotest.(check int) "24 experiments" 24 (List.length ids);
+  Alcotest.check_raises "unknown id"
+    (Invalid_argument "Experiments.find: unknown experiment nope") (fun () ->
+      ignore (Report.Experiments.find "nope" : Report.Context.t -> string))
+
+let ctx = lazy (Report.Context.create ~log:(fun _ -> ()) ())
+
+let test_static_experiments () =
+  let c = Lazy.force ctx in
+  List.iter
+    (fun id ->
+      let out = Report.Experiments.find id c in
+      Alcotest.(check bool) (id ^ " nonempty") true (String.length out > 80))
+    [ "table-1.1"; "table-1.2"; "table-6.1"; "fig-3.2"; "fig-5.3" ]
+
+let test_fig_3_2_contents () =
+  let out = Report.Experiments.find "fig-3.2" (Lazy.force ctx) in
+  (* the even table must realize the paper's all-rise cycle 6 *)
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions even" true (contains out "maximize even cycles")
+
+let test_context_caching () =
+  let c = Lazy.force ctx in
+  let b = Benchprogs.Bench.find "intAVG" in
+  let a1 = Report.Context.analysis c b in
+  let a2 = Report.Context.analysis c b in
+  Alcotest.(check bool) "same analysis object" true (a1 == a2)
+
+let test_optrun_on_small_bench () =
+  let c = Lazy.force ctx in
+  let b = Benchprogs.Bench.find "intAVG" in
+  let o = Report.Context.optimization c b in
+  Alcotest.(check bool) "opt peak <= base peak" true
+    (o.Report.Optrun.opt_peak <= o.Report.Optrun.base_peak +. 1e-15);
+  Alcotest.(check bool) "perf cost bounded" true
+    (Report.Optrun.perf_degradation_pct o <= 6.01);
+  Alcotest.(check bool) "cycles positive" true (o.Report.Optrun.base_cycles > 0)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "render",
+        [
+          Alcotest.test_case "table" `Quick test_table_render;
+          Alcotest.test_case "series" `Quick test_series_render;
+          Alcotest.test_case "units" `Quick test_units;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "registry" `Quick test_registry_unique_ids;
+          Alcotest.test_case "static outputs" `Quick test_static_experiments;
+          Alcotest.test_case "fig 3.2 contents" `Quick test_fig_3_2_contents;
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "caching" `Quick test_context_caching;
+          Alcotest.test_case "optimization run" `Quick test_optrun_on_small_bench;
+        ] );
+    ]

@@ -1,0 +1,77 @@
+(* Sizing-model tests: table data, conversion formulas, and the
+   reduction arithmetic behind Tables 5.1/5.2. *)
+
+let test_battery_tables () =
+  Alcotest.(check int) "six battery types" 6 (List.length Sizing.Battery.all);
+  let li = Sizing.Battery.find "Li-ion" in
+  Alcotest.(check (float 1e-9)) "li-ion density" 1.152
+    li.Sizing.Battery.energy_density;
+  Alcotest.check_raises "unknown battery"
+    (Invalid_argument "Sizing.Battery.find: unobtainium") (fun () ->
+      ignore (Sizing.Battery.find "unobtainium"))
+
+let test_harvester_tables () =
+  Alcotest.(check int) "four harvesters" 4 (List.length Sizing.Harvester.all);
+  let pv = Sizing.Harvester.find "Photovoltaic (sun)" in
+  (* 1 W at 100 mW/cm^2 -> 10 cm^2 *)
+  Alcotest.(check (float 1e-9)) "area" 10.
+    (Sizing.Harvester.area_cm2 pv ~power_w:1.0)
+
+let test_battery_volume () =
+  let li = Sizing.Battery.find "Li-ion" in
+  (* 1.152 MJ fits in exactly one liter *)
+  Alcotest.(check (float 1e-9)) "volume" 1.0
+    (Sizing.Battery.volume_l li ~energy_j:1.152e6)
+
+let test_reduction_formula () =
+  (* no improvement -> no reduction *)
+  Alcotest.(check (float 1e-12)) "equal" 0.
+    (Sizing.reduction_pct ~baseline:2. ~ours:2. ~fraction:1.0);
+  (* halving the requirement at 100% contribution halves the component *)
+  Alcotest.(check (float 1e-9)) "half" 50.
+    (Sizing.reduction_pct ~baseline:2. ~ours:1. ~fraction:1.0);
+  (* contribution scales linearly *)
+  Alcotest.(check (float 1e-9)) "quarter share" 12.5
+    (Sizing.reduction_pct ~baseline:2. ~ours:1. ~fraction:0.25);
+  Alcotest.(check (float 1e-12)) "degenerate baseline" 0.
+    (Sizing.reduction_pct ~baseline:0. ~ours:1. ~fraction:1.0)
+
+let reduction_props =
+  [
+    QCheck2.Test.make ~count:500 ~name:"reduction in [0,100] when ours<=baseline"
+      QCheck2.Gen.(triple (float_range 0.1 10.) (float_range 0. 1.) (float_range 0. 1.))
+      (fun (baseline, ratio, fraction) ->
+        let ours = baseline *. ratio in
+        let r = Sizing.reduction_pct ~baseline ~ours ~fraction in
+        r >= -1e-9 && r <= 100. +. 1e-9);
+    QCheck2.Test.make ~count:500 ~name:"reduction monotone in tightening"
+      QCheck2.Gen.(triple (float_range 1. 10.) (float_range 0.1 0.9) (float_range 0.05 1.))
+      (fun (baseline, ratio, fraction) ->
+        let tighter = Sizing.reduction_pct ~baseline ~ours:(baseline *. ratio *. 0.5) ~fraction in
+        let looser = Sizing.reduction_pct ~baseline ~ours:(baseline *. ratio) ~fraction in
+        tighter >= looser -. 1e-9);
+  ]
+
+let test_sensor_node () =
+  let area, vol =
+    Sizing.sensor_node_savings ~baseline_peak:2. ~x_peak:1.5 ~baseline_energy:2.
+      ~x_energy:1.5
+  in
+  (* 25% tighter bound -> a quarter of 32.6 cm^2 and 6.95 mm^3 *)
+  Alcotest.(check (float 1e-6)) "area saved" (32.6 *. 0.25) area;
+  Alcotest.(check (float 1e-6)) "volume saved" (6.95 *. 0.25) vol
+
+let () =
+  Alcotest.run "sizing"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "batteries" `Quick test_battery_tables;
+          Alcotest.test_case "harvesters" `Quick test_harvester_tables;
+          Alcotest.test_case "volume" `Quick test_battery_volume;
+        ] );
+      ( "reduction",
+        Alcotest.test_case "formula" `Quick test_reduction_formula
+        :: List.map QCheck_alcotest.to_alcotest reduction_props );
+      ("sensor-node", [ Alcotest.test_case "worked example" `Quick test_sensor_node ]);
+    ]

@@ -1,0 +1,102 @@
+(* VCD writer/parser tests: identifier codes, document structure, and a
+   write/parse/replay roundtrip property. *)
+
+let test_id_codes () =
+  Alcotest.(check string) "0" "!" (Vcd.id_code 0);
+  Alcotest.(check string) "93" "~" (Vcd.id_code 93);
+  Alcotest.(check string) "94" "!!" (Vcd.id_code 94);
+  List.iter
+    (fun n -> Alcotest.(check int) "roundtrip" n (Vcd.of_id_code (Vcd.id_code n)))
+    [ 0; 1; 93; 94; 95; 1000; 8835; 8836; 123456 ]
+
+let id_roundtrip =
+  QCheck2.Test.make ~count:1000 ~name:"id_code roundtrip"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun n -> Vcd.of_id_code (Vcd.id_code n) = n)
+
+let test_write_parse () =
+  let names = [| "a"; "b"; "c" |] in
+  let initial = [| Tri.Zero; Tri.X; Tri.One |] in
+  let changes =
+    [|
+      [ (0, Tri.One) ];
+      [];
+      [ (1, Tri.Zero); (2, Tri.X) ];
+    |]
+  in
+  let doc = Vcd.parse (Vcd.write_trace ~names ~initial ~changes) in
+  Alcotest.(check (option string)) "timescale" (Some "10 ns") doc.Vcd.timescale;
+  Alcotest.(check int) "vars" 3 (List.length doc.Vcd.var_names);
+  Alcotest.(check int) "initial" 3 (List.length doc.Vcd.initial);
+  let replayed = Vcd.replay doc ~nets:3 in
+  (* time 1: a flipped; time 3: b -> 0, c -> x *)
+  let at t =
+    match List.assoc_opt t replayed with
+    | Some v -> v
+    | None -> Alcotest.fail (Printf.sprintf "no step at %d" t)
+  in
+  Alcotest.(check char) "a at 1" '1' (Tri.to_char (at 1).(0));
+  Alcotest.(check char) "b at 3" '0' (Tri.to_char (at 3).(1));
+  Alcotest.(check char) "c at 3" 'x' (Tri.to_char (at 3).(2))
+
+let test_parse_error () =
+  (try
+     ignore (Vcd.parse "#0\nqq\n");
+     Alcotest.fail "expected parse error"
+   with Vcd.Parse_error _ -> ());
+  try
+    ignore (Vcd.parse "1! \n");
+    Alcotest.fail "expected error for change before timestamp"
+  with Vcd.Parse_error _ -> ()
+
+let gen_trace =
+  QCheck2.Gen.(
+    let* nets = int_range 1 20 in
+    let* cycles = int_range 0 30 in
+    let* initial = array_size (return nets) (map Tri.of_int (int_range 0 2)) in
+    let* changes =
+      array_size (return cycles)
+        (list_size (int_range 0 5)
+           (pair (int_range 0 (nets - 1)) (map Tri.of_int (int_range 0 2))))
+    in
+    return (nets, initial, changes))
+
+let roundtrip_replay =
+  QCheck2.Test.make ~count:200 ~name:"write/parse/replay equals direct replay"
+    gen_trace
+    (fun (nets, initial, changes) ->
+      let names = Array.init nets (fun i -> Printf.sprintf "n%d" i) in
+      let doc = Vcd.parse (Vcd.write_trace ~names ~initial ~changes) in
+      let replayed = Vcd.replay doc ~nets in
+      (* direct replay *)
+      let v = Array.copy initial in
+      let ok = ref true in
+      Array.iteri
+        (fun c deltas ->
+          (* last change to a net within a cycle wins *)
+          List.iter (fun (n, t) -> v.(n) <- t) deltas;
+          if deltas <> [] then begin
+            match List.assoc_opt (c + 1) replayed with
+            | None -> ok := false
+            | Some arr ->
+              if not (Array.for_all2 (fun a b -> Tri.equal a b) arr v) then
+                ok := false
+          end)
+        changes;
+      !ok)
+
+let () =
+  Alcotest.run "vcd"
+    [
+      ( "codes",
+        [
+          Alcotest.test_case "id codes" `Quick test_id_codes;
+          QCheck_alcotest.to_alcotest id_roundtrip;
+        ] );
+      ( "documents",
+        [
+          Alcotest.test_case "write/parse" `Quick test_write_parse;
+          Alcotest.test_case "parse errors" `Quick test_parse_error;
+          QCheck_alcotest.to_alcotest roundtrip_replay;
+        ] );
+    ]
