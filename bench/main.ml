@@ -7,7 +7,8 @@
      bench/main.exe fig-5.1 ...     run selected experiments
      bench/main.exe micro           Bechamel micro-benchmarks
      bench/main.exe ablate          ablation studies
-     bench/main.exe list            list experiment ids *)
+     bench/main.exe list            list experiment ids
+     bench/main.exe -j N ...        use N worker domains (1 = sequential) *)
 
 let usage () =
   print_endline "experiments:";
@@ -15,9 +16,36 @@ let usage () =
     (fun (id, title, _) -> Printf.printf "  %-10s %s\n" id title)
     Report.Experiments.all;
   print_endline "  micro      bechamel micro-benchmarks";
-  print_endline "  ablate     ablation studies"
+  print_endline "  ablate     ablation studies";
+  print_endline "options:";
+  print_endline "  -j/--jobs N   worker domains (default: recommended count)"
 
 (* ---------------- micro-benchmarks ---------------- *)
+
+(* Machine-readable mirror of the console output, so the perf trajectory
+   is trackable across commits: run with -j 1 and -j N and compare the
+   two files. *)
+let write_bench_json entries cycles_per_run =
+  let oc = open_out "BENCH_micro.json" in
+  Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"results\": [\n"
+    (Parallel.default_jobs ());
+  let last = List.length entries - 1 in
+  List.iteri
+    (fun i (name, ns) ->
+      let runs_per_s = if ns > 0. then 1e9 /. ns else 0. in
+      let cyc =
+        match List.assoc_opt name cycles_per_run with
+        | Some c -> Printf.sprintf ", \"cycles_per_s\": %.1f" (c *. runs_per_s)
+        | None -> ""
+      in
+      Printf.fprintf oc
+        "    {\"name\": %S, \"ns_per_run\": %.1f, \"runs_per_s\": %.3f%s}%s\n"
+        name ns runs_per_s cyc
+        (if i = last then "" else ","))
+    entries;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  prerr_endline "wrote BENCH_micro.json"
 
 let micro () =
   let open Bechamel in
@@ -44,6 +72,13 @@ let micro () =
     Test.make ~name:"symbolic-analysis-tea8"
       (Staged.stage (fun () -> ignore (Core.Analyze.run pa cpu img)))
   in
+  (* Sequential tree exploration on an explicit one-worker pool: the
+     in-process baseline the parallel variant above is compared to. *)
+  let seq_pool = Parallel.Pool.create ~jobs:1 in
+  let symbolic_tree_seq =
+    Test.make ~name:"symbolic-analysis-tea8-j1"
+      (Staged.stage (fun () -> ignore (Core.Analyze.run ~pool:seq_pool pa cpu img)))
+  in
   let a = Core.Analyze.run pa cpu img in
   let peak_power =
     Test.make ~name:"algorithm2-peak-power"
@@ -55,6 +90,17 @@ let micro () =
   in
   let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) () in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let sym_cycles = float_of_int a.Core.Analyze.sym_stats.Gatesim.Sym.total_cycles in
+  let cycles_per_run =
+    [
+      (* 2 reset + 100 stepped cycles *)
+      ("concrete-100-cycles", 102.);
+      ("symbolic-analysis-tea8", sym_cycles);
+      ("symbolic-analysis-tea8-j1", sym_cycles);
+      ("algorithm2-peak-power", float_of_int (Array.length a.Core.Analyze.flattened));
+    ]
+  in
+  let collected = ref [] in
   List.iter
     (fun test ->
       let results =
@@ -66,10 +112,13 @@ let micro () =
       Hashtbl.iter
         (fun name ols ->
           match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.printf "%-28s %12.1f ns/run\n" name est
+          | Some [ est ] ->
+            Printf.printf "%-28s %12.1f ns/run\n" name est;
+            collected := (name, est) :: !collected
           | _ -> Printf.printf "%-28s (no estimate)\n" name)
         results)
-    [ concrete_step; symbolic_tree; peak_power; cpu_build ]
+    [ concrete_step; symbolic_tree; symbolic_tree_seq; peak_power; cpu_build ];
+  write_bench_json (List.rev !collected) cycles_per_run
 
 (* ---------------- ablations (DESIGN.md §5) ---------------- *)
 
@@ -168,7 +217,27 @@ let ablate () =
     (fst (Poweran.peak_of without_x) *. 1e3)
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let set_jobs n =
+    match int_of_string_opt n with
+    | Some j -> Parallel.set_default_jobs j
+    | None ->
+      Printf.eprintf "error: -j/--jobs expects an integer, got %S\n" n;
+      exit 2
+  in
+  let rec parse_jobs acc = function
+    | [] -> List.rev acc
+    | [ ("-j" | "--jobs") ] ->
+      prerr_endline "error: -j/--jobs requires a value";
+      exit 2
+    | ("-j" | "--jobs") :: n :: rest ->
+      set_jobs n;
+      parse_jobs acc rest
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+      set_jobs (String.sub a 7 (String.length a - 7));
+      parse_jobs acc rest
+    | a :: rest -> parse_jobs (a :: acc) rest
+  in
+  let args = parse_jobs [] (List.tl (Array.to_list Sys.argv)) in
   match args with
   | [ "list" ] -> usage ()
   | [ "micro" ] -> micro ()

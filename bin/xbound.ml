@@ -27,6 +27,17 @@ let bench_arg =
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
 
+(* Evaluated before each command body: set the domain-pool size. Results
+   are bit-identical at any job count, so this only affects wall-clock
+   time. *)
+let jobs_term =
+  let doc =
+    "Number of worker domains for parallel analysis (default: the \
+     machine's recommended domain count; 1 = fully sequential)."
+  in
+  let arg = Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc) in
+  Term.(const (function None -> () | Some j -> Parallel.set_default_jobs j) $ arg)
+
 let list_cmd =
   let run () =
     print_endline "paper suite (Table 4.1):";
@@ -60,7 +71,7 @@ let netlist_cmd =
     Term.(const run $ const ())
 
 let analyze_cmd =
-  let run name =
+  let run () name =
     let c = Lazy.force ctx in
     let b = find_bench name in
     let a = Report.Context.analysis c b in
@@ -84,10 +95,10 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"X-based peak power and energy bounds for a benchmark")
-    Term.(const run $ bench_arg)
+    Term.(const run $ jobs_term $ bench_arg)
 
 let profile_cmd =
-  let run name =
+  let run () name =
     let c = Lazy.force ctx in
     let b = find_bench name in
     let p = Report.Context.profile c b in
@@ -104,10 +115,10 @@ let profile_cmd =
   in
   Cmd.v
     (Cmd.info "profile" ~doc:"Input-based profiling baseline for a benchmark")
-    Term.(const run $ bench_arg)
+    Term.(const run $ jobs_term $ bench_arg)
 
 let coi_cmd =
-  let run name =
+  let run () name =
     let c = Lazy.force ctx in
     let b = find_bench name in
     let a = Report.Context.analysis c b in
@@ -116,10 +127,10 @@ let coi_cmd =
   in
   Cmd.v
     (Cmd.info "coi" ~doc:"Report the cycles of interest (peak power spikes)")
-    Term.(const run $ bench_arg)
+    Term.(const run $ jobs_term $ bench_arg)
 
 let optimize_cmd =
-  let run name =
+  let run () name =
     let c = Lazy.force ctx in
     let b = find_bench name in
     let o = Report.Context.optimization c b in
@@ -140,14 +151,14 @@ let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Apply the peak-power software optimizations to a benchmark")
-    Term.(const run $ bench_arg)
+    Term.(const run $ jobs_term $ bench_arg)
 
 let analyze_file_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s"
            ~doc:"MSP430-subset assembly source file.")
   in
-  let run path =
+  let run () path =
     let text = In_channel.with_open_text path In_channel.input_all in
     let program =
       try Parse.program ~name:(Filename.basename path) text
@@ -173,7 +184,7 @@ let analyze_file_cmd =
   Cmd.v
     (Cmd.info "analyze-file"
        ~doc:"Assemble an .s source file and bound its peak power/energy")
-    Term.(const run $ file_arg)
+    Term.(const run $ jobs_term $ file_arg)
 
 let disasm_cmd =
   let run name =
@@ -205,7 +216,7 @@ let trace_cmd =
   let seed_arg =
     Arg.(value & opt int 8 & info [ "seed" ] ~doc:"Input-set seed.")
   in
-  let run name seed =
+  let run () name seed =
     let c = Lazy.force ctx in
     let b = find_bench name in
     let img = Benchprogs.Bench.assemble b in
@@ -221,10 +232,10 @@ let trace_cmd =
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Concrete power trace of a benchmark run")
-    Term.(const run $ bench_arg $ seed_arg)
+    Term.(const run $ jobs_term $ bench_arg $ seed_arg)
 
 let wcec_cmd =
-  let run name =
+  let run () name =
     let c = Lazy.force ctx in
     let b = find_bench name in
     let img = Benchprogs.Bench.assemble b in
@@ -259,10 +270,10 @@ let wcec_cmd =
   Cmd.v
     (Cmd.info "wcec"
        ~doc:"Compare the instruction-level WCEC model with the gate-level bound")
-    Term.(const run $ bench_arg)
+    Term.(const run $ jobs_term $ bench_arg)
 
 let stressmark_cmd =
-  let run () =
+  let run () () =
     let c = Lazy.force ctx in
     let s = Report.Context.stressmark_peak c in
     Printf.printf
@@ -282,7 +293,7 @@ let stressmark_cmd =
   Cmd.v
     (Cmd.info "stressmark"
        ~doc:"Run the genetic stressmark search and print the result")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_term $ const ())
 
 let () =
   let info =

@@ -22,8 +22,10 @@ let default_seeds = [ 1; 2; 3; 5; 8; 13; 21; 42 ]
 
 let run ?(seeds = default_seeds) pa cpu (b : Benchprogs.Bench.t) =
   let img = Benchprogs.Bench.assemble b in
+  (* One independent concrete gate-level run per seed; the ordered map
+     keeps the result lists in seed order at any job count. *)
   let results =
-    List.map
+    Parallel.map_list_auto
       (fun seed ->
         let inputs = b.Benchprogs.Bench.gen_inputs ~seed in
         let cycles, trace =

@@ -194,13 +194,21 @@ let run ?(config = default_config) ~fitness pa cpu =
   let r = mk_rng config.seed in
   let evals = ref 0 in
   let score genome =
-    incr evals;
     let peak, avg = evaluate pa cpu config genome in
     match fitness with Peak -> (peak, avg) | Average -> (avg, peak)
   in
+  (* Fitness evaluation — a full concrete gate-level run per genome — is
+     the expensive, independent part: map it over the pool in submission
+     order. The RNG only ever advances on this domain (selection,
+     crossover, mutation), so the generation sequence and therefore the
+     whole GA trajectory is identical at any job count. *)
+  let score_all pop =
+    evals := !evals + Array.length pop;
+    Parallel.map_array_auto score pop
+  in
   let random_genome () = Array.init config.genome_len (fun _ -> random_gene r) in
   let pop = Array.init config.population (fun _ -> random_genome ()) in
-  let fitnesses = Array.map score pop in
+  let fitnesses = score_all pop in
   let by_fitness () =
     let idx = Array.init config.population (fun k -> k) in
     Array.sort (fun a b -> Float.compare (fst fitnesses.(b)) (fst fitnesses.(a))) idx;
@@ -232,7 +240,7 @@ let run ?(config = default_config) ~fitness pa cpu =
           end)
     in
     Array.blit next_pop 0 pop 0 config.population;
-    Array.iteri (fun k g -> fitnesses.(k) <- score g) pop
+    Array.blit (score_all pop) 0 fitnesses 0 config.population
   done;
   let order = by_fitness () in
   let best = order.(0) in

@@ -41,8 +41,10 @@ let engine_for cpu image ~symbolic =
   e
 
 (* Symbolic analysis: Algorithm 1 then the Section 3.2/3.3
-   computations. *)
-let run ?(config = default_config) pa cpu (image : Isa.Asm.image) =
+   computations. [pool] defaults to the ambient pool (see [Parallel]);
+   results are bit-identical at any job count. *)
+let run ?(config = default_config) ?pool pa cpu (image : Isa.Asm.image) =
+  let pool = match pool with Some _ as p -> p | None -> Parallel.auto () in
   let e = engine_for cpu image ~symbolic:true in
   let sym_config =
     {
@@ -52,7 +54,7 @@ let run ?(config = default_config) pa cpu (image : Isa.Asm.image) =
       revisit_limit = config.revisit_limit;
     }
   in
-  let tree, sym_stats = Gatesim.Sym.run e sym_config in
+  let tree, sym_stats = Gatesim.Sym.run ?pool e sym_config in
   let pp_result = Peak_power.of_tree pa tree in
   let pe = Peak_energy.of_tree pa tree ~loop_bound:config.loop_bound in
   {

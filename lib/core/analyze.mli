@@ -29,8 +29,11 @@ type t = {
 val poweran_for : ?lib:Stdcell.t -> ?period:float -> Cpu.t -> Poweran.t
 
 (** [run pa cpu image] — Algorithm 1 (symbolic execution) followed by
-    the Section 3.2/3.3 computations. *)
-val run : ?config:config -> Poweran.t -> Cpu.t -> Isa.Asm.image -> t
+    the Section 3.2/3.3 computations. [pool] (default: the ambient
+    {!Parallel.auto} pool) parallelizes the tree exploration; the result
+    is bit-identical at any job count. *)
+val run :
+  ?config:config -> ?pool:Parallel.Pool.t -> Poweran.t -> Cpu.t -> Isa.Asm.image -> t
 
 (** [run_concrete pa cpu image ~inputs] — a concrete (input-based)
     execution for profiling and validation; [inputs] are

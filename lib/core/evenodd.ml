@@ -133,14 +133,20 @@ let power_from_vcd pa ~n_cycles text =
 let interleave ~even ~odd =
   Array.init (Array.length even) (fun k -> if k mod 2 = 0 then even.(k) else odd.(k))
 
-(* The full pipeline for one path. *)
+(* The full pipeline for one path. The two maximizations read the shared
+   [replayed] vectors but mutate only their own copies, so the even and
+   odd legs run as concurrent futures; interleaving picks fixed indices
+   from each, keeping the result independent of the schedule. *)
 let peak_power_via_vcd pa lib ~initial cycles =
   let nl = Poweran.netlist pa in
   let replayed = replay ~initial cycles in
-  let even_doc = to_vcd nl (maximize lib nl ~parity:0 replayed cycles) in
-  let odd_doc = to_vcd nl (maximize lib nl ~parity:1 replayed cycles) in
   let n_cycles = Array.length cycles in
-  let even = power_from_vcd pa ~n_cycles even_doc in
-  let odd = power_from_vcd pa ~n_cycles odd_doc in
+  let leg parity =
+    let doc = to_vcd nl (maximize lib nl ~parity replayed cycles) in
+    (power_from_vcd pa ~n_cycles doc, doc)
+  in
+  let (even, even_doc), (odd, odd_doc) =
+    Parallel.both_auto (fun () -> leg 0) (fun () -> leg 1)
+  in
   let trace = interleave ~even ~odd in
   (trace, even_doc, odd_doc)

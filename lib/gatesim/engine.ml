@@ -27,6 +27,10 @@ type t = {
   mutable cycle : int;
   mutable mid : bool;  (* between begin_cycle and finish_cycle *)
   mutable forked : bool;
+  (* Per-engine scratch for finish_cycle's delta/X-active collection;
+     not part of the observable state (excluded from snapshots). *)
+  scratch_deltas : int array;
+  scratch_x : int array;
 }
 
 let netlist t = t.nl
@@ -61,6 +65,8 @@ let create nl ~ports ~mem =
       cycle = 0;
       mid = false;
       forked = false;
+      scratch_deltas = Array.make n 0;
+      scratch_x = Array.make n 0;
     }
   in
   (* Everything needs one initial evaluation. *)
@@ -253,21 +259,22 @@ let finish_cycle t =
         if any then Bytes.unsafe_set t.active id '\001'
       end)
     nl.Netlist.topo;
-  (* Collect deltas and X-active sets. *)
-  let deltas = ref [] and x_active = ref [] and nd = ref 0 and nx = ref 0 in
+  (* Collect deltas and X-active sets: one forward pass straight into
+     per-engine scratch arrays (this loop runs once per simulated cycle
+     over every gate — no intermediate lists). *)
+  let nd = ref 0 and nx = ref 0 in
+  let sd = t.scratch_deltas and sx = t.scratch_x in
   for id = 0 to n - 1 do
     if t.values.(id) <> t.prev.(id) then begin
-      deltas := Trace.pack ~net:id ~old_v:t.prev.(id) ~new_v:t.values.(id) :: !deltas;
+      sd.(!nd) <- Trace.pack ~net:id ~old_v:t.prev.(id) ~new_v:t.values.(id);
       incr nd
     end
     else if Bytes.unsafe_get t.active id = '\001' then begin
-      x_active := id :: !x_active;
+      sx.(!nx) <- id;
       incr nx
     end
   done;
-  let darr = Array.make !nd 0 and xarr = Array.make !nx 0 in
-  List.iteri (fun i d -> darr.(!nd - 1 - i) <- d) !deltas;
-  List.iteri (fun i x -> xarr.(!nx - 1 - i) <- x) !x_active;
+  let darr = Array.sub sd 0 !nd and xarr = Array.sub sx 0 !nx in
   let rec_ =
     {
       Trace.deltas = darr;
@@ -306,6 +313,8 @@ type snapshot = {
   s_dirty : bytes;
   s_dff_next : int array;
   s_mem : Mem.snapshot;
+  s_reset_drive : int;
+  s_port_drive : int array;
   s_cycle : int;
   s_mid : bool;
 }
@@ -319,6 +328,8 @@ let snapshot t =
     s_dirty = Bytes.copy t.dirty;
     s_dff_next = Array.copy t.dff_next;
     s_mem = Mem.snapshot t.mem_;
+    s_reset_drive = t.reset_drive;
+    s_port_drive = Array.copy t.port_drive;
     s_cycle = t.cycle;
     s_mid = t.mid;
   }
@@ -331,5 +342,19 @@ let restore t s =
   Bytes.blit s.s_dirty 0 t.dirty 0 (Bytes.length t.dirty);
   Array.blit s.s_dff_next 0 t.dff_next 0 (Array.length t.dff_next);
   Mem.restore t.mem_ s.s_mem;
+  t.reset_drive <- s.s_reset_drive;
+  Array.blit s.s_port_drive 0 t.port_drive 0 (Array.length t.port_drive);
   t.cycle <- s.s_cycle;
   t.mid <- s.s_mid
+
+(* Replica for a worker domain: shares the read-only netlist, port map
+   and ROM with [t]; owns fresh value/activity arrays and RAM. The
+   external drive levels are carried by [snapshot]/[restore], so a
+   replica becomes interchangeable with the original the moment a
+   snapshot is restored into it. *)
+let create_like t = create t.nl ~ports:t.ports ~mem:(Mem.like t.mem_)
+
+let of_snapshot t s =
+  let e = create_like t in
+  restore e s;
+  e

@@ -72,7 +72,17 @@ val values_snapshot : t -> int array
 
 type snapshot
 
-(** Deep-copies the mid-cycle simulator state; used at forks. *)
+(** Deep-copies the simulator state (including the external drive
+    levels); used at forks and to ship work to other domains. *)
 val snapshot : t -> snapshot
 
 val restore : t -> snapshot -> unit
+
+(** [create_like t] is a fresh engine sharing [t]'s immutable netlist,
+    ports and ROM, with its own value/activity arrays and an all-X RAM —
+    a worker-domain replica. Restoring any snapshot of [t] into it makes
+    it behave identically to [t] at that point. *)
+val create_like : t -> t
+
+(** [of_snapshot t s] = [create_like t] + [restore] of [s]. *)
+val of_snapshot : t -> snapshot -> t

@@ -23,6 +23,18 @@ let create ~rom ~ram_base ~ram_bytes =
     ram_words = ram_bytes / 2;
   }
 
+(* The ROM table is immutable after [create] (writes never touch it), so
+   replicas on other domains can share it; only the RAM arrays are
+   per-instance. *)
+let like t =
+  {
+    rom = t.rom;
+    ram_v = Array.make t.ram_words 0;
+    ram_x = Array.make t.ram_words 0xFFFF;
+    ram_base = t.ram_base;
+    ram_words = t.ram_words;
+  }
+
 let ram_index t a =
   let i = (a - t.ram_base) / 2 in
   if a >= t.ram_base && i < t.ram_words && a land 1 = 0 then Some i else None

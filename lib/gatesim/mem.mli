@@ -15,6 +15,11 @@ type t
     and an all-X RAM of [ram_bytes] starting at [ram_base]. *)
 val create : rom:(int * int) list -> ram_base:int -> ram_bytes:int -> t
 
+(** [like t] is a fresh memory with the same geometry and ROM as [t]
+    and an all-X RAM. The immutable ROM table is shared, so this is safe
+    (and cheap) for building per-domain engine replicas. *)
+val like : t -> t
+
 (** [poke t addr w] stores a concrete word in RAM (input loading for
     profiling runs). *)
 val poke : t -> int -> int -> unit

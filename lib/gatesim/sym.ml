@@ -36,101 +36,324 @@ let do_reset e =
     ignore (Engine.step e : Trace.cycle)
   done
 
-let run e config =
+(* ---------------------------------------------------------------------
+   Parallel exploration.
+
+   The DFS is parallelized by speculation: at every fork the taken
+   branch is packaged as a task (engine snapshot + a copy of the [seen]
+   table) and handed to the pool while the not-taken branch is explored
+   inline — exactly the sequential order. A speculative task simulates
+   on a private engine replica and records an *event log*: every cycle
+   count, fork, path end and — crucially — every dedup decision (digest,
+   cut-or-expand). Because the simulation itself is deterministic, the
+   only way a speculative subtree can diverge from the sequential run is
+   through the [seen] table (a digest first reached by an *earlier*
+   sibling would have been a dedup cut). So at the join point the parent
+   validates the log against its authoritative table: if every decision
+   replays identically, the speculative subtree IS the sequential
+   subtree and its log is committed (counters bumped, table updated,
+   registry filled) without re-simulating anything; otherwise the log is
+   discarded and the branch re-explored inline. Either way the resulting
+   tree, stats and registry are bit-identical to the sequential run.
+
+   Speculative tasks cannot know the global path count, so they truncate
+   themselves once their *local* count crosses [max_paths] (the global
+   count is at least the local one, so the authoritative replay below is
+   guaranteed to raise [Path_limit] at or before the truncation point —
+   a truncated tree is never consumed). *)
+
+type decision = {
+  d_digest : string;
+  d_cut : bool;  (* dedup cut vs. expanded *)
+  mutable d_cont : Trace.node;
+      (* for expanded first visits: the continuation minus the fork
+         cycle, as stored in the registry; filled after exploration *)
+}
+
+type ev =
+  | E_cycles of int
+  | E_fork
+  | E_path_end
+  | E_decision of decision
+  | E_raised of exn  (* deterministic raise (cycle limit) at this point *)
+
+type spec_result = {
+  sr_events : ev list;  (* in DFS order *)
+  sr_node : Trace.node option;  (* None when truncated *)
+}
+
+(* Spec-local: abandon the speculation; the events so far stand. *)
+exception Cut_short
+
+type sched = {
+  pool : Parallel.Pool.t;
+  replicas : Engine.t option array;  (* one slot per pool worker *)
+  proto : Engine.t;  (* prototype for Engine.create_like *)
+}
+
+type ctx = {
+  auth : bool;  (* authoritative (sequential-order) context *)
+  cfg : config;
+  engine : Engine.t;
+  seen : (string, int) Hashtbl.t;
+  registry : (string, Trace.node ref) Hashtbl.t option;  (* auth only *)
+  mutable paths : int;
+  mutable forks : int;
+  mutable dedup_hits : int;
+  mutable total_cycles : int;
+  mutable events : ev list;  (* reversed; speculative contexts only *)
+  sched : sched option;
+}
+
+let emit ctx e = if not ctx.auth then ctx.events <- e :: ctx.events
+
+let bump_cycles ctx n =
+  ctx.total_cycles <- ctx.total_cycles + n;
+  emit ctx (E_cycles n)
+
+let count_fork ctx =
+  ctx.forks <- ctx.forks + 1;
+  emit ctx E_fork
+
+let end_of_path ctx =
+  ctx.paths <- ctx.paths + 1;
+  emit ctx E_path_end;
+  if ctx.paths > ctx.cfg.max_paths then
+    if ctx.auth then
+      raise (Path_limit (Printf.sprintf "more than %d paths" ctx.cfg.max_paths))
+    else raise Cut_short
+
+(* A deterministic raise: authoritative contexts raise it for real;
+   speculative ones record it and stop. *)
+let stop_raise ctx e =
+  if ctx.auth then raise e
+  else begin
+    emit ctx (E_raised e);
+    raise Cut_short
+  end
+
+(* Lazily build this worker's private engine replica. Each slot is only
+   ever touched by its own domain, so no locking is needed. *)
+let replica_of sched =
+  let i = Parallel.Pool.worker_index sched.pool in
+  match sched.replicas.(i) with
+  | Some e -> e
+  | None ->
+    let e = Engine.create_like sched.proto in
+    sched.replicas.(i) <- Some e;
+    e
+
+(* Pass 1 (read-only): would the sibling's dedup decisions replay
+   identically on top of our current [seen] table? The overlay records
+   the visit counts the replay itself adds. Scanning stops early at a
+   path-count crossing or recorded raise — the commit pass will raise
+   there, so later events are unreachable either way. *)
+let validate ctx events =
+  let overlay : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let lookup d =
+    match Hashtbl.find_opt overlay d with
+    | Some v -> v
+    | None -> Option.value ~default:0 (Hashtbl.find_opt ctx.seen d)
+  in
+  let rec go paths = function
+    | [] -> true
+    | E_cycles _ :: rest | E_fork :: rest -> go paths rest
+    | E_path_end :: rest ->
+      let paths = paths + 1 in
+      if paths > ctx.cfg.max_paths then true else go paths rest
+    | E_raised _ :: _ -> true
+    | E_decision d :: rest ->
+      let visits = lookup d.d_digest in
+      let cut = visits > ctx.cfg.revisit_limit in
+      if cut <> d.d_cut then false
+      else begin
+        if not cut then Hashtbl.replace overlay d.d_digest (visits + 1);
+        go paths rest
+      end
+  in
+  go ctx.paths events
+
+(* Pass 2: replay the validated events for real — counters, [seen]
+   updates, registry fills, and (in a parent speculation) re-emission
+   into its own log. [end_of_path]/[stop_raise] fire here exactly where
+   the sequential run would have raised. *)
+let commit ctx events =
+  List.iter
+    (fun ev ->
+      match ev with
+      | E_cycles n -> bump_cycles ctx n
+      | E_fork -> count_fork ctx
+      | E_path_end -> end_of_path ctx
+      | E_raised e -> stop_raise ctx e
+      | E_decision d ->
+        if d.d_cut then begin
+          ctx.dedup_hits <- ctx.dedup_hits + 1;
+          emit ctx (E_decision d)
+        end
+        else begin
+          let visits =
+            Option.value ~default:0 (Hashtbl.find_opt ctx.seen d.d_digest)
+          in
+          Hashtbl.replace ctx.seen d.d_digest (visits + 1);
+          (match ctx.registry with
+          | Some reg when visits = 0 ->
+            Hashtbl.replace reg d.d_digest (ref d.d_cont)
+          | _ -> ());
+          emit ctx (E_decision d)
+        end)
+    events
+
+(* Explore from the current engine state. [acc] is the reversed list of
+   cycles of the current straight-line segment; [len] the path length so
+   far. Returns the node for this segment onward. *)
+let rec explore ctx acc len =
+  if len > ctx.cfg.max_cycles_per_path then
+    stop_raise ctx
+      (Path_limit
+         (Printf.sprintf "path exceeded %d cycles" ctx.cfg.max_cycles_per_path));
+  match Engine.begin_cycle ctx.engine with
+  | `Ok ->
+    let c = Engine.finish_cycle ctx.engine in
+    bump_cycles ctx 1;
+    let acc = c :: acc in
+    if ctx.cfg.is_end c then begin
+      end_of_path ctx;
+      Trace.Run { cycles = Array.of_list (List.rev acc); next = Trace.End_path }
+    end
+    else explore ctx acc (len + 1)
+  | `Fork ->
+    count_fork ctx;
+    let snap = Engine.snapshot ctx.engine in
+    (* Hand the taken branch to the pool before diving into the
+       not-taken branch (the sequential order) inline. *)
+    let spec =
+      match ctx.sched with
+      | Some s when Parallel.Pool.size s.pool > 1 ->
+        let seen_copy = Hashtbl.copy ctx.seen in
+        Some
+          ( s.pool,
+            Parallel.Pool.async s.pool (fun () ->
+                run_spec ctx.cfg s seen_copy snap len) )
+      | _ -> None
+    in
+    let not_taken = branch ctx snap Tri.Zero len in
+    let taken =
+      match spec with
+      | None -> branch ctx snap Tri.One len
+      | Some (pool, fut) ->
+        let r = Parallel.Pool.await pool fut in
+        if validate ctx r.sr_events then begin
+          commit ctx r.sr_events;
+          (* [commit] raises at any truncation point, so a surviving
+             speculation always carries its tree. *)
+          match r.sr_node with
+          | Some n -> n
+          | None -> assert false
+        end
+        else branch ctx snap Tri.One len
+    in
+    Trace.Run
+      { cycles = Array.of_list (List.rev acc); next = Trace.Fork { not_taken; taken } }
+
+(* Resolve one fork arm from [snap] and explore it to completion. *)
+and branch ctx snap v len =
+  let e = ctx.engine in
+  Engine.restore e snap;
+  Engine.force_fork e v;
+  let c = Engine.finish_cycle e in
+  bump_cycles ctx 1;
+  let d = Engine.arch_digest e in
+  let visits = Option.value ~default:0 (Hashtbl.find_opt ctx.seen d) in
+  if visits > ctx.cfg.revisit_limit then begin
+    emit ctx (E_decision { d_digest = d; d_cut = true; d_cont = Trace.End_path });
+    ctx.dedup_hits <- ctx.dedup_hits + 1;
+    end_of_path ctx;
+    Trace.Run { cycles = [| c |]; next = Trace.Seen d }
+  end
+  else begin
+    Hashtbl.replace ctx.seen d (visits + 1);
+    let dec = { d_digest = d; d_cut = false; d_cont = Trace.End_path } in
+    emit ctx (E_decision dec);
+    let node =
+      if ctx.cfg.is_end c then begin
+        end_of_path ctx;
+        Trace.Run { cycles = [| c |]; next = Trace.End_path }
+      end
+      else explore ctx [ c ] (len + 1)
+    in
+    (* The registered continuation starts after cycle [c]; store the
+       subtree minus this first cycle so peak-energy lookups do not
+       double-count it. *)
+    let cont =
+      match node with
+      | Trace.Run { cycles; next } when Array.length cycles >= 1 ->
+        Trace.Run
+          { cycles = Array.sub cycles 1 (Array.length cycles - 1); next }
+      | other -> other
+    in
+    dec.d_cont <- cont;
+    (match ctx.registry with
+    | Some reg when visits = 0 -> Hashtbl.replace reg d (ref cont)
+    | _ -> ());
+    node
+  end
+
+(* Speculative taken-branch exploration on a worker domain. *)
+and run_spec cfg sched seen_copy snap len =
+  let ctx =
+    {
+      auth = false;
+      cfg;
+      engine = replica_of sched;
+      seen = seen_copy;
+      registry = None;
+      paths = 0;
+      forks = 0;
+      dedup_hits = 0;
+      total_cycles = 0;
+      events = [];
+      sched = Some sched;
+    }
+  in
+  let node = try Some (branch ctx snap Tri.One len) with Cut_short -> None in
+  { sr_events = List.rev ctx.events; sr_node = node }
+
+let run ?pool e config =
   if Engine.cycle_index e <> 0 then invalid_arg "Sym.run: engine not fresh";
   do_reset e;
   (* Initial vector for trace replay: the net values at the end of reset,
      i.e. the previous-cycle baseline of the first recorded cycle. *)
   let initial = Engine.values_snapshot e in
-  let seen : (string, int) Hashtbl.t = Hashtbl.create 256 in
   let registry : (string, Trace.node ref) Hashtbl.t = Hashtbl.create 256 in
-  let paths = ref 0 and forks = ref 0 and dedup_hits = ref 0 in
-  let total_cycles = ref 0 in
-  let end_of_path () =
-    incr paths;
-    if !paths > config.max_paths then
-      raise (Path_limit (Printf.sprintf "more than %d paths" config.max_paths))
+  let sched =
+    match pool with
+    | Some p when Parallel.Pool.size p > 1 ->
+      Some
+        { pool = p; replicas = Array.make (Parallel.Pool.size p) None; proto = e }
+    | _ -> None
   in
-  (* Explore from the current engine state. [acc] is the reversed list of
-     cycles of the current straight-line segment; [len] the path length
-     so far. Returns the node for this segment onward. *)
-  let rec explore acc len =
-    if len > config.max_cycles_per_path then
-      raise
-        (Path_limit
-           (Printf.sprintf "path exceeded %d cycles" config.max_cycles_per_path));
-    match Engine.begin_cycle e with
-    | `Ok ->
-      let c = Engine.finish_cycle e in
-      incr total_cycles;
-      let acc = c :: acc in
-      if config.is_end c then begin
-        end_of_path ();
-        Trace.Run { cycles = Array.of_list (List.rev acc); next = Trace.End_path }
-      end
-      else explore acc (len + 1)
-    | `Fork ->
-      incr forks;
-      let snap = Engine.snapshot e in
-      let branch v =
-        Engine.restore e snap;
-        Engine.force_fork e v;
-        let c = Engine.finish_cycle e in
-        incr total_cycles;
-        let d = Engine.arch_digest e in
-        let visits = Option.value ~default:0 (Hashtbl.find_opt seen d) in
-        if visits > config.revisit_limit then begin
-          incr dedup_hits;
-          end_of_path ();
-          Trace.Run { cycles = [| c |]; next = Trace.Seen d }
-        end
-        else begin
-          Hashtbl.replace seen d (visits + 1);
-          let slot =
-            if visits = 0 then begin
-              let r = ref Trace.End_path in
-              Hashtbl.replace registry d r;
-              Some r
-            end
-            else None
-          in
-          let node =
-            if config.is_end c then begin
-              end_of_path ();
-              Trace.Run { cycles = [| c |]; next = Trace.End_path }
-            end
-            else explore [ c ] (len + 1)
-          in
-          (match slot with
-          | Some r ->
-            (* The registered continuation starts after cycle [c]; store
-               the subtree minus this first cycle so peak-energy lookups
-               do not double-count it. *)
-            (match node with
-            | Trace.Run { cycles; next } when Array.length cycles >= 1 ->
-              r :=
-                Trace.Run
-                  { cycles = Array.sub cycles 1 (Array.length cycles - 1); next }
-            | other -> r := other)
-          | None -> ());
-          node
-        end
-      in
-      let not_taken = branch Tri.Zero in
-      let taken = branch Tri.One in
-      Trace.Run
-        {
-          cycles = Array.of_list (List.rev acc);
-          next = Trace.Fork { not_taken; taken };
-        }
+  let ctx =
+    {
+      auth = true;
+      cfg = config;
+      engine = e;
+      seen = Hashtbl.create 256;
+      registry = Some registry;
+      paths = 0;
+      forks = 0;
+      dedup_hits = 0;
+      total_cycles = 0;
+      events = [];
+      sched;
+    }
   in
-  let root = explore [] 0 in
+  let root = explore ctx [] 0 in
   ( { Trace.root; registry; initial },
     {
-      paths = !paths;
-      forks = !forks;
-      dedup_hits = !dedup_hits;
-      total_cycles = !total_cycles;
+      paths = ctx.paths;
+      forks = ctx.forks;
+      dedup_hits = ctx.dedup_hits;
+      total_cycles = ctx.total_cycles;
     } )
 
 let run_concrete e ~is_end ~max_cycles =

@@ -30,9 +30,15 @@ type stats = {
 
 exception Path_limit of string
 
-(** [run engine config] — symbolic execution from reset to the end of
-    every path. The engine must be fresh (cycle 0). *)
-val run : Engine.t -> config -> Trace.tree * stats
+(** [run ?pool engine config] — symbolic execution from reset to the end
+    of every path. The engine must be fresh (cycle 0).
+
+    With [pool] (of size > 1), fork branches are explored speculatively
+    on worker domains (private engine replicas) and validated against
+    the authoritative dedup table at the join, so the returned tree,
+    registry and stats are bit-identical to the sequential run; without
+    it (or with a size-1 pool) exploration is strictly sequential. *)
+val run : ?pool:Parallel.Pool.t -> Engine.t -> config -> Trace.tree * stats
 
 (** [run_concrete engine ~is_end ~max_cycles] — single-path concrete
     simulation from reset (profiling baseline / validation runs). RAM

@@ -1,0 +1,326 @@
+(* Domain pool with per-worker work-stealing deques and helping futures.
+
+   Design notes:
+   - Each worker (including the submitting domain, worker 0) owns a
+     deque. The owner pushes and pops at the tail (LIFO — depth-first,
+     cache-warm); thieves steal at the head (FIFO — the oldest task is
+     the biggest unexplored subtree). A plain mutex per deque is fine:
+     one lock acquisition costs nanoseconds against the microseconds to
+     milliseconds of simulating even one gate-level cycle.
+   - [await] helps: while its future is pending it pops/steals and runs
+     other tasks, so nested fork/join (a task awaiting its own spawned
+     subtasks) can never deadlock and idle time goes to useful work.
+   - A worker with an empty deque and nothing to steal sleeps on the
+     pool condvar; [submit] signals it. The [pending] counter is the
+     sleep/wake predicate, so a task can never be queued while every
+     worker sleeps. *)
+
+type task = unit -> unit
+
+module Deque = struct
+  type t = {
+    mutable buf : task option array;  (* circular, power-of-two length *)
+    mutable head : int;  (* next steal slot; monotonically increasing *)
+    mutable tail : int;  (* next push slot *)
+    lock : Mutex.t;
+  }
+
+  let create () =
+    { buf = Array.make 64 None; head = 0; tail = 0; lock = Mutex.create () }
+
+  let grow d =
+    let n = Array.length d.buf in
+    let nb = Array.make (2 * n) None in
+    for i = d.head to d.tail - 1 do
+      nb.(i land ((2 * n) - 1)) <- d.buf.(i land (n - 1))
+    done;
+    d.buf <- nb
+
+  let push d t =
+    Mutex.lock d.lock;
+    if d.tail - d.head = Array.length d.buf then grow d;
+    d.buf.(d.tail land (Array.length d.buf - 1)) <- Some t;
+    d.tail <- d.tail + 1;
+    Mutex.unlock d.lock
+
+  (* Owner end: newest task. *)
+  let pop d =
+    Mutex.lock d.lock;
+    let r =
+      if d.tail = d.head then None
+      else begin
+        d.tail <- d.tail - 1;
+        let i = d.tail land (Array.length d.buf - 1) in
+        let t = d.buf.(i) in
+        d.buf.(i) <- None;
+        t
+      end
+    in
+    Mutex.unlock d.lock;
+    r
+
+  (* Thief end: oldest task. *)
+  let steal d =
+    Mutex.lock d.lock;
+    let r =
+      if d.tail = d.head then None
+      else begin
+        let i = d.head land (Array.length d.buf - 1) in
+        let t = d.buf.(i) in
+        d.buf.(i) <- None;
+        d.head <- d.head + 1;
+        t
+      end
+    in
+    Mutex.unlock d.lock;
+    r
+end
+
+module Pool = struct
+  type t = {
+    id : int;
+    size : int;
+    deques : Deque.t array;
+    mutable domains : unit Domain.t array;
+    m : Mutex.t;
+    cv : Condition.t;
+    pending : int Atomic.t;  (* queued (not yet dequeued) tasks *)
+    stop : bool Atomic.t;
+  }
+
+  let ids = Atomic.make 0
+
+  (* Which slot of which pool the current domain occupies. A domain can
+     appear in several pools (the main domain creates them all), hence
+     an assoc list keyed by pool id. *)
+  let slot_key : (int * int) list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
+
+  let register pool idx =
+    let r = Domain.DLS.get slot_key in
+    r := (pool.id, idx) :: !r
+
+  let worker_index pool =
+    match List.assoc_opt pool.id !(Domain.DLS.get slot_key) with
+    | Some i -> i
+    | None -> 0
+
+  let size t = t.size
+
+  (* Own deque first (LIFO), then sweep the others (FIFO steal). *)
+  let find_task pool me =
+    let t =
+      match Deque.pop pool.deques.(me) with
+      | Some _ as t -> t
+      | None ->
+        let n = pool.size in
+        let rec scan k =
+          if k = n then None
+          else
+            match Deque.steal pool.deques.((me + k) mod n) with
+            | Some _ as t -> t
+            | None -> scan (k + 1)
+        in
+        scan 1
+    in
+    (match t with Some _ -> Atomic.decr pool.pending | None -> ());
+    t
+
+  let worker pool idx () =
+    register pool idx;
+    let rec loop () =
+      match find_task pool idx with
+      | Some t ->
+        (try t () with _ -> ());
+        loop ()
+      | None ->
+        if not (Atomic.get pool.stop) then begin
+          Mutex.lock pool.m;
+          while (not (Atomic.get pool.stop)) && Atomic.get pool.pending = 0 do
+            Condition.wait pool.cv pool.m
+          done;
+          Mutex.unlock pool.m;
+          loop ()
+        end
+    in
+    loop ()
+
+  let shutdown pool =
+    if not (Atomic.get pool.stop) then begin
+      Atomic.set pool.stop true;
+      Mutex.lock pool.m;
+      Condition.broadcast pool.cv;
+      Mutex.unlock pool.m;
+      Array.iter Domain.join pool.domains;
+      pool.domains <- [||]
+    end
+
+  let create ~jobs =
+    let size = max 1 jobs in
+    let pool =
+      {
+        id = Atomic.fetch_and_add ids 1;
+        size;
+        deques = Array.init size (fun _ -> Deque.create ());
+        domains = [||];
+        m = Mutex.create ();
+        cv = Condition.create ();
+        pending = Atomic.make 0;
+        stop = Atomic.make false;
+      }
+    in
+    register pool 0;
+    if size > 1 then
+      pool.domains <-
+        Array.init (size - 1) (fun i -> Domain.spawn (worker pool (i + 1)));
+    (* Workers must be joined before the runtime tears down. *)
+    at_exit (fun () -> shutdown pool);
+    pool
+
+  type 'a state =
+    | Pending
+    | Done of 'a
+    | Err of exn * Printexc.raw_backtrace
+
+  type 'a future = { mutable st : 'a state; fm : Mutex.t; fc : Condition.t }
+
+  let fulfil fut st =
+    Mutex.lock fut.fm;
+    fut.st <- st;
+    Condition.broadcast fut.fc;
+    Mutex.unlock fut.fm
+
+  let submit pool task =
+    Deque.push pool.deques.(worker_index pool) task;
+    Atomic.incr pool.pending;
+    Mutex.lock pool.m;
+    Condition.signal pool.cv;
+    Mutex.unlock pool.m
+
+  let run_to_state f =
+    try Done (f ()) with e -> Err (e, Printexc.get_raw_backtrace ())
+
+  let async pool f =
+    if pool.size <= 1 then
+      (* Sequential fallback: run inline and eagerly, preserving the
+         exact side-effect order of the unparallelized code. *)
+      { st = run_to_state f; fm = Mutex.create (); fc = Condition.create () }
+    else begin
+      let fut = { st = Pending; fm = Mutex.create (); fc = Condition.create () } in
+      submit pool (fun () -> fulfil fut (run_to_state f));
+      fut
+    end
+
+  let is_pending fut = match fut.st with Pending -> true | _ -> false
+
+  let rec await pool fut =
+    match fut.st with
+    (* Unsynchronized peek: a stale [Pending] just sends us through the
+       locked path below. *)
+    | Done v -> v
+    | Err (e, bt) -> Printexc.raise_with_backtrace e bt
+    | Pending -> (
+      match find_task pool (worker_index pool) with
+      | Some t ->
+        t ();
+        await pool fut
+      | None ->
+        (* Nothing to help with. The future's own task is necessarily
+           held by another worker (it was in our deque or stolen), so
+           blocking is deadlock-free. *)
+        Mutex.lock fut.fm;
+        while is_pending fut do
+          Condition.wait fut.fc fut.fm
+        done;
+        Mutex.unlock fut.fm;
+        await pool fut)
+
+  let both pool fa fb =
+    let fut = async pool fa in
+    let b = fb () in
+    let a = await pool fut in
+    (a, b)
+
+  let map_array pool f xs =
+    if pool.size <= 1 then Array.map f xs
+    else begin
+      let futs = Array.map (fun x -> async pool (fun () -> f x)) xs in
+      Array.map (fun fut -> await pool fut) futs
+    end
+
+  let map_list pool f xs =
+    if pool.size <= 1 then List.map f xs
+    else begin
+      let futs = List.map (fun x -> async pool (fun () -> f x)) xs in
+      List.map (fun fut -> await pool fut) futs
+    end
+
+  let init_chunked pool ~chunk n f =
+    let chunk = max 1 chunk in
+    if pool.size <= 1 || n <= chunk then Array.init n f
+    else begin
+      let nchunks = (n + chunk - 1) / chunk in
+      let parts =
+        map_array pool
+          (fun ci ->
+            let lo = ci * chunk in
+            let hi = min n (lo + chunk) in
+            Array.init (hi - lo) (fun k -> f (lo + k)))
+          (Array.init nchunks (fun i -> i))
+      in
+      Array.concat (Array.to_list parts)
+    end
+end
+
+(* ---- process-wide default pool ---- *)
+
+let requested_jobs : int option ref = ref None
+let the_pool : Pool.t option ref = ref None
+
+let default_jobs () =
+  match !requested_jobs with
+  | Some j -> j
+  | None -> Domain.recommended_domain_count ()
+
+let set_default_jobs j =
+  let j = max 1 j in
+  (match !the_pool with
+  | Some p when Pool.size p <> j ->
+    Pool.shutdown p;
+    the_pool := None
+  | _ -> ());
+  requested_jobs := Some j
+
+let default_pool () =
+  match !the_pool with
+  | Some p -> p
+  | None ->
+    let p = Pool.create ~jobs:(default_jobs ()) in
+    the_pool := Some p;
+    p
+
+let auto () =
+  if default_jobs () <= 1 then None
+  else
+    let p = default_pool () in
+    if Pool.size p > 1 then Some p else None
+
+let both_auto fa fb =
+  match auto () with
+  | Some p -> Pool.both p fa fb
+  | None ->
+    let a = fa () in
+    let b = fb () in
+    (a, b)
+
+let map_list_auto f xs =
+  match auto () with Some p -> Pool.map_list p f xs | None -> List.map f xs
+
+let map_array_auto f xs =
+  match auto () with Some p -> Pool.map_array p f xs | None -> Array.map f xs
+
+let chunked_map_auto ?(chunk = 128) f xs =
+  let n = Array.length xs in
+  match auto () with
+  | Some p when n > 2 * chunk -> Pool.init_chunked p ~chunk n (fun i -> f xs.(i))
+  | _ -> Array.map f xs

@@ -81,7 +81,10 @@ let trace_power t ~mode cycles =
   let f =
     match mode with `Observed -> cycle_power_observed t | `Max -> cycle_power_max t
   in
-  Array.map f cycles
+  (* Per-cycle evaluation is pure over an immutable [t], so long traces
+     are chunked across the domain pool; each index is computed
+     independently, making the result identical at any job count. *)
+  Parallel.chunked_map_auto f cycles
 
 let peak_of series =
   let best = ref neg_infinity and at = ref 0 in

@@ -664,4 +664,8 @@ let find id =
   | None -> invalid_arg ("Experiments.find: unknown experiment " ^ id)
 
 let run_all ctx =
+  (* Most experiments consume the per-benchmark analyses; compute them
+     across the pool up front so the (inherently ordered) rendering
+     below finds everything cached. *)
+  Context.prewarm_analyses ctx Context.all_benchmarks;
   String.concat "\n" (List.map (fun (_, _, f) -> f ctx) all)
