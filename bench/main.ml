@@ -18,14 +18,29 @@ let usage () =
   print_endline "  micro      bechamel micro-benchmarks";
   print_endline "  ablate     ablation studies";
   print_endline "options:";
-  print_endline "  -j/--jobs N   worker domains (default: recommended count)"
+  print_endline "  -j/--jobs N     worker domains (default: recommended count)";
+  print_endline "  --cache-dir DIR persistent analysis cache directory";
+  print_endline "  --no-cache      disable the analysis cache"
+
+(* --cache-dir/--no-cache, shared with the xbound CLI: experiments run
+   against a persistent content-addressed cache unless disabled. *)
+let cache_dir_flag = ref None
+let no_cache_flag = ref false
+
+let cache_of_flags () =
+  if !no_cache_flag then None
+  else
+    Some
+      (Cache.create
+         ~dir:(Option.value !cache_dir_flag ~default:(Cache.default_dir ()))
+         ())
 
 (* ---------------- micro-benchmarks ---------------- *)
 
 (* Machine-readable mirror of the console output, so the perf trajectory
    is trackable across commits: run with -j 1 and -j N and compare the
    two files. *)
-let write_bench_json entries cycles_per_run =
+let write_bench_json entries cycles_per_run ~cache_json =
   let oc = open_out "BENCH_micro.json" in
   Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"results\": [\n"
     (Parallel.default_jobs ());
@@ -43,9 +58,52 @@ let write_bench_json entries cycles_per_run =
         name ns runs_per_s cyc
         (if i = last then "" else ","))
     entries;
-  output_string oc "  ]\n}\n";
+  Printf.fprintf oc "  ],\n  \"cache\": %s\n}\n" cache_json;
   close_out oc;
   prerr_endline "wrote BENCH_micro.json"
+
+(* Cold vs warm full-analysis timing through the content-addressed
+   cache. The warm pass uses a second Cache.t on the same directory, so
+   it measures a fresh process hitting the disk layer, not the in-memory
+   LRU. Returns the JSON blob for BENCH_micro.json. *)
+let bench_cache pa cpu img =
+  let dir = Filename.temp_file "xbound-bench-cache" "" in
+  Sys.remove dir;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let digest_of (a : Core.Analyze.t) =
+    Digest.to_hex
+      (Digest.string
+         (Marshal.to_string
+            ( a.Core.Analyze.peak_power,
+              a.Core.Analyze.peak_index,
+              a.Core.Analyze.peak_energy,
+              a.Core.Analyze.power_trace )
+            []))
+  in
+  let cold_cache = Cache.create ~dir () in
+  let cold, cold_s = time (fun () -> Core.Analyze.run ~cache:cold_cache pa cpu img) in
+  let warm_cache = Cache.create ~dir () in
+  let warm, warm_s = time (fun () -> Core.Analyze.run ~cache:warm_cache pa cpu img) in
+  let identical = String.equal (digest_of cold) (digest_of warm) in
+  let speedup = if warm_s > 0. then cold_s /. warm_s else infinity in
+  Printf.printf
+    "%-28s cold %.3f s, warm %.3f s (%.0fx), bounds byte-identical: %b\n"
+    "cache-analysis-tea8" cold_s warm_s speedup identical;
+  print_endline ("cache counters (warm): " ^ Cache.counters_json warm_cache);
+  let json =
+    Printf.sprintf
+      "{\"cold_s\": %.4f, \"warm_s\": %.5f, \"speedup\": %.1f, \
+       \"bounds_identical\": %b, \"warm_counters\": %s}"
+      cold_s warm_s speedup identical
+      (Cache.counters_json warm_cache)
+  in
+  Cache.clear warm_cache;
+  (try Sys.rmdir dir with Sys_error _ -> ());
+  json
 
 let micro () =
   let open Bechamel in
@@ -118,7 +176,8 @@ let micro () =
           | _ -> Printf.printf "%-28s (no estimate)\n" name)
         results)
     [ concrete_step; symbolic_tree; symbolic_tree_seq; peak_power; cpu_build ];
-  write_bench_json (List.rev !collected) cycles_per_run
+  let cache_json = bench_cache pa cpu img in
+  write_bench_json (List.rev !collected) cycles_per_run ~cache_json
 
 (* ---------------- ablations (DESIGN.md §5) ---------------- *)
 
@@ -224,30 +283,42 @@ let () =
       Printf.eprintf "error: -j/--jobs expects an integer, got %S\n" n;
       exit 2
   in
-  let rec parse_jobs acc = function
+  let rec parse_opts acc = function
     | [] -> List.rev acc
     | [ ("-j" | "--jobs") ] ->
       prerr_endline "error: -j/--jobs requires a value";
       exit 2
     | ("-j" | "--jobs") :: n :: rest ->
       set_jobs n;
-      parse_jobs acc rest
+      parse_opts acc rest
     | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
       set_jobs (String.sub a 7 (String.length a - 7));
-      parse_jobs acc rest
-    | a :: rest -> parse_jobs (a :: acc) rest
+      parse_opts acc rest
+    | [ "--cache-dir" ] ->
+      prerr_endline "error: --cache-dir requires a value";
+      exit 2
+    | "--cache-dir" :: d :: rest ->
+      cache_dir_flag := Some d;
+      parse_opts acc rest
+    | a :: rest when String.length a > 12 && String.sub a 0 12 = "--cache-dir=" ->
+      cache_dir_flag := Some (String.sub a 12 (String.length a - 12));
+      parse_opts acc rest
+    | "--no-cache" :: rest ->
+      no_cache_flag := true;
+      parse_opts acc rest
+    | a :: rest -> parse_opts (a :: acc) rest
   in
-  let args = parse_jobs [] (List.tl (Array.to_list Sys.argv)) in
+  let args = parse_opts [] (List.tl (Array.to_list Sys.argv)) in
   match args with
   | [ "list" ] -> usage ()
   | [ "micro" ] -> micro ()
   | [ "ablate" ] -> ablate ()
   | [] ->
-    let ctx = Report.Context.create () in
+    let ctx = Report.Context.create ?cache:(cache_of_flags ()) () in
     print_string (Report.Experiments.run_all ctx);
     print_newline ()
   | ids ->
-    let ctx = Report.Context.create () in
+    let ctx = Report.Context.create ?cache:(cache_of_flags ()) () in
     List.iter
       (fun id ->
         match id with

@@ -1,0 +1,394 @@
+(* xbound — determine application-specific peak power and energy
+   requirements for the bundled ULP processor.
+
+   Subcommands: list, netlist, analyze, analyze-file, profile, coi,
+   optimize, disasm, trace, wcec, stressmark, cache, export-*.
+
+   All heavy subcommands share one set of knobs, defined once below:
+   -j/--jobs, --cache-dir, --no-cache, and --seed where concrete inputs
+   are generated. User-facing failures are typed [Xbound.Error.t] values
+   rendered as one-line diagnostics with a nonzero exit code. *)
+
+open Cmdliner
+
+(* ---------------- shared flags ---------------- *)
+
+type common = { cache : Cache.t option }
+
+let common_term =
+  let jobs =
+    let doc =
+      "Number of worker domains for parallel analysis (default: the \
+       machine's recommended domain count; 1 = fully sequential). Results \
+       are bit-identical at any job count."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let cache_dir =
+    let doc =
+      "Directory for the persistent analysis cache (default: \
+       \\$XBOUND_CACHE_DIR, else \\$XDG_CACHE_HOME/xbound, else \
+       ~/.cache/xbound)."
+    in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let no_cache =
+    let doc = "Disable the analysis cache (memory and disk) for this run." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let make jobs cache_dir no_cache =
+    (match jobs with None -> () | Some j -> Parallel.set_default_jobs j);
+    let cache =
+      if no_cache then None
+      else
+        Some
+          (Cache.create
+             ~dir:(Option.value cache_dir ~default:(Cache.default_dir ()))
+             ())
+    in
+    { cache }
+  in
+  Term.(const make $ jobs $ cache_dir $ no_cache)
+
+(* The one --seed flag, shared by every subcommand that generates
+   concrete input sets. *)
+let seed_term =
+  let doc = "Input-set seed for concrete input generation." in
+  Arg.(value & opt int 8 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let bench_arg =
+  let doc = "Benchmark name (try: xbound list)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+(* Render a typed error as a clean diagnostic and a nonzero exit. *)
+let handle = function
+  | Ok () -> ()
+  | Error e ->
+    Printf.eprintf "xbound: %s\n" (Xbound.Error.to_string e);
+    exit 1
+
+let ( let* ) = Result.bind
+
+let ctx_for c = Report.Context.create ?cache:c.cache ()
+
+let find_bench name =
+  match
+    List.find_opt
+      (fun b -> String.equal b.Benchprogs.Bench.name name)
+      (Benchprogs.Bench.all @ Benchprogs.Extended.all)
+  with
+  | Some b -> Ok b
+  | None ->
+    Error
+      (Xbound.Error.Unknown_benchmark
+         { name; available = List.map fst (Xbound.benchmarks ()) })
+
+(* ---------------- light subcommands ---------------- *)
+
+let list_cmd =
+  let run () =
+    print_endline "paper suite (Table 4.1):";
+    List.iter
+      (fun b ->
+        Printf.printf "  %-10s %s\n" b.Benchprogs.Bench.name
+          b.Benchprogs.Bench.description)
+      Benchprogs.Bench.all;
+    print_endline "extended kernels:";
+    List.iter
+      (fun b ->
+        Printf.printf "  %-10s %s\n" b.Benchprogs.Bench.name
+          b.Benchprogs.Bench.description)
+      Benchprogs.Extended.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled benchmark applications")
+    Term.(const run $ const ())
+
+let netlist_cmd =
+  let run c =
+    let ctx = ctx_for c in
+    let stats = Netlist.Stats.compute ctx.Report.Context.cpu.Cpu.netlist in
+    Format.printf "%a" Netlist.Stats.pp stats;
+    Printf.printf "base power: %s mW (leakage + clock tree)\n"
+      (Report.Render.mw (Poweran.base_power ctx.Report.Context.pa));
+    Printf.printf "design-tool rated peak: %s mW\n"
+      (Report.Render.mw (Report.Context.design_peak ctx))
+  in
+  Cmd.v
+    (Cmd.info "netlist" ~doc:"Show the processor netlist statistics")
+    Term.(const run $ common_term)
+
+(* ---------------- analysis subcommands (via the Xbound facade) ------- *)
+
+let analyze_cmd =
+  let run c name =
+    handle
+      (let* program = Xbound.bench name in
+       let* a = Xbound.analyze ?cache:c.cache program in
+       Printf.printf "%s:\n" name;
+       Printf.printf
+         "symbolic execution: %d paths, %d forks, %d dedup hits, %d cycles\n"
+         a.Xbound.paths a.Xbound.forks a.Xbound.dedup_hits a.Xbound.total_cycles;
+       Printf.printf
+         "peak power bound:  %s mW (cycle %d of the flattened trace)\n"
+         (Report.Render.mw a.Xbound.peak_power_w)
+         a.Xbound.peak_index;
+       Printf.printf "peak energy bound: %.3f nJ over %d cycles (%s pJ/cycle)\n"
+         (a.Xbound.peak_energy_j *. 1e9)
+         a.Xbound.peak_energy_cycles
+         (Report.Render.npe_pj a.Xbound.npe_j_per_cycle);
+       Printf.printf "trace: %s\n" (Report.Render.series a.Xbound.power_trace_w);
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"X-based peak power and energy bounds for a benchmark")
+    Term.(const run $ common_term $ bench_arg)
+
+let analyze_file_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE.s" ~doc:"MSP430-subset assembly source file.")
+  in
+  let run c path =
+    handle
+      (let text = In_channel.with_open_text path In_channel.input_all in
+       let* program = Xbound.of_source ~name:path text in
+       let* a = Xbound.analyze ?cache:c.cache program in
+       Printf.printf "%s:\n" path;
+       Printf.printf "symbolic execution: %d paths, %d forks, %d cycles\n"
+         a.Xbound.paths a.Xbound.forks a.Xbound.total_cycles;
+       Printf.printf "peak power bound:  %s mW\n"
+         (Report.Render.mw a.Xbound.peak_power_w);
+       Printf.printf "peak energy bound: %.3f nJ (%s pJ/cycle)\n"
+         (a.Xbound.peak_energy_j *. 1e9)
+         (Report.Render.npe_pj a.Xbound.npe_j_per_cycle);
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "analyze-file"
+       ~doc:"Assemble an .s source file and bound its peak power/energy")
+    Term.(const run $ common_term $ file_arg)
+
+let coi_cmd =
+  let run c name =
+    handle
+      (let* program = Xbound.bench name in
+       let* a = Xbound.analyze ?cache:c.cache program in
+       List.iter
+         (fun coi -> Format.printf "%a" Xbound.pp_coi coi)
+         (Xbound.cois ~top:4 ~min_gap:4 a);
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "coi" ~doc:"Report the cycles of interest (peak power spikes)")
+    Term.(const run $ common_term $ bench_arg)
+
+let optimize_cmd =
+  let run c name =
+    handle
+      (let* o = Xbound.optimize ?cache:c.cache name in
+       Printf.printf "%s: applied %s\n" name
+         (match o.Xbound.chosen with
+         | [] -> "(no transform reduced the bound)"
+         | opts -> String.concat ", " opts);
+       Printf.printf "  peak power: %s -> %s mW (%.1f%% reduction)\n"
+         (Report.Render.mw o.Xbound.base_peak_w)
+         (Report.Render.mw o.Xbound.opt_peak_w)
+         o.Xbound.peak_reduction_pct;
+       Printf.printf "  dynamic range reduction: %.1f%%\n"
+         o.Xbound.range_reduction_pct;
+       Printf.printf "  performance cost: %.2f%%, energy cost: %.2f%%\n"
+         o.Xbound.perf_degradation_pct o.Xbound.energy_overhead_pct;
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Apply the peak-power software optimizations to a benchmark")
+    Term.(const run $ common_term $ bench_arg)
+
+let trace_cmd =
+  let run (_ : common) name seed =
+    handle
+      (let* b = find_bench name in
+       let* program = Xbound.bench name in
+       let* t =
+         Xbound.run_concrete program
+           ~inputs:
+             [
+               (Benchprogs.Bench.input_base, b.Benchprogs.Bench.gen_inputs ~seed);
+             ]
+       in
+       Printf.printf "%s seed %d: %d cycles, peak %s mW at cycle %d\n" name seed
+         t.Xbound.cycles
+         (Report.Render.mw t.Xbound.peak_w)
+         t.Xbound.peak_cycle;
+       print_endline (Report.Render.series t.Xbound.trace_w);
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Concrete power trace of a benchmark run")
+    Term.(const run $ common_term $ bench_arg $ seed_term)
+
+(* ---------------- report-layer subcommands ---------------- *)
+
+let profile_cmd =
+  let run c name =
+    handle
+      (let* b = find_bench name in
+       let ctx = ctx_for c in
+       let p = Report.Context.profile ctx b in
+       Printf.printf "%s input-based profiling over %d input sets:\n" name
+         (List.length p.Baselines.Profiling.peaks);
+       Printf.printf "  peak power: %s .. %s mW  (guardbanded: %s mW)\n"
+         (Report.Render.mw p.Baselines.Profiling.min_peak)
+         (Report.Render.mw p.Baselines.Profiling.max_peak)
+         (Report.Render.mw p.Baselines.Profiling.gb_peak);
+       Printf.printf "  NPE: %s .. %s pJ/cycle (guardbanded: %s)\n"
+         (Report.Render.npe_pj p.Baselines.Profiling.min_npe)
+         (Report.Render.npe_pj p.Baselines.Profiling.max_npe)
+         (Report.Render.npe_pj p.Baselines.Profiling.gb_npe);
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Input-based profiling baseline for a benchmark")
+    Term.(const run $ common_term $ bench_arg)
+
+let wcec_cmd =
+  let run c name seed =
+    handle
+      (let* b = find_bench name in
+       let ctx = ctx_for c in
+       let img = Benchprogs.Bench.assemble b in
+       let w =
+         Baselines.Wcec.of_program ctx.Report.Context.pa img
+           ~input_sets:
+             [
+               b.Benchprogs.Bench.gen_inputs ~seed:2;
+               b.Benchprogs.Bench.gen_inputs ~seed;
+             ]
+       in
+       let a = Report.Context.analysis ctx b in
+       let x_npe = a.Core.Analyze.peak_energy.Core.Peak_energy.npe in
+       Printf.printf
+         "%s: instruction-level WCEC model %s pJ/cycle vs gate-level bound %s \
+          pJ/cycle (%.1f%% tighter)\n"
+         name
+         (Report.Render.npe_pj w.Baselines.Wcec.npe)
+         (Report.Render.npe_pj x_npe)
+         (100. *. (1. -. (x_npe /. w.Baselines.Wcec.npe)));
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "wcec"
+       ~doc:"Compare the instruction-level WCEC model with the gate-level bound")
+    Term.(const run $ common_term $ bench_arg $ seed_term)
+
+let stressmark_cmd =
+  let run c =
+    let ctx = ctx_for c in
+    let s = Report.Context.stressmark_peak ctx in
+    Printf.printf
+      "GA stressmark (peak-power fitness): %s mW peak, %s mW average, %d \
+       evaluations\n"
+      (Report.Render.mw s.Baselines.Stressmark.peak_power)
+      (Report.Render.mw s.Baselines.Stressmark.avg_power)
+      s.Baselines.Stressmark.evaluations;
+    print_endline "best genome as assembly:";
+    List.iter
+      (function
+        | Isa.Asm.I i -> Printf.printf "  %s\n" (Isa.Insn.to_string i)
+        | Isa.Asm.Label l -> Printf.printf "%s:\n" l
+        | _ -> ())
+      (Baselines.Stressmark.phenotype Baselines.Stressmark.default_config
+         s.Baselines.Stressmark.best_genome)
+  in
+  Cmd.v
+    (Cmd.info "stressmark"
+       ~doc:"Run the genetic stressmark search and print the result")
+    Term.(const run $ common_term)
+
+(* ---------------- cache management ---------------- *)
+
+let cache_stats_cmd =
+  let run c =
+    match c.cache with
+    | None -> handle (Error (Xbound.Error.Cache "cache disabled (--no-cache)"))
+    | Some cache ->
+      let dir = Option.value (Cache.dir cache) ~default:"(memory only)" in
+      let entries, bytes = Cache.disk_stats cache in
+      Printf.printf "cache directory: %s\n" dir;
+      Printf.printf "entries: %d\n" entries;
+      Printf.printf "size: %.1f KiB\n" (float_of_int bytes /. 1024.)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Show persistent cache location, entry count and size")
+    Term.(const run $ common_term)
+
+let cache_clear_cmd =
+  let run c =
+    match c.cache with
+    | None -> handle (Error (Xbound.Error.Cache "cache disabled (--no-cache)"))
+    | Some cache ->
+      let entries, _ = Cache.disk_stats cache in
+      Cache.clear cache;
+      Printf.printf "removed %d cache entr%s from %s\n" entries
+        (if entries = 1 then "y" else "ies")
+        (Option.value (Cache.dir cache) ~default:"(memory)")
+  in
+  Cmd.v
+    (Cmd.info "clear" ~doc:"Delete every persistent cache entry")
+    Term.(const run $ common_term)
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Inspect or clear the persistent analysis cache")
+    [ cache_stats_cmd; cache_clear_cmd ]
+
+(* ---------------- export subcommands ---------------- *)
+
+let disasm_cmd =
+  let run name =
+    handle
+      (let* b = find_bench name in
+       print_string (Isa.Listing.to_string (Benchprogs.Bench.assemble b));
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassembly listing of a benchmark image")
+    Term.(const run $ bench_arg)
+
+let export_verilog_cmd =
+  let run () =
+    let cpu = Cpu.build () in
+    print_string (Verilog_export.file_text cpu.Cpu.netlist)
+  in
+  Cmd.v
+    (Cmd.info "export-verilog"
+       ~doc:"Dump the processor as flat gate-level Verilog")
+    Term.(const run $ const ())
+
+let export_liberty_cmd =
+  let run () = print_string (Stdcell.liberty_text Stdcell.default) in
+  Cmd.v
+    (Cmd.info "export-liberty"
+       ~doc:"Dump the synthetic standard-cell library in Liberty format")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "xbound" ~version:"1.1.0"
+      ~doc:
+        "Application-specific peak power and energy requirements for \
+         ultra-low-power processors (ASPLOS'17 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; netlist_cmd; analyze_cmd; analyze_file_cmd; profile_cmd;
+            coi_cmd; optimize_cmd; disasm_cmd; trace_cmd; wcec_cmd;
+            stressmark_cmd; cache_cmd; export_verilog_cmd; export_liberty_cmd;
+          ]))

@@ -1,4 +1,5 @@
-(* Guided peak-power optimization (paper, Sections 3.5 and 5.1).
+(* Guided peak-power optimization (paper, Sections 3.5 and 5.1),
+   through the stable public API.
 
    The analysis identifies the cycles of interest (power spikes), the
    instruction in flight and the per-module breakdown at each; the
@@ -8,34 +9,34 @@
 
    Run with: dune exec examples/optimize_app.exe *)
 
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+    prerr_endline (Xbound.Error.to_string e);
+    exit 1
+
 let () =
-  let ctx = Report.Context.create ~log:(fun _ -> ()) () in
-  let b = Benchprogs.Bench.find "mult" in
-  let a = Report.Context.analysis ctx b in
+  let program = or_die (Xbound.bench "mult") in
+  let a = or_die (Xbound.analyze program) in
 
   print_endline "--- cycles of interest before optimization ---";
   List.iter
-    (fun coi -> Format.printf "%a" Core.Coi.pp coi)
-    (Core.Analyze.cois ctx.Report.Context.pa a ~top:2 ~min_gap:4);
+    (fun coi -> Format.printf "%a" Xbound.pp_coi coi)
+    (Xbound.cois ~top:2 ~min_gap:4 a);
 
   print_endline "--- greedy optimization ---";
-  let o = Report.Context.optimization ctx b in
-  (match o.Report.Optrun.chosen with
+  let o = or_die (Xbound.optimize "mult") in
+  (match o.Xbound.chosen with
   | [] -> print_endline "no transform reduced the bound"
-  | opts ->
-    List.iter (fun opt -> Printf.printf "applied: %s\n" (Core.Optimize.name opt)) opts);
+  | opts -> List.iter (fun opt -> Printf.printf "applied: %s\n" opt) opts);
   Printf.printf "peak power: %.4f mW -> %.4f mW (%.1f%% lower)\n"
-    (o.Report.Optrun.base_peak *. 1e3)
-    (o.Report.Optrun.opt_peak *. 1e3)
-    (Report.Optrun.peak_reduction_pct o);
-  Printf.printf "dynamic range reduction: %.1f%%\n"
-    (Report.Optrun.range_reduction_pct o);
+    (o.Xbound.base_peak_w *. 1e3)
+    (o.Xbound.opt_peak_w *. 1e3)
+    o.Xbound.peak_reduction_pct;
+  Printf.printf "dynamic range reduction: %.1f%%\n" o.Xbound.range_reduction_pct;
   Printf.printf "performance cost: %.2f%%, energy cost: %.2f%%\n"
-    (Report.Optrun.perf_degradation_pct o)
-    (Report.Optrun.energy_overhead_pct o);
+    o.Xbound.perf_degradation_pct o.Xbound.energy_overhead_pct;
 
   print_endline "--- traces ---";
-  Printf.printf "before: %s\n"
-    (Report.Render.series a.Core.Analyze.power_trace);
-  Printf.printf "after:  %s\n"
-    (Report.Render.series o.Report.Optrun.opt_analysis.Core.Analyze.power_trace)
+  Printf.printf "before: %s\n" (Report.Render.series o.Xbound.base_trace_w);
+  Printf.printf "after:  %s\n" (Report.Render.series o.Xbound.opt_trace_w)

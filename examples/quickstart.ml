@@ -1,21 +1,23 @@
-(* Quickstart: bound the peak power and energy of a small application.
+(* Quickstart: bound the peak power and energy of a small application,
+   through the stable public API.
 
    Pipeline (paper, Figure 3.1):
      application binary + processor netlist
-       -> symbolic (X-propagating) gate-level simulation   [Gatesim.Sym]
-       -> activity-annotated execution tree                [Gatesim.Trace]
-       -> peak power / peak energy computation             [Core]
+       -> symbolic (X-propagating) gate-level simulation
+       -> activity-annotated execution tree
+       -> peak power / peak energy computation
+   all behind [Xbound.analyze].
 
    Run with: dune exec examples/quickstart.exe *)
 
-let () =
-  (* 1. Elaborate the ULP processor to a gate-level netlist. *)
-  let cpu = Cpu.build () in
-  Printf.printf "processor: %d gates, %d flops\n"
-    (Netlist.gate_count cpu.Cpu.netlist)
-    (Netlist.dff_count cpu.Cpu.netlist);
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+    prerr_endline (Xbound.Error.to_string e);
+    exit 1
 
-  (* 2. Write an application. This one reads a sensor sample from RAM
+let () =
+  (* 1. Write an application. This one reads a sensor sample from RAM
      (never initialized by the binary, so the analysis treats it as
      unknown), scales it with the hardware multiplier, and stores the
      result. *)
@@ -32,39 +34,38 @@ let () =
         mov (reg 5) (dabs result_addr);
       ]
   in
-  let image =
-    Isa.Asm.assemble
-      {
-        Isa.Asm.name = "quickstart";
-        entry = "start";
-        sections =
-          [
-            {
-              Isa.Asm.org = Isa.Memmap.rom_base;
-              items = (Isa.Asm.Label "start" :: app) @ Isa.Asm.halt_items;
-            };
-          ];
-      }
+  let program =
+    or_die
+      (Xbound.of_ast
+         {
+           Isa.Asm.name = "quickstart";
+           entry = "start";
+           sections =
+             [
+               {
+                 Isa.Asm.org = Isa.Memmap.rom_base;
+                 items = (Isa.Asm.Label "start" :: app) @ Isa.Asm.halt_items;
+               };
+             ];
+         })
   in
 
-  (* 3. Analyze: symbolic simulation + peak power/energy bounds. *)
-  let pa = Core.Analyze.poweran_for cpu in
-  let a = Core.Analyze.run pa cpu image in
+  (* 2. Analyze: symbolic simulation + peak power/energy bounds. The
+     cache is optional; with it, re-running this example is a disk hit. *)
+  let cache = Cache.create ~dir:(Cache.default_dir ()) () in
+  let a = or_die (Xbound.analyze ~cache program) in
   Printf.printf "symbolic execution explored %d path(s), %d cycles\n"
-    a.Core.Analyze.sym_stats.Gatesim.Sym.paths
-    a.Core.Analyze.sym_stats.Gatesim.Sym.total_cycles;
-  Printf.printf "guaranteed peak power:  %.4f mW\n"
-    (a.Core.Analyze.peak_power *. 1e3);
+    a.Xbound.paths a.Xbound.total_cycles;
+  Printf.printf "guaranteed peak power:  %.4f mW\n" (a.Xbound.peak_power_w *. 1e3);
   Printf.printf "guaranteed peak energy: %.4f nJ (%.3f pJ/cycle)\n"
-    (a.Core.Analyze.peak_energy.Core.Peak_energy.energy *. 1e9)
-    (a.Core.Analyze.peak_energy.Core.Peak_energy.npe *. 1e12);
+    (a.Xbound.peak_energy_j *. 1e9)
+    (a.Xbound.npe_j_per_cycle *. 1e12);
 
-  (* 4. Sanity: a concrete run with a specific input must stay below the
+  (* 3. Sanity: a concrete run with a specific input must stay below the
      bound for every cycle. *)
-  let _, trace =
-    Core.Analyze.run_concrete pa cpu image ~inputs:[ (sample_addr, [ 1234 ]) ]
+  let c =
+    or_die (Xbound.run_concrete program ~inputs:[ (sample_addr, [ 1234 ]) ])
   in
-  let concrete_peak, _ = Poweran.peak_of trace in
   Printf.printf "concrete run peak:      %.4f mW (bound holds: %b)\n"
-    (concrete_peak *. 1e3)
-    (concrete_peak <= a.Core.Analyze.peak_power)
+    (c.Xbound.peak_w *. 1e3)
+    (c.Xbound.peak_w <= a.Xbound.peak_power_w)

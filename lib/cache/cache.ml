@@ -1,0 +1,326 @@
+(* Content-addressed, two-layer (memory LRU + disk) result cache with
+   single-flight memoization. See cache.mli for the contract. *)
+
+module Key = struct
+  type t = string
+
+  let of_string s = Digest.to_hex (Digest.string s)
+  let of_value v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+  let combine parts = of_string (String.concat "\x00" parts)
+end
+
+let format_version = 1
+let magic = "XBCACHE\x01"
+
+type counters = {
+  mutable mem_hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable stores : int;
+  mutable evictions : int;
+  mutable corrupt : int;
+  mutable joined : int;
+}
+
+(* Intrusive doubly-linked LRU list; [head] is most recently used. *)
+type entry = {
+  ekey : string;
+  value : Obj.t;
+  mutable prev : entry option;  (* toward head *)
+  mutable next : entry option;  (* toward tail *)
+}
+
+type slot = Ready of entry | In_flight
+
+type t = {
+  dir_ : string option;
+  capacity : int;
+  table : (string, slot) Hashtbl.t;
+  mutable head : entry option;
+  mutable tail : entry option;
+  mutable count : int;
+  m : Mutex.t;
+  cv : Condition.t;
+  c : counters;
+}
+
+let create ?dir ?(mem_entries = 64) () =
+  {
+    dir_ = dir;
+    capacity = max 1 mem_entries;
+    table = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    count = 0;
+    m = Mutex.create ();
+    cv = Condition.create ();
+    c =
+      {
+        mem_hits = 0;
+        disk_hits = 0;
+        misses = 0;
+        stores = 0;
+        evictions = 0;
+        corrupt = 0;
+        joined = 0;
+      };
+  }
+
+let dir t = t.dir_
+let counters t = t.c
+
+let reset_counters t =
+  Mutex.lock t.m;
+  t.c.mem_hits <- 0;
+  t.c.disk_hits <- 0;
+  t.c.misses <- 0;
+  t.c.stores <- 0;
+  t.c.evictions <- 0;
+  t.c.corrupt <- 0;
+  t.c.joined <- 0;
+  Mutex.unlock t.m
+
+let counters_json t =
+  Printf.sprintf
+    "{\"mem_hits\": %d, \"disk_hits\": %d, \"misses\": %d, \"stores\": %d, \
+     \"evictions\": %d, \"corrupt\": %d, \"joined\": %d}"
+    t.c.mem_hits t.c.disk_hits t.c.misses t.c.stores t.c.evictions t.c.corrupt
+    t.c.joined
+
+let default_dir () =
+  match Sys.getenv_opt "XBOUND_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> (
+    match Sys.getenv_opt "XDG_CACHE_HOME" with
+    | Some d when d <> "" -> Filename.concat d "xbound"
+    | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some h when h <> "" -> Filename.concat (Filename.concat h ".cache") "xbound"
+      | _ -> "_xbound_cache"))
+
+(* ---------------- LRU list (all under t.m) ---------------- *)
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.prev <- None;
+  e.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let touch t e =
+  if t.head != Some e then begin
+    unlink t e;
+    push_front t e
+  end
+
+let insert_ready t full_key v =
+  let e = { ekey = full_key; value = v; prev = None; next = None } in
+  Hashtbl.replace t.table full_key (Ready e);
+  push_front t e;
+  t.count <- t.count + 1;
+  while t.count > t.capacity do
+    match t.tail with
+    | None -> t.count <- t.capacity (* unreachable *)
+    | Some victim ->
+      unlink t victim;
+      Hashtbl.remove t.table victim.ekey;
+      t.count <- t.count - 1;
+      t.c.evictions <- t.c.evictions + 1
+  done
+
+(* ---------------- disk layer ---------------- *)
+
+let rec mkdir_p d =
+  if d = "" || d = "/" || d = "." || Sys.file_exists d then ()
+  else begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let entry_file dir ~ns ~key =
+  Filename.concat dir (Printf.sprintf "%s.%s.v%d" ns key format_version)
+
+(* An on-disk entry is: magic, namespace (length-prefixed), the MD5 of
+   the payload, then the marshaled payload. Anything that fails to read
+   back — wrong magic, wrong namespace, digest mismatch, truncation,
+   Marshal failure — is a miss; the bad file is deleted. *)
+let disk_load t ~ns ~key =
+  match t.dir_ with
+  | None -> None
+  | Some dir -> (
+    let file = entry_file dir ~ns ~key in
+    if not (Sys.file_exists file) then None
+    else
+      let parse ic =
+        let len = in_channel_length ic in
+        let m = really_input_string ic (String.length magic) in
+        if m <> magic then failwith "bad magic";
+        let nslen = input_binary_int ic in
+        if nslen <> String.length ns then failwith "bad ns";
+        let file_ns = really_input_string ic nslen in
+        if file_ns <> ns then failwith "bad ns";
+        let digest = really_input_string ic 16 in
+        let header = String.length magic + 4 + nslen + 16 in
+        let payload = really_input_string ic (len - header) in
+        if Digest.string payload <> digest then failwith "bad digest";
+        Marshal.from_string payload 0
+      in
+      match In_channel.with_open_bin file parse with
+      | v -> Some v
+      | exception _ ->
+        (try Sys.remove file with Sys_error _ -> ());
+        Mutex.lock t.m;
+        t.c.corrupt <- t.c.corrupt + 1;
+        Mutex.unlock t.m;
+        None)
+
+(* Atomic publish: write the full entry to a temp file in the same
+   directory, then rename over the final name. A concurrent reader sees
+   either no file or a complete one. Best-effort: a full disk or
+   unwritable directory silently degrades to no persistence. *)
+let disk_store t ~ns ~key v =
+  match t.dir_ with
+  | None -> ()
+  | Some dir -> (
+    try
+      mkdir_p dir;
+      let payload = Marshal.to_string v [] in
+      let file = entry_file dir ~ns ~key in
+      let tmp = Filename.temp_file ~temp_dir:dir "xbcache" ".tmp" in
+      Out_channel.with_open_bin tmp (fun oc ->
+          output_string oc magic;
+          output_binary_int oc (String.length ns);
+          output_string oc ns;
+          output_string oc (Digest.string payload);
+          output_string oc payload);
+      Sys.rename tmp file;
+      Mutex.lock t.m;
+      t.c.stores <- t.c.stores + 1;
+      Mutex.unlock t.m
+    with Sys_error _ | Sys_blocked_io -> ())
+
+let is_entry_name name =
+  (* <ns>.<32-hex>.v<version> for the current format version *)
+  match String.split_on_char '.' name with
+  | [ _ns; digest; v ] ->
+    v = Printf.sprintf "v%d" format_version
+    && String.length digest = 32
+    && String.for_all
+         (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+         digest
+  | _ -> false
+
+let disk_stats t =
+  match t.dir_ with
+  | None -> (0, 0)
+  | Some dir ->
+    if not (Sys.file_exists dir) then (0, 0)
+    else
+      Array.fold_left
+        (fun (n, bytes) name ->
+          if is_entry_name name then
+            let sz =
+              try
+                In_channel.with_open_bin (Filename.concat dir name)
+                  in_channel_length
+              with Sys_error _ -> 0
+            in
+            (n + 1, bytes + sz)
+          else (n, bytes))
+        (0, 0) (Sys.readdir dir)
+
+let clear t =
+  (match t.dir_ with
+  | Some dir when Sys.file_exists dir ->
+    Array.iter
+      (fun name ->
+        if is_entry_name name then
+          try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+      (Sys.readdir dir)
+  | _ -> ());
+  Mutex.lock t.m;
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.count <- 0;
+  Mutex.unlock t.m
+
+(* ---------------- memoization ---------------- *)
+
+(* Under t.m: either return the ready value, or claim the key for this
+   caller (returns None), waiting out any other domain's in-flight
+   computation first. *)
+let acquire t full_key =
+  let waited = ref false in
+  let rec go () =
+    match Hashtbl.find_opt t.table full_key with
+    | Some (Ready e) ->
+      touch t e;
+      (* a caller that waited is already counted in [joined]; the
+         counters partition memo calls *)
+      if not !waited then t.c.mem_hits <- t.c.mem_hits + 1;
+      Some e.value
+    | Some In_flight ->
+      if not !waited then begin
+        waited := true;
+        t.c.joined <- t.c.joined + 1
+      end;
+      Condition.wait t.cv t.m;
+      go ()
+    | None ->
+      Hashtbl.replace t.table full_key In_flight;
+      None
+  in
+  go ()
+
+let publish t full_key v =
+  Mutex.lock t.m;
+  (* In_flight -> Ready; count the slot only once. *)
+  (match Hashtbl.find_opt t.table full_key with
+  | Some In_flight -> Hashtbl.remove t.table full_key
+  | _ -> ());
+  insert_ready t full_key v;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m
+
+let abandon t full_key =
+  Mutex.lock t.m;
+  (match Hashtbl.find_opt t.table full_key with
+  | Some In_flight -> Hashtbl.remove t.table full_key
+  | _ -> ());
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m
+
+let memo t ~ns ~key f =
+  let full_key = ns ^ ":" ^ key in
+  Mutex.lock t.m;
+  match acquire t full_key with
+  | Some v ->
+    Mutex.unlock t.m;
+    Obj.obj v
+  | None -> (
+    Mutex.unlock t.m;
+    match disk_load t ~ns ~key with
+    | Some v ->
+      Mutex.lock t.m;
+      t.c.disk_hits <- t.c.disk_hits + 1;
+      Mutex.unlock t.m;
+      publish t full_key (Obj.repr v);
+      v
+    | None -> (
+      Mutex.lock t.m;
+      t.c.misses <- t.c.misses + 1;
+      Mutex.unlock t.m;
+      match f () with
+      | v ->
+        disk_store t ~ns ~key v;
+        publish t full_key (Obj.repr v);
+        v
+      | exception e ->
+        abandon t full_key;
+        raise e))

@@ -40,33 +40,90 @@ let engine_for cpu image ~symbolic =
   if not symbolic then Gatesim.Engine.set_port_in e (Array.make 16 Tri.Zero);
   e
 
+(* ---------------- cache keys ----------------
+
+   Every analysis is deterministic in (netlist+ports, image, config) for
+   Algorithm 1 and additionally the power context for the Section
+   3.2/3.3 computations, so results are content-addressed by digests of
+   exactly those inputs plus [analysis_version] — bump the version
+   whenever analysis semantics change, and old entries become misses. *)
+
+let analysis_version = 1
+
+let digest_of v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+(* Tier-2 key: the execution tree does not depend on the power context
+   or the loop bound, so reruns that only change those reuse it. *)
+let tree_key ?(version = analysis_version) config cpu (image : Isa.Asm.image) =
+  Cache.Key.combine
+    [
+      "symtree";
+      string_of_int version;
+      digest_of (cpu.Cpu.netlist, cpu.Cpu.ports);
+      digest_of image;
+      string_of_int config.revisit_limit;
+      string_of_int config.max_paths;
+      string_of_int config.max_cycles_per_path;
+    ]
+
+(* Tier-1 key: the whole analysis result. *)
+let cache_key ?(version = analysis_version) ~config pa cpu image =
+  Cache.Key.combine
+    [
+      "analysis";
+      string_of_int version;
+      tree_key ~version config cpu image;
+      digest_of pa;
+      string_of_int config.loop_bound;
+    ]
+
 (* Symbolic analysis: Algorithm 1 then the Section 3.2/3.3
    computations. [pool] defaults to the ambient pool (see [Parallel]);
-   results are bit-identical at any job count. *)
-let run ?(config = default_config) ?pool pa cpu (image : Isa.Asm.image) =
+   results are bit-identical at any job count, and — because cached
+   entries are Marshal round-trips of the same floats — also bit
+   identical between cached and fresh runs. *)
+let run ?(config = default_config) ?pool ?cache pa cpu (image : Isa.Asm.image) =
   let pool = match pool with Some _ as p -> p | None -> Parallel.auto () in
-  let e = engine_for cpu image ~symbolic:true in
-  let sym_config =
+  let explore () =
+    let e = engine_for cpu image ~symbolic:true in
+    let sym_config =
+      {
+        Gatesim.Sym.is_end = Cpu.is_end_cycle ~halt_addr:image.Isa.Asm.halt_addr;
+        max_cycles_per_path = config.max_cycles_per_path;
+        max_paths = config.max_paths;
+        revisit_limit = config.revisit_limit;
+      }
+    in
+    Gatesim.Sym.run ?pool e sym_config
+  in
+  let compute ~tree_memo ~algo_cache () =
+    let tree, sym_stats = tree_memo explore in
+    let pp_result = Peak_power.of_tree ?cache:algo_cache pa tree in
+    let pe =
+      Peak_energy.of_tree ?cache:algo_cache pa tree ~loop_bound:config.loop_bound
+    in
     {
-      Gatesim.Sym.is_end = Cpu.is_end_cycle ~halt_addr:image.Isa.Asm.halt_addr;
-      max_cycles_per_path = config.max_cycles_per_path;
-      max_paths = config.max_paths;
-      revisit_limit = config.revisit_limit;
+      image;
+      tree;
+      sym_stats;
+      flattened = pp_result.Peak_power.flattened;
+      power_trace = pp_result.Peak_power.trace;
+      peak_power = pp_result.Peak_power.peak;
+      peak_index = pp_result.Peak_power.peak_index;
+      peak_energy = pe;
     }
   in
-  let tree, sym_stats = Gatesim.Sym.run ?pool e sym_config in
-  let pp_result = Peak_power.of_tree pa tree in
-  let pe = Peak_energy.of_tree pa tree ~loop_bound:config.loop_bound in
-  {
-    image;
-    tree;
-    sym_stats;
-    flattened = pp_result.Peak_power.flattened;
-    power_trace = pp_result.Peak_power.trace;
-    peak_power = pp_result.Peak_power.peak;
-    peak_index = pp_result.Peak_power.peak_index;
-    peak_energy = pe;
-  }
+  match cache with
+  | None -> compute ~tree_memo:(fun f -> f ()) ~algo_cache:None ()
+  | Some c ->
+    let tkey = tree_key config cpu image in
+    (* the peak power/energy memos hang off the tree + power context;
+       Peak_energy appends the loop bound itself *)
+    let pkey = Cache.Key.combine [ tkey; digest_of pa ] in
+    Cache.memo c ~ns:"analysis" ~key:(cache_key ~config pa cpu image)
+      (compute
+         ~tree_memo:(fun f -> Cache.memo c ~ns:"symtree" ~key:tkey f)
+         ~algo_cache:(Some (c, pkey)))
 
 (* Concrete (input-based) execution for profiling and validation. *)
 let run_concrete pa cpu (image : Isa.Asm.image) ~inputs =

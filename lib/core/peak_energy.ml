@@ -20,7 +20,7 @@ type result = {
 exception Unbounded of string
 (** raised when [loop_bound = 0] would be exceeded *)
 
-let of_tree pa (tree : Gatesim.Trace.tree) ~loop_bound =
+let of_tree_fresh pa (tree : Gatesim.Trace.tree) ~loop_bound =
   let period = Poweran.period pa in
   let bounded = ref 0 in
   let seg_cost cycles =
@@ -63,3 +63,12 @@ let of_tree pa (tree : Gatesim.Trace.tree) ~loop_bound =
     npe = (if cycles = 0 then 0. else energy /. float_of_int cycles);
     bounded_loops = !bounded;
   }
+
+let of_tree ?cache pa tree ~loop_bound =
+  match cache with
+  | None -> of_tree_fresh pa tree ~loop_bound
+  | Some (c, key) ->
+    (* the caller's key covers the tree and the power context; the loop
+       bound is this analysis's own knob *)
+    let key = Cache.Key.combine [ key; "loop_bound"; string_of_int loop_bound ] in
+    Cache.memo c ~ns:"peak-energy" ~key (fun () -> of_tree_fresh pa tree ~loop_bound)

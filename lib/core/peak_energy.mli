@@ -21,4 +21,14 @@ type result = {
     looping state's digest. *)
 exception Unbounded of string
 
-val of_tree : Poweran.t -> Gatesim.Trace.tree -> loop_bound:int -> result
+(** [of_tree ?cache pa tree ~loop_bound] — with [cache = (c, key)],
+    the result is memoized in [c]; [key] must cover the tree's inputs
+    and the power context (see {!Analyze.cache_key}), and this module
+    appends [loop_bound] itself — so reruns that only change the loop
+    bound reuse the same execution tree. *)
+val of_tree :
+  ?cache:Cache.t * Cache.Key.t ->
+  Poweran.t ->
+  Gatesim.Trace.tree ->
+  loop_bound:int ->
+  result

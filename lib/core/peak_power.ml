@@ -19,4 +19,8 @@ let of_cycles pa cycles =
   let peak, peak_index = Poweran.peak_of trace in
   { flattened = cycles; trace; peak; peak_index }
 
-let of_tree pa tree = of_cycles pa (Gatesim.Trace.flatten tree)
+let of_tree ?cache pa tree =
+  let compute () = of_cycles pa (Gatesim.Trace.flatten tree) in
+  match cache with
+  | None -> compute ()
+  | Some (c, key) -> Cache.memo c ~ns:"peak-power" ~key compute

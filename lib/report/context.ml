@@ -8,6 +8,10 @@ type t = {
   pa : Poweran.t;
   pa_f1610 : Poweran.t;
       (** the Chapter-2 measurement stand-in: 130 nm / 3 V / 8 MHz *)
+  cache : Cache.t option;
+      (** content-addressed layer under the per-name tables below; adds
+          persistence across processes and in-flight dedup across the
+          domain pool *)
   analyses : (string, Core.Analyze.t) Hashtbl.t;
   profiles : (string, Baselines.Profiling.result) Hashtbl.t;
   profiles_f1610 : (string, Baselines.Profiling.result) Hashtbl.t;
@@ -17,7 +21,7 @@ type t = {
   mutable log : string -> unit;
 }
 
-let create ?(log = fun s -> prerr_endline s) () =
+let create ?(log = fun s -> prerr_endline s) ?cache () =
   let cpu = Cpu.build () in
   let pa = Core.Analyze.poweran_for cpu in
   let pa_f1610 =
@@ -27,6 +31,7 @@ let create ?(log = fun s -> prerr_endline s) () =
     cpu;
     pa;
     pa_f1610;
+    cache;
     analyses = Hashtbl.create 16;
     profiles = Hashtbl.create 16;
     profiles_f1610 = Hashtbl.create 16;
@@ -51,7 +56,7 @@ let analysis t (b : Benchprogs.Bench.t) =
   | None ->
     t.log (Printf.sprintf "  [x-based analysis] %s" b.Benchprogs.Bench.name);
     let a =
-      Core.Analyze.run ~config:(analysis_config b) t.pa t.cpu
+      Core.Analyze.run ~config:(analysis_config b) ?cache:t.cache t.pa t.cpu
         (Benchprogs.Bench.assemble b)
     in
     Hashtbl.replace t.analyses b.Benchprogs.Bench.name a;
@@ -78,7 +83,8 @@ let prewarm_analyses t benches =
       let results =
         Parallel.Pool.map_list pool
           (fun b ->
-            Core.Analyze.run ~config:(analysis_config b) ~pool t.pa t.cpu
+            Core.Analyze.run ~config:(analysis_config b) ~pool ?cache:t.cache
+              t.pa t.cpu
               (Benchprogs.Bench.assemble b))
           missing
       in
@@ -139,7 +145,7 @@ let optimization t (b : Benchprogs.Bench.t) =
   | Some o -> o
   | None ->
     t.log (Printf.sprintf "  [optimizing] %s" b.Benchprogs.Bench.name);
-    let o = Optrun.greedy ~analysis:(analysis t b) t.pa t.cpu b in
+    let o = Optrun.greedy ~analysis:(analysis t b) ?cache:t.cache t.pa t.cpu b in
     Hashtbl.replace t.opts b.Benchprogs.Bench.name o;
     o
 

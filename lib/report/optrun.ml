@@ -34,7 +34,7 @@ let iss_cycles (b : Benchprogs.Bench.t) body =
   Isa.Iss.run iss;
   iss.Isa.Iss.cycles
 
-let analyze pa cpu (b : Benchprogs.Bench.t) body =
+let analyze ?cache pa cpu (b : Benchprogs.Bench.t) body =
   let config =
     {
       Core.Analyze.default_config with
@@ -42,12 +42,12 @@ let analyze pa cpu (b : Benchprogs.Bench.t) body =
       max_paths = b.Benchprogs.Bench.max_paths;
     }
   in
-  Core.Analyze.run ~config pa cpu (assemble_body b body)
+  Core.Analyze.run ~config ?cache pa cpu (assemble_body b body)
 
 let avg_of (a : Core.Analyze.t) pa =
   a.Core.Analyze.peak_energy.Core.Peak_energy.npe /. Poweran.period pa
 
-let greedy ~analysis pa cpu (b : Benchprogs.Bench.t) =
+let greedy ~analysis ?cache pa cpu (b : Benchprogs.Bench.t) =
   let base = analysis in
   let verify_inputs =
     [ (Benchprogs.Bench.input_base, b.Benchprogs.Bench.gen_inputs ~seed:7) ]
@@ -75,7 +75,7 @@ let greedy ~analysis pa cpu (b : Benchprogs.Bench.t) =
         > max_perf_cost *. float_of_int base_cycles
       then go body current chosen rest
       else begin
-        let a = analyze pa cpu b candidate in
+        let a = analyze ?cache pa cpu b candidate in
         if a.Core.Analyze.peak_power < current.Core.Analyze.peak_power then
           go candidate a (opt :: chosen) rest
         else go body current chosen rest

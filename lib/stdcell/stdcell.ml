@@ -90,6 +90,12 @@ let scale lib k =
         });
   }
 
+(* Identity for cache keys; [of_cell] is a closure, so the signature is
+   the name (which every constructor parameterizes) plus the scalars. *)
+let signature lib =
+  Printf.sprintf "%s/%.17g/%.17g/%.17g" lib.lib_name lib.vdd
+    lib.wire_cap_per_fanout lib.clk_pin_energy
+
 let load_cap lib (nl : Netlist.t) net =
   let fanout = nl.Netlist.fanouts.(net) in
   let pins =

@@ -35,6 +35,13 @@ val msp430f1610 : t
     (calibration knob). *)
 val scale : t -> float -> t
 
+(** Stable identity of the library for cache keys: name plus electrical
+    scalars. [t] holds a closure ([of_cell]) and must never be
+    marshaled; every public constructor encodes its parameters in
+    [lib_name] ([scale] appends [_x<k>]), so equal signatures imply
+    equal per-cell powers. *)
+val signature : t -> string
+
 (** [load_cap lib nl net] is the total capacitance driven by [net]:
     fanout pin caps plus wire load. *)
 val load_cap : t -> Netlist.t -> int -> float

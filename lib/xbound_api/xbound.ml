@@ -1,0 +1,228 @@
+(* The stable public facade over the analysis stack. See xbound.mli. *)
+
+module Error = struct
+  type t =
+    | Parse of { file : string; line : int; message : string }
+    | Assembly of { program : string; message : string }
+    | Netlist of string
+    | Analysis of { program : string; message : string }
+    | Cache of string
+    | Unknown_benchmark of { name : string; available : string list }
+
+  let to_string = function
+    | Parse { file; line; message } -> Printf.sprintf "%s:%d: %s" file line message
+    | Assembly { program; message } ->
+      Printf.sprintf "%s: assembly error: %s" program message
+    | Netlist m -> Printf.sprintf "processor elaboration failed: %s" m
+    | Analysis { program; message } ->
+      Printf.sprintf "%s: analysis failed: %s" program message
+    | Cache m -> Printf.sprintf "cache error: %s" m
+    | Unknown_benchmark { name; available } ->
+      Printf.sprintf "unknown benchmark %S (available: %s)" name
+        (String.concat ", " available)
+
+  let pp fmt t = Format.pp_print_string fmt (to_string t)
+end
+
+type program = {
+  p_name : string;
+  p_image : Isa.Asm.image;
+  loop_bound : int;
+  max_paths : int;
+}
+
+let name p = p.p_name
+let image p = p.p_image
+
+let of_image ?(name = "program") ?(loop_bound = 16) ?(max_paths = 4096) image =
+  { p_name = name; p_image = image; loop_bound; max_paths }
+
+let of_ast ?loop_bound ?max_paths (ast : Isa.Asm.program) =
+  match Isa.Asm.assemble ast with
+  | image -> Ok (of_image ~name:ast.Isa.Asm.name ?loop_bound ?max_paths image)
+  | exception Isa.Asm.Asm_error m ->
+    Error (Error.Assembly { program = ast.Isa.Asm.name; message = m })
+
+let of_source ?(name = "<source>") ?loop_bound ?max_paths text =
+  match Isa.Parse.program ~name text with
+  | ast -> of_ast ?loop_bound ?max_paths ast
+  | exception Isa.Parse.Syntax_error (line, message) ->
+    Error (Error.Parse { file = name; line; message })
+
+let all_benches = Benchprogs.Bench.all @ Benchprogs.Extended.all
+
+let benchmarks () =
+  List.map
+    (fun b -> (b.Benchprogs.Bench.name, b.Benchprogs.Bench.description))
+    all_benches
+
+let find_bench bname =
+  match
+    List.find_opt (fun b -> String.equal b.Benchprogs.Bench.name bname) all_benches
+  with
+  | Some b -> Ok b
+  | None ->
+    Error
+      (Error.Unknown_benchmark
+         {
+           name = bname;
+           available = List.map (fun b -> b.Benchprogs.Bench.name) all_benches;
+         })
+
+let bench bname =
+  Result.map
+    (fun (b : Benchprogs.Bench.t) ->
+      of_image ~name:b.Benchprogs.Bench.name
+        ~loop_bound:b.Benchprogs.Bench.loop_bound
+        ~max_paths:b.Benchprogs.Bench.max_paths
+        (Benchprogs.Bench.assemble b))
+    (find_bench bname)
+
+(* The processor is elaborated once per process and shared; elaboration
+   failures surface as Error.Netlist on every call. *)
+let env = lazy (let cpu = Cpu.build () in (cpu, Core.Analyze.poweran_for cpu))
+
+let with_env f =
+  match Lazy.force env with
+  | cpu, pa -> f cpu pa
+  | exception Netlist.Combinational_loop _ ->
+    Error (Error.Netlist "combinational loop in the elaborated netlist")
+  | exception e -> Error (Error.Netlist (Printexc.to_string e))
+
+let set_jobs jobs = Option.iter Parallel.set_default_jobs jobs
+
+type analysis = {
+  program : program;
+  peak_power_w : float;
+  peak_index : int;
+  peak_energy_j : float;
+  peak_energy_cycles : int;
+  npe_j_per_cycle : float;
+  paths : int;
+  forks : int;
+  dedup_hits : int;
+  total_cycles : int;
+  power_trace_w : float array;
+  raw : Core.Analyze.t;
+}
+
+let config_of p =
+  {
+    Core.Analyze.default_config with
+    Core.Analyze.loop_bound = p.loop_bound;
+    max_paths = p.max_paths;
+  }
+
+let analyze ?cache ?jobs p =
+  set_jobs jobs;
+  with_env (fun cpu pa ->
+      match Core.Analyze.run ~config:(config_of p) ?cache pa cpu p.p_image with
+      | a ->
+        let pe = a.Core.Analyze.peak_energy in
+        let st = a.Core.Analyze.sym_stats in
+        Ok
+          {
+            program = p;
+            peak_power_w = a.Core.Analyze.peak_power;
+            peak_index = a.Core.Analyze.peak_index;
+            peak_energy_j = pe.Core.Peak_energy.energy;
+            peak_energy_cycles = pe.Core.Peak_energy.cycles;
+            npe_j_per_cycle = pe.Core.Peak_energy.npe;
+            paths = st.Gatesim.Sym.paths;
+            forks = st.Gatesim.Sym.forks;
+            dedup_hits = st.Gatesim.Sym.dedup_hits;
+            total_cycles = st.Gatesim.Sym.total_cycles;
+            power_trace_w = a.Core.Analyze.power_trace;
+            raw = a;
+          }
+      | exception Gatesim.Sym.Path_limit m ->
+        Error (Error.Analysis { program = p.p_name; message = "path limit: " ^ m })
+      | exception Core.Peak_energy.Unbounded d ->
+        Error
+          (Error.Analysis
+             {
+               program = p.p_name;
+               message =
+                 "input-dependent loop with loop_bound 0 (state " ^ d
+                 ^ "): peak energy is not computable";
+             }))
+
+type concrete = {
+  cycles : int;
+  peak_w : float;
+  peak_cycle : int;
+  trace_w : float array;
+}
+
+let run_concrete ?jobs p ~inputs =
+  set_jobs jobs;
+  with_env (fun cpu pa ->
+      match Core.Analyze.run_concrete pa cpu p.p_image ~inputs with
+      | cycles, trace ->
+        let peak_w, peak_cycle = Poweran.peak_of trace in
+        Ok { cycles = Array.length cycles; peak_w; peak_cycle; trace_w = trace }
+      | exception Failure m ->
+        Error (Error.Analysis { program = p.p_name; message = m }))
+
+let cois ?(top = 4) ?(min_gap = 5) a =
+  match Lazy.force env with
+  | _, pa -> Core.Analyze.cois ~top ~min_gap pa a.raw
+  | exception _ -> []
+
+let pp_coi = Core.Coi.pp
+
+type optimization = {
+  bench_name : string;
+  chosen : string list;
+  base_peak_w : float;
+  opt_peak_w : float;
+  peak_reduction_pct : float;
+  range_reduction_pct : float;
+  perf_degradation_pct : float;
+  energy_overhead_pct : float;
+  base_trace_w : float array;
+  opt_trace_w : float array;
+  raw_opt : Report.Optrun.t;
+}
+
+let optimize ?cache ?jobs bname =
+  set_jobs jobs;
+  match find_bench bname with
+  | Error e -> Error e
+  | Ok b ->
+    with_env (fun cpu pa ->
+        let config =
+          {
+            Core.Analyze.default_config with
+            Core.Analyze.loop_bound = b.Benchprogs.Bench.loop_bound;
+            max_paths = b.Benchprogs.Bench.max_paths;
+          }
+        in
+        match
+          let base =
+            Core.Analyze.run ~config ?cache pa cpu (Benchprogs.Bench.assemble b)
+          in
+          (base, Report.Optrun.greedy ~analysis:base ?cache pa cpu b)
+        with
+        | base, o ->
+          Ok
+            {
+              bench_name = bname;
+              chosen = List.map Core.Optimize.name o.Report.Optrun.chosen;
+              base_peak_w = o.Report.Optrun.base_peak;
+              opt_peak_w = o.Report.Optrun.opt_peak;
+              peak_reduction_pct = Report.Optrun.peak_reduction_pct o;
+              range_reduction_pct = Report.Optrun.range_reduction_pct o;
+              perf_degradation_pct = Report.Optrun.perf_degradation_pct o;
+              energy_overhead_pct = Report.Optrun.energy_overhead_pct o;
+              base_trace_w = base.Core.Analyze.power_trace;
+              opt_trace_w =
+                o.Report.Optrun.opt_analysis.Core.Analyze.power_trace;
+              raw_opt = o;
+            }
+        | exception Gatesim.Sym.Path_limit m ->
+          Error (Error.Analysis { program = bname; message = "path limit: " ^ m })
+        | exception Core.Peak_energy.Unbounded d ->
+          Error
+            (Error.Analysis
+               { program = bname; message = "unbounded loop (state " ^ d ^ ")" }))

@@ -1,0 +1,143 @@
+(** The stable public API of the xbound analysis tool.
+
+    Everything the examples, the CLI, the bench harness and external
+    users need, without reaching into [Core.*] / [Report.*] internals:
+    build a {!program} (from a benchmark name, an assembly AST, assembly
+    source text, or an assembled image), then {!analyze} it into
+    guaranteed peak power/energy bounds. All failures are values — a
+    typed {!Error.t} instead of [failwith] escapes — and every heavy
+    entry point takes the standard knobs: an optional content-addressed
+    {!Cache.t} and a worker-domain count.
+
+    The processor (netlist + power context) is elaborated once per
+    process, lazily, and shared by every call. *)
+
+module Error : sig
+  type t =
+    | Parse of { file : string; line : int; message : string }
+        (** assembly source text rejected by the parser *)
+    | Assembly of { program : string; message : string }
+        (** AST rejected by the assembler (layout, undefined symbol...) *)
+    | Netlist of string  (** processor elaboration failed *)
+    | Analysis of { program : string; message : string }
+        (** symbolic analysis failed (path limit, unbounded loop...) *)
+    | Cache of string  (** cache directory unusable *)
+    | Unknown_benchmark of { name : string; available : string list }
+
+  (** One-line diagnostic, suitable for stderr. *)
+  val to_string : t -> string
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** {1 Programs} *)
+
+(** An analyzable application: an assembled image plus its analysis
+    knobs. *)
+type program
+
+val name : program -> string
+val image : program -> Isa.Asm.image
+
+(** [of_image ?name ?loop_bound ?max_paths image] — wrap an already
+    assembled image. [loop_bound] is the Seen-edge unroll bound for
+    energy analysis (default 16); [max_paths] bounds Algorithm 1's
+    exploration (default 4096). *)
+val of_image :
+  ?name:string -> ?loop_bound:int -> ?max_paths:int -> Isa.Asm.image -> program
+
+(** [of_ast ?loop_bound ?max_paths ast] — assemble an {!Isa.Asm.program}
+    AST. *)
+val of_ast :
+  ?loop_bound:int ->
+  ?max_paths:int ->
+  Isa.Asm.program ->
+  (program, Error.t) Stdlib.result
+
+(** [of_source ?name ?loop_bound ?max_paths text] — parse and assemble
+    MSP430-subset assembly source text ([name] is used in
+    diagnostics). *)
+val of_source :
+  ?name:string ->
+  ?loop_bound:int ->
+  ?max_paths:int ->
+  string ->
+  (program, Error.t) Stdlib.result
+
+(** [bench name] — a bundled benchmark (paper suite + extended kernels),
+    with its tuned per-benchmark analysis knobs. *)
+val bench : string -> (program, Error.t) Stdlib.result
+
+(** All bundled benchmarks as [(name, description)]. *)
+val benchmarks : unit -> (string * string) list
+
+(** {1 Analysis} *)
+
+type analysis = {
+  program : program;
+  peak_power_w : float;  (** guaranteed peak power bound, W *)
+  peak_index : int;  (** peaking cycle in the flattened trace *)
+  peak_energy_j : float;  (** guaranteed peak energy bound, J *)
+  peak_energy_cycles : int;  (** length of the worst-case path *)
+  npe_j_per_cycle : float;  (** normalized peak energy, J/cycle *)
+  paths : int;  (** explored execution paths *)
+  forks : int;
+  dedup_hits : int;  (** Algorithm 1 line-19 seen-state cuts *)
+  total_cycles : int;  (** simulated cycles across all segments *)
+  power_trace_w : float array;  (** per-cycle peak power bound, W *)
+  raw : Core.Analyze.t;  (** escape hatch to the full result *)
+}
+
+(** [analyze ?cache ?jobs program] — the paper's flow end to end:
+    Algorithm 1 symbolic exploration, then the peak power / peak energy
+    computations. [cache] memoizes whole results and intermediate
+    artifacts (see {!Core.Analyze.cache_key}); [jobs] sets the
+    process-wide worker-domain count (same as the [--jobs] flag; results
+    are bit-identical at any value). *)
+val analyze :
+  ?cache:Cache.t -> ?jobs:int -> program -> (analysis, Error.t) Stdlib.result
+
+(** A concrete (input-based) execution, for profiling and for validating
+    the bound. *)
+type concrete = {
+  cycles : int;
+  peak_w : float;  (** observed peak power, W *)
+  peak_cycle : int;
+  trace_w : float array;
+}
+
+(** [run_concrete program ~inputs] — simulate with concrete input words
+    poked into RAM ([(address, words)] pairs). *)
+val run_concrete :
+  ?jobs:int ->
+  program ->
+  inputs:(int * int list) list ->
+  (concrete, Error.t) Stdlib.result
+
+(** [cois analysis] — the cycles of interest (peak power spikes with
+    instruction and per-module attribution, Section 3.5). *)
+val cois : ?top:int -> ?min_gap:int -> analysis -> Core.Coi.t list
+
+val pp_coi : Format.formatter -> Core.Coi.t -> unit
+
+(** {1 Optimization} *)
+
+type optimization = {
+  bench_name : string;
+  chosen : string list;  (** names of the transforms kept *)
+  base_peak_w : float;
+  opt_peak_w : float;
+  peak_reduction_pct : float;
+  range_reduction_pct : float;
+  perf_degradation_pct : float;
+  energy_overhead_pct : float;
+  base_trace_w : float array;
+  opt_trace_w : float array;
+  raw_opt : Report.Optrun.t;  (** escape hatch *)
+}
+
+(** [optimize ?cache ?jobs name] — greedy guided peak-power optimization
+    of a bundled benchmark (Section 5.1): apply each transform, keep it
+    only if it provably lowers the bound at acceptable cost. *)
+val optimize :
+  ?cache:Cache.t -> ?jobs:int -> string -> (optimization, Error.t) Stdlib.result

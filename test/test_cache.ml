@@ -1,0 +1,240 @@
+(* Tests for the content-addressed analysis cache: key discipline
+   (binary / config / version perturbation), corruption tolerance,
+   single-flight under the domain pool, cached-vs-fresh determinism,
+   and LRU eviction. *)
+
+let tmpdir () =
+  let d = Filename.temp_file "xbound-test-cache" "" in
+  Sys.remove d;
+  d
+
+let rm_rf d =
+  if Sys.file_exists d then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+    Sys.rmdir d
+  end
+
+let env =
+  lazy
+    (let cpu = Tsupport.the_cpu () in
+     (cpu, Core.Analyze.poweran_for cpu))
+
+(* A small program whose binary differs in one immediate word. *)
+let image k =
+  let open Benchprogs.Bench.E in
+  Tsupport.assemble_body ~name:"cachetest"
+    (prologue
+    @ [
+        mov (abs Benchprogs.Bench.input_base) (dreg 4);
+        mov (imm k) (dreg 5);
+        mov (reg 5) (dabs Benchprogs.Bench.output_base);
+      ])
+
+let config =
+  { Core.Analyze.default_config with Core.Analyze.loop_bound = 4; max_paths = 64 }
+
+let result_digest (a : Core.Analyze.t) =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          ( a.Core.Analyze.peak_power,
+            a.Core.Analyze.peak_index,
+            a.Core.Analyze.peak_energy,
+            a.Core.Analyze.power_trace )
+          []))
+
+(* ---------------- key discipline ---------------- *)
+
+let test_key_perturbation () =
+  let cpu, pa = Lazy.force env in
+  let img = image 25 in
+  let tk = Core.Analyze.tree_key config cpu img in
+  let ck = Core.Analyze.cache_key ~config pa cpu img in
+  (* flipping one immediate in the binary changes both key tiers *)
+  let img' = image 26 in
+  Alcotest.(check bool)
+    "binary flip changes tree key" true
+    (tk <> Core.Analyze.tree_key config cpu img');
+  Alcotest.(check bool)
+    "binary flip changes cache key" true
+    (ck <> Core.Analyze.cache_key ~config pa cpu img');
+  (* loop_bound is an Algorithm 2 knob: the exploration (tree) key must
+     NOT move, the whole-analysis key must *)
+  let config' = { config with Core.Analyze.loop_bound = 8 } in
+  Alcotest.(check string)
+    "loop_bound keeps the tree key" tk
+    (Core.Analyze.tree_key config' cpu img);
+  Alcotest.(check bool)
+    "loop_bound changes the cache key" true
+    (ck <> Core.Analyze.cache_key ~config:config' pa cpu img);
+  (* an exploration knob moves both *)
+  let config'' = { config with Core.Analyze.max_paths = 65 } in
+  Alcotest.(check bool)
+    "max_paths changes the tree key" true
+    (tk <> Core.Analyze.tree_key config'' cpu img);
+  (* bumping the code version invalidates everything *)
+  let v = Core.Analyze.analysis_version + 1 in
+  Alcotest.(check bool)
+    "version bump changes the tree key" true
+    (tk <> Core.Analyze.tree_key ~version:v config cpu img);
+  Alcotest.(check bool)
+    "version bump changes the cache key" true
+    (ck <> Core.Analyze.cache_key ~version:v ~config pa cpu img)
+
+let test_memo_hit_miss () =
+  let c = Cache.create () in
+  let calls = ref 0 in
+  let f () = incr calls; [ 1; 2; 3 ] in
+  let k = Cache.Key.of_string "a" in
+  Alcotest.(check (list int)) "computed" [ 1; 2; 3 ] (Cache.memo c ~ns:"t" ~key:k f);
+  Alcotest.(check (list int)) "memoized" [ 1; 2; 3 ] (Cache.memo c ~ns:"t" ~key:k f);
+  Alcotest.(check int) "f ran once" 1 !calls;
+  (* a different namespace or key is a distinct entry *)
+  ignore (Cache.memo c ~ns:"u" ~key:k f);
+  ignore (Cache.memo c ~ns:"t" ~key:(Cache.Key.of_string "b") f);
+  Alcotest.(check int) "distinct entries recompute" 3 !calls;
+  let ct = Cache.counters c in
+  Alcotest.(check int) "misses" 3 ct.Cache.misses;
+  Alcotest.(check int) "mem hits" 1 ct.Cache.mem_hits
+
+let test_exception_not_stored () =
+  let c = Cache.create () in
+  let k = Cache.Key.of_string "boom" in
+  (match Cache.memo c ~ns:"t" ~key:k (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Failure m -> Alcotest.(check string) "propagated" "boom" m);
+  (* nothing was stored: the next call computes *)
+  Alcotest.(check int) "recomputed after raise" 7
+    (Cache.memo c ~ns:"t" ~key:k (fun () -> 7))
+
+(* ---------------- determinism & disk round-trip ---------------- *)
+
+let test_determinism_and_incremental () =
+  let cpu, pa = Lazy.force env in
+  let img = image 25 in
+  let dir = tmpdir () in
+  let fresh = Core.Analyze.run ~config pa cpu img in
+  (* cold: populated through the cache, bit-identical to fresh *)
+  let c1 = Cache.create ~dir () in
+  let cold = Core.Analyze.run ~config ~cache:c1 pa cpu img in
+  Alcotest.(check string)
+    "cold = fresh" (result_digest fresh) (result_digest cold);
+  Alcotest.(check int) "cold run misses all tiers" 4 (Cache.counters c1).Cache.misses;
+  (* warm, new Cache.t on the same directory = fresh process: whole
+     result served from disk, bit-identical *)
+  let c2 = Cache.create ~dir () in
+  let warm = Core.Analyze.run ~config ~cache:c2 pa cpu img in
+  Alcotest.(check string)
+    "warm = fresh" (result_digest fresh) (result_digest warm);
+  Alcotest.(check int) "warm is one disk hit" 1 (Cache.counters c2).Cache.disk_hits;
+  Alcotest.(check int) "warm recomputes nothing" 0 (Cache.counters c2).Cache.misses;
+  (* changing loop_bound (an Algorithm 2 knob) must reuse the stored
+     exploration tree and peak-power artifacts, recompute the rest *)
+  let config' = { config with Core.Analyze.loop_bound = 8 } in
+  let c3 = Cache.create ~dir () in
+  let warm' = Core.Analyze.run ~config:config' ~cache:c3 pa cpu img in
+  let fresh' = Core.Analyze.run ~config:config' pa cpu img in
+  Alcotest.(check string)
+    "incremental = fresh" (result_digest fresh') (result_digest warm');
+  let ct = Cache.counters c3 in
+  Alcotest.(check int) "tree + peak power reused from disk" 2 ct.Cache.disk_hits;
+  Alcotest.(check int) "analysis + peak energy recomputed" 2 ct.Cache.misses;
+  (* clear removes every entry *)
+  Cache.clear c3;
+  Alcotest.(check (pair int int)) "cleared" (0, 0) (Cache.disk_stats c3);
+  rm_rf dir
+
+(* ---------------- corruption tolerance ---------------- *)
+
+let test_corrupted_entry_is_a_miss () =
+  let dir = tmpdir () in
+  let k = Cache.Key.of_string "payload" in
+  let c1 = Cache.create ~dir () in
+  Alcotest.(check (list int)) "stored" [ 1; 2; 3 ]
+    (Cache.memo c1 ~ns:"t" ~key:k (fun () -> [ 1; 2; 3 ]));
+  let files = Sys.readdir dir in
+  Alcotest.(check int) "one entry on disk" 1 (Array.length files);
+  (* garble the container in place *)
+  let path = Filename.concat dir files.(0) in
+  let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 path in
+  output_string oc "garbage-garbage-garbage";
+  close_out oc;
+  (* a fresh process must treat it as a miss, recompute, and repair *)
+  let c2 = Cache.create ~dir () in
+  Alcotest.(check (list int)) "recomputed" [ 9 ]
+    (Cache.memo c2 ~ns:"t" ~key:k (fun () -> [ 9 ]));
+  let ct = Cache.counters c2 in
+  Alcotest.(check int) "corrupt entry counted" 1 ct.Cache.corrupt;
+  Alcotest.(check int) "recomputed as a miss" 1 ct.Cache.misses;
+  (* the repaired entry round-trips again *)
+  let c3 = Cache.create ~dir () in
+  Alcotest.(check (list int)) "repaired" [ 9 ]
+    (Cache.memo c3 ~ns:"t" ~key:k (fun () -> [ 0 ]));
+  Cache.clear c3;
+  rm_rf dir
+
+(* ---------------- single-flight under the domain pool ---------------- *)
+
+let test_single_flight () =
+  let c = Cache.create () in
+  let pool = Parallel.Pool.create ~jobs:4 in
+  let runs = Atomic.make 0 in
+  let k = Cache.Key.of_string "flight" in
+  let tasks = List.init 8 (fun i -> i) in
+  let results =
+    Parallel.Pool.map_list pool
+      (fun _ ->
+        Cache.memo c ~ns:"t" ~key:k (fun () ->
+            Atomic.incr runs;
+            (* hold the computation open so other domains arrive while
+               it is in flight *)
+            Unix.sleepf 0.05;
+            42))
+      tasks
+  in
+  Alcotest.(check (list int)) "all callers get the value"
+    (List.map (fun _ -> 42) tasks)
+    results;
+  Alcotest.(check int) "computation ran exactly once" 1 (Atomic.get runs);
+  let ct = Cache.counters c in
+  Alcotest.(check int) "one miss" 1 ct.Cache.misses;
+  Alcotest.(check int) "everyone else joined or hit" 7
+    (ct.Cache.mem_hits + ct.Cache.joined)
+
+(* ---------------- LRU eviction ---------------- *)
+
+let test_lru_eviction () =
+  let c = Cache.create ~mem_entries:2 () in
+  let key i = Cache.Key.of_string (string_of_int i) in
+  let calls = ref 0 in
+  let get i = Cache.memo c ~ns:"t" ~key:(key i) (fun () -> incr calls; i) in
+  ignore (get 0);
+  ignore (get 1);
+  ignore (get 2);
+  (* capacity 2: key 0 fell off the tail *)
+  Alcotest.(check int) "eviction counted" 1 (Cache.counters c).Cache.evictions;
+  Alcotest.(check int) "evicted key recomputes" 0 (get 0);
+  Alcotest.(check int) "four computations" 4 !calls;
+  (* key 2 stayed resident through the re-insert of 0 *)
+  ignore (get 2);
+  Alcotest.(check int) "resident key is a hit" 4 !calls
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "keys",
+        [
+          Alcotest.test_case "perturbation" `Quick test_key_perturbation;
+          Alcotest.test_case "hit/miss" `Quick test_memo_hit_miss;
+          Alcotest.test_case "exception" `Quick test_exception_not_stored;
+        ] );
+      ( "disk",
+        [
+          Alcotest.test_case "determinism + incremental" `Slow
+            test_determinism_and_incremental;
+          Alcotest.test_case "corruption" `Quick test_corrupted_entry_is_a_miss;
+        ] );
+      ( "concurrency",
+        [ Alcotest.test_case "single-flight" `Quick test_single_flight ] );
+      ( "lru", [ Alcotest.test_case "eviction" `Quick test_lru_eviction ] );
+    ]
