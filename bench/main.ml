@@ -6,41 +6,29 @@
      bench/main.exe                 run every table/figure
      bench/main.exe fig-5.1 ...     run selected experiments
      bench/main.exe micro           Bechamel micro-benchmarks
+     bench/main.exe micro --smoke   tiny quota, for CI smoke runs
      bench/main.exe ablate          ablation studies
      bench/main.exe list            list experiment ids
-     bench/main.exe -j N ...        use N worker domains (1 = sequential) *)
 
-let usage () =
+   The knobs (-j/--jobs, --cache-dir, --no-cache, --trace, --stats) are
+   the same ones the xbound CLI takes, defined once in [Cliterm]. *)
+
+open Cmdliner
+
+let list_experiments () =
   print_endline "experiments:";
   List.iter
     (fun (id, title, _) -> Printf.printf "  %-10s %s\n" id title)
     Report.Experiments.all;
-  print_endline "  micro      bechamel micro-benchmarks";
-  print_endline "  ablate     ablation studies";
-  print_endline "options:";
-  print_endline "  -j/--jobs N     worker domains (default: recommended count)";
-  print_endline "  --cache-dir DIR persistent analysis cache directory";
-  print_endline "  --no-cache      disable the analysis cache"
-
-(* --cache-dir/--no-cache, shared with the xbound CLI: experiments run
-   against a persistent content-addressed cache unless disabled. *)
-let cache_dir_flag = ref None
-let no_cache_flag = ref false
-
-let cache_of_flags () =
-  if !no_cache_flag then None
-  else
-    Some
-      (Cache.create
-         ~dir:(Option.value !cache_dir_flag ~default:(Cache.default_dir ()))
-         ())
+  print_endline "  micro      bechamel micro-benchmarks (--smoke: tiny quota)";
+  print_endline "  ablate     ablation studies"
 
 (* ---------------- micro-benchmarks ---------------- *)
 
 (* Machine-readable mirror of the console output, so the perf trajectory
    is trackable across commits: run with -j 1 and -j N and compare the
    two files. *)
-let write_bench_json entries cycles_per_run ~cache_json =
+let write_bench_json entries cycles_per_run ~cache_json ~phases_json =
   let oc = open_out "BENCH_micro.json" in
   Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"results\": [\n"
     (Parallel.default_jobs ());
@@ -58,7 +46,8 @@ let write_bench_json entries cycles_per_run ~cache_json =
         name ns runs_per_s cyc
         (if i = last then "" else ","))
     entries;
-  Printf.fprintf oc "  ],\n  \"cache\": %s\n}\n" cache_json;
+  Printf.fprintf oc "  ],\n  \"phases\": %s,\n  \"cache\": %s\n}\n" phases_json
+    cache_json;
   close_out oc;
   prerr_endline "wrote BENCH_micro.json"
 
@@ -105,7 +94,7 @@ let bench_cache pa cpu img =
   (try Sys.rmdir dir with Sys_error _ -> ());
   json
 
-let micro () =
+let micro ~smoke () =
   let open Bechamel in
   let cpu = Cpu.build () in
   let pa = Core.Analyze.poweran_for cpu in
@@ -137,7 +126,23 @@ let micro () =
     Test.make ~name:"symbolic-analysis-tea8-j1"
       (Staged.stage (fun () -> ignore (Core.Analyze.run ~pool:seq_pool pa cpu img)))
   in
-  let a = Core.Analyze.run pa cpu img in
+  (* One fully instrumented, uncached reference analysis: its per-phase
+     wall-time breakdown is mirrored into BENCH_micro.json, and the same
+     run is exported as a Chrome trace for the CI artifact. *)
+  let tel = Telemetry.create () in
+  let a = Telemetry.with_ambient tel (fun () -> Core.Analyze.run pa cpu img) in
+  Telemetry.write_chrome tel ~file:"BENCH_micro_trace.json";
+  prerr_endline "wrote BENCH_micro_trace.json";
+  let phases = Telemetry.phase_totals tel in
+  let phases_json =
+    "{"
+    ^ String.concat ", "
+        (List.map (fun (name, s) -> Printf.sprintf "%S: %.4f" name s) phases)
+    ^ "}"
+  in
+  Printf.printf "%-28s %s\n" "phase-breakdown-tea8"
+    (String.concat ", "
+       (List.map (fun (name, s) -> Printf.sprintf "%s %.3fs" name s) phases));
   let peak_power =
     Test.make ~name:"algorithm2-peak-power"
       (Staged.stage (fun () ->
@@ -146,7 +151,13 @@ let micro () =
   let cpu_build =
     Test.make ~name:"cpu-elaboration" (Staged.stage (fun () -> ignore (Cpu.build ())))
   in
-  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) () in
+  (* Smoke mode trades estimate quality for wall time: one-twentieth of
+     the quota still runs every benchmark at least once, which is what
+     CI needs to catch crashes and gross regressions. *)
+  let cfg =
+    if smoke then Benchmark.cfg ~limit:3 ~quota:(Time.second 0.05) ()
+    else Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ()
+  in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let sym_cycles = float_of_int a.Core.Analyze.sym_stats.Gatesim.Sym.total_cycles in
   let cycles_per_run =
@@ -177,7 +188,7 @@ let micro () =
         results)
     [ concrete_step; symbolic_tree; symbolic_tree_seq; peak_power; cpu_build ];
   let cache_json = bench_cache pa cpu img in
-  write_bench_json (List.rev !collected) cycles_per_run ~cache_json
+  write_bench_json (List.rev !collected) cycles_per_run ~cache_json ~phases_json
 
 (* ---------------- ablations (DESIGN.md §5) ---------------- *)
 
@@ -275,56 +286,44 @@ let ablate () =
     (a4.Core.Analyze.peak_power *. 1e3)
     (fst (Poweran.peak_of without_x) *. 1e3)
 
+(* ---------------- entry point ---------------- *)
+
 let () =
-  let set_jobs n =
-    match int_of_string_opt n with
-    | Some j -> Parallel.set_default_jobs j
-    | None ->
-      Printf.eprintf "error: -j/--jobs expects an integer, got %S\n" n;
-      exit 2
+  let ids_arg =
+    let doc =
+      "Experiment ids to run (default: every table/figure). Special ids: \
+       $(b,micro), $(b,ablate), $(b,list)."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
   in
-  let rec parse_opts acc = function
-    | [] -> List.rev acc
-    | [ ("-j" | "--jobs") ] ->
-      prerr_endline "error: -j/--jobs requires a value";
-      exit 2
-    | ("-j" | "--jobs") :: n :: rest ->
-      set_jobs n;
-      parse_opts acc rest
-    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
-      set_jobs (String.sub a 7 (String.length a - 7));
-      parse_opts acc rest
-    | [ "--cache-dir" ] ->
-      prerr_endline "error: --cache-dir requires a value";
-      exit 2
-    | "--cache-dir" :: d :: rest ->
-      cache_dir_flag := Some d;
-      parse_opts acc rest
-    | a :: rest when String.length a > 12 && String.sub a 0 12 = "--cache-dir=" ->
-      cache_dir_flag := Some (String.sub a 12 (String.length a - 12));
-      parse_opts acc rest
-    | "--no-cache" :: rest ->
-      no_cache_flag := true;
-      parse_opts acc rest
-    | a :: rest -> parse_opts (a :: acc) rest
+  let smoke_arg =
+    let doc =
+      "Tiny measurement quota for the micro benchmarks — runs everything at \
+       least once, for CI smoke coverage rather than stable estimates."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
   in
-  let args = parse_opts [] (List.tl (Array.to_list Sys.argv)) in
-  match args with
-  | [ "list" ] -> usage ()
-  | [ "micro" ] -> micro ()
-  | [ "ablate" ] -> ablate ()
-  | [] ->
-    let ctx = Report.Context.create ?cache:(cache_of_flags ()) () in
-    print_string (Report.Experiments.run_all ctx);
-    print_newline ()
-  | ids ->
-    let ctx = Report.Context.create ?cache:(cache_of_flags ()) () in
-    List.iter
-      (fun id ->
-        match id with
-        | "micro" -> micro ()
-        | "ablate" -> ablate ()
-        | id ->
-          print_string (Report.Experiments.find id ctx);
-          print_newline ())
-      ids
+  let run c smoke ids =
+    let report_ctx () = Report.Context.create ?cache:(Cliterm.cache c) () in
+    match ids with
+    | [ "list" ] -> list_experiments ()
+    | [] ->
+      print_string (Report.Experiments.run_all (report_ctx ()));
+      print_newline ()
+    | ids ->
+      List.iter
+        (fun id ->
+          match id with
+          | "micro" -> micro ~smoke ()
+          | "ablate" -> ablate ()
+          | "list" -> list_experiments ()
+          | id ->
+            print_string (Report.Experiments.find id (report_ctx ()));
+            print_newline ())
+        ids
+  in
+  let info =
+    Cmd.info "bench" ~version:"1.2.0"
+      ~doc:"Regenerate the paper's tables/figures and micro-benchmark the tool"
+  in
+  exit (Cmd.eval (Cmd.v info Term.(const run $ Cliterm.term $ smoke_arg $ ids_arg)))

@@ -4,51 +4,15 @@
    Subcommands: list, netlist, analyze, analyze-file, profile, coi,
    optimize, disasm, trace, wcec, stressmark, cache, export-*.
 
-   All heavy subcommands share one set of knobs, defined once below:
-   -j/--jobs, --cache-dir, --no-cache, and --seed where concrete inputs
-   are generated. User-facing failures are typed [Xbound.Error.t] values
-   rendered as one-line diagnostics with a nonzero exit code. *)
+   All heavy subcommands share one set of knobs, defined once in
+   [Cliterm]: -j/--jobs, --cache-dir, --no-cache, --trace, --stats
+   (plus --seed where concrete inputs are generated). User-facing
+   failures are typed [Xbound.Error.t] values rendered as one-line
+   diagnostics with a nonzero exit code. Telemetry output (the Chrome
+   trace file, the --stats summary) never touches stdout, so reported
+   bounds are byte-identical with tracing on or off. *)
 
 open Cmdliner
-
-(* ---------------- shared flags ---------------- *)
-
-type common = { cache : Cache.t option }
-
-let common_term =
-  let jobs =
-    let doc =
-      "Number of worker domains for parallel analysis (default: the \
-       machine's recommended domain count; 1 = fully sequential). Results \
-       are bit-identical at any job count."
-    in
-    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
-  in
-  let cache_dir =
-    let doc =
-      "Directory for the persistent analysis cache (default: \
-       \\$XBOUND_CACHE_DIR, else \\$XDG_CACHE_HOME/xbound, else \
-       ~/.cache/xbound)."
-    in
-    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
-  in
-  let no_cache =
-    let doc = "Disable the analysis cache (memory and disk) for this run." in
-    Arg.(value & flag & info [ "no-cache" ] ~doc)
-  in
-  let make jobs cache_dir no_cache =
-    (match jobs with None -> () | Some j -> Parallel.set_default_jobs j);
-    let cache =
-      if no_cache then None
-      else
-        Some
-          (Cache.create
-             ~dir:(Option.value cache_dir ~default:(Cache.default_dir ()))
-             ())
-    in
-    { cache }
-  in
-  Term.(const make $ jobs $ cache_dir $ no_cache)
 
 (* The one --seed flag, shared by every subcommand that generates
    concrete input sets. *)
@@ -56,9 +20,25 @@ let seed_term =
   let doc = "Input-set seed for concrete input generation." in
   Arg.(value & opt int 8 & info [ "seed" ] ~docv:"SEED" ~doc)
 
-let bench_arg =
-  let doc = "Benchmark name (try: xbound list)." in
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+(* The benchmark name, as a positional argument or --bench NAME —
+   the two spellings are equivalent. *)
+let bench_term =
+  let pos =
+    let doc = "Benchmark name (try: xbound list)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  in
+  let named =
+    let doc = "Benchmark name (equivalent to the positional argument)." in
+    Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"BENCH" ~doc)
+  in
+  let pick named pos =
+    match (named, pos) with
+    | Some n, _ -> Ok n
+    | None, Some p -> Ok p
+    | None, None ->
+      Error (`Msg "required benchmark name: a BENCH argument or --bench")
+  in
+  Term.term_result ~usage:true Term.(const pick $ named $ pos)
 
 (* Render a typed error as a clean diagnostic and a nonzero exit. *)
 let handle = function
@@ -69,7 +49,7 @@ let handle = function
 
 let ( let* ) = Result.bind
 
-let ctx_for c = Report.Context.create ?cache:c.cache ()
+let report_ctx c = Report.Context.create ?cache:(Cliterm.cache c) ()
 
 let find_bench name =
   match
@@ -105,7 +85,7 @@ let list_cmd =
 
 let netlist_cmd =
   let run c =
-    let ctx = ctx_for c in
+    let ctx = report_ctx c in
     let stats = Netlist.Stats.compute ctx.Report.Context.cpu.Cpu.netlist in
     Format.printf "%a" Netlist.Stats.pp stats;
     Printf.printf "base power: %s mW (leakage + clock tree)\n"
@@ -115,7 +95,7 @@ let netlist_cmd =
   in
   Cmd.v
     (Cmd.info "netlist" ~doc:"Show the processor netlist statistics")
-    Term.(const run $ common_term)
+    Term.(const run $ Cliterm.term)
 
 (* ---------------- analysis subcommands (via the Xbound facade) ------- *)
 
@@ -123,7 +103,8 @@ let analyze_cmd =
   let run c name =
     handle
       (let* program = Xbound.bench name in
-       let* a = Xbound.analyze ?cache:c.cache program in
+       let* a = Xbound.analyze ~ctx:(Cliterm.ctx c) program in
+       Telemetry.span "render" @@ fun () ->
        Printf.printf "%s:\n" name;
        Printf.printf
          "symbolic execution: %d paths, %d forks, %d dedup hits, %d cycles\n"
@@ -137,12 +118,20 @@ let analyze_cmd =
          a.Xbound.peak_energy_cycles
          (Report.Render.npe_pj a.Xbound.npe_j_per_cycle);
        Printf.printf "trace: %s\n" (Report.Render.series a.Xbound.power_trace_w);
+       (* Per-phase timings land on stderr with --stats, never stdout. *)
+       if c.Cliterm.stats && a.Xbound.phase_timings <> [] then begin
+         Printf.eprintf "phases (s):";
+         List.iter
+           (fun (p, s) -> Printf.eprintf " %s=%.4f" p s)
+           a.Xbound.phase_timings;
+         prerr_newline ()
+       end;
        Ok ())
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"X-based peak power and energy bounds for a benchmark")
-    Term.(const run $ common_term $ bench_arg)
+    Term.(const run $ Cliterm.term $ bench_term)
 
 let analyze_file_cmd =
   let file_arg =
@@ -155,7 +144,7 @@ let analyze_file_cmd =
     handle
       (let text = In_channel.with_open_text path In_channel.input_all in
        let* program = Xbound.of_source ~name:path text in
-       let* a = Xbound.analyze ?cache:c.cache program in
+       let* a = Xbound.analyze ~ctx:(Cliterm.ctx c) program in
        Printf.printf "%s:\n" path;
        Printf.printf "symbolic execution: %d paths, %d forks, %d cycles\n"
          a.Xbound.paths a.Xbound.forks a.Xbound.total_cycles;
@@ -169,13 +158,13 @@ let analyze_file_cmd =
   Cmd.v
     (Cmd.info "analyze-file"
        ~doc:"Assemble an .s source file and bound its peak power/energy")
-    Term.(const run $ common_term $ file_arg)
+    Term.(const run $ Cliterm.term $ file_arg)
 
 let coi_cmd =
   let run c name =
     handle
       (let* program = Xbound.bench name in
-       let* a = Xbound.analyze ?cache:c.cache program in
+       let* a = Xbound.analyze ~ctx:(Cliterm.ctx c) program in
        List.iter
          (fun coi -> Format.printf "%a" Xbound.pp_coi coi)
          (Xbound.cois ~top:4 ~min_gap:4 a);
@@ -183,12 +172,12 @@ let coi_cmd =
   in
   Cmd.v
     (Cmd.info "coi" ~doc:"Report the cycles of interest (peak power spikes)")
-    Term.(const run $ common_term $ bench_arg)
+    Term.(const run $ Cliterm.term $ bench_term)
 
 let optimize_cmd =
   let run c name =
     handle
-      (let* o = Xbound.optimize ?cache:c.cache name in
+      (let* o = Xbound.optimize ~ctx:(Cliterm.ctx c) name in
        Printf.printf "%s: applied %s\n" name
          (match o.Xbound.chosen with
          | [] -> "(no transform reduced the bound)"
@@ -206,15 +195,15 @@ let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Apply the peak-power software optimizations to a benchmark")
-    Term.(const run $ common_term $ bench_arg)
+    Term.(const run $ Cliterm.term $ bench_term)
 
 let trace_cmd =
-  let run (_ : common) name seed =
+  let run c name seed =
     handle
       (let* b = find_bench name in
        let* program = Xbound.bench name in
        let* t =
-         Xbound.run_concrete program
+         Xbound.run_concrete ~ctx:(Cliterm.ctx c) program
            ~inputs:
              [
                (Benchprogs.Bench.input_base, b.Benchprogs.Bench.gen_inputs ~seed);
@@ -229,7 +218,7 @@ let trace_cmd =
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Concrete power trace of a benchmark run")
-    Term.(const run $ common_term $ bench_arg $ seed_term)
+    Term.(const run $ Cliterm.term $ bench_term $ seed_term)
 
 (* ---------------- report-layer subcommands ---------------- *)
 
@@ -237,7 +226,7 @@ let profile_cmd =
   let run c name =
     handle
       (let* b = find_bench name in
-       let ctx = ctx_for c in
+       let ctx = report_ctx c in
        let p = Report.Context.profile ctx b in
        Printf.printf "%s input-based profiling over %d input sets:\n" name
          (List.length p.Baselines.Profiling.peaks);
@@ -253,13 +242,13 @@ let profile_cmd =
   in
   Cmd.v
     (Cmd.info "profile" ~doc:"Input-based profiling baseline for a benchmark")
-    Term.(const run $ common_term $ bench_arg)
+    Term.(const run $ Cliterm.term $ bench_term)
 
 let wcec_cmd =
   let run c name seed =
     handle
       (let* b = find_bench name in
-       let ctx = ctx_for c in
+       let ctx = report_ctx c in
        let img = Benchprogs.Bench.assemble b in
        let w =
          Baselines.Wcec.of_program ctx.Report.Context.pa img
@@ -283,11 +272,11 @@ let wcec_cmd =
   Cmd.v
     (Cmd.info "wcec"
        ~doc:"Compare the instruction-level WCEC model with the gate-level bound")
-    Term.(const run $ common_term $ bench_arg $ seed_term)
+    Term.(const run $ Cliterm.term $ bench_term $ seed_term)
 
 let stressmark_cmd =
   let run c =
-    let ctx = ctx_for c in
+    let ctx = report_ctx c in
     let s = Report.Context.stressmark_peak ctx in
     Printf.printf
       "GA stressmark (peak-power fitness): %s mW peak, %s mW average, %d \
@@ -307,13 +296,13 @@ let stressmark_cmd =
   Cmd.v
     (Cmd.info "stressmark"
        ~doc:"Run the genetic stressmark search and print the result")
-    Term.(const run $ common_term)
+    Term.(const run $ Cliterm.term)
 
 (* ---------------- cache management ---------------- *)
 
 let cache_stats_cmd =
   let run c =
-    match c.cache with
+    match Cliterm.cache c with
     | None -> handle (Error (Xbound.Error.Cache "cache disabled (--no-cache)"))
     | Some cache ->
       let dir = Option.value (Cache.dir cache) ~default:"(memory only)" in
@@ -325,11 +314,11 @@ let cache_stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Show persistent cache location, entry count and size")
-    Term.(const run $ common_term)
+    Term.(const run $ Cliterm.term)
 
 let cache_clear_cmd =
   let run c =
-    match c.cache with
+    match Cliterm.cache c with
     | None -> handle (Error (Xbound.Error.Cache "cache disabled (--no-cache)"))
     | Some cache ->
       let entries, _ = Cache.disk_stats cache in
@@ -340,7 +329,7 @@ let cache_clear_cmd =
   in
   Cmd.v
     (Cmd.info "clear" ~doc:"Delete every persistent cache entry")
-    Term.(const run $ common_term)
+    Term.(const run $ Cliterm.term)
 
 let cache_cmd =
   Cmd.group
@@ -358,7 +347,7 @@ let disasm_cmd =
   in
   Cmd.v
     (Cmd.info "disasm" ~doc:"Disassembly listing of a benchmark image")
-    Term.(const run $ bench_arg)
+    Term.(const run $ bench_term)
 
 let export_verilog_cmd =
   let run () =
@@ -379,7 +368,7 @@ let export_liberty_cmd =
 
 let () =
   let info =
-    Cmd.info "xbound" ~version:"1.1.0"
+    Cmd.info "xbound" ~version:"1.2.0"
       ~doc:
         "Application-specific peak power and energy requirements for \
          ultra-low-power processors (ASPLOS'17 reproduction)"

@@ -16,8 +16,13 @@ let or_die = function
     exit 1
 
 let () =
+  (* One execution context shared by the analysis and the optimizer, so
+     the optimizer's re-analyses reuse the analysis cache. *)
+  let ctx =
+    Xbound.Ctx.create ~cache:(Cache.create ~dir:(Cache.default_dir ()) ()) ()
+  in
   let program = or_die (Xbound.bench "mult") in
-  let a = or_die (Xbound.analyze program) in
+  let a = or_die (Xbound.analyze ~ctx program) in
 
   print_endline "--- cycles of interest before optimization ---";
   List.iter
@@ -25,7 +30,7 @@ let () =
     (Xbound.cois ~top:2 ~min_gap:4 a);
 
   print_endline "--- greedy optimization ---";
-  let o = or_die (Xbound.optimize "mult") in
+  let o = or_die (Xbound.optimize ~ctx "mult") in
   (match o.Xbound.chosen with
   | [] -> print_endline "no transform reduced the bound"
   | opts -> List.iter (fun opt -> Printf.printf "applied: %s\n" opt) opts);

@@ -50,21 +50,31 @@ let () =
          })
   in
 
-  (* 2. Analyze: symbolic simulation + peak power/energy bounds. The
-     cache is optional; with it, re-running this example is a disk hit. *)
-  let cache = Cache.create ~dir:(Cache.default_dir ()) () in
-  let a = or_die (Xbound.analyze ~cache program) in
+  (* 2. Build one execution context for every call: an optional cache
+     (re-running this example is then a disk hit) and a telemetry sink
+     (per-phase timings land on the result). *)
+  let ctx =
+    Xbound.Ctx.create
+      ~cache:(Cache.create ~dir:(Cache.default_dir ()) ())
+      ~telemetry:(Telemetry.create ())
+      ()
+  in
+  let a = or_die (Xbound.analyze ~ctx program) in
   Printf.printf "symbolic execution explored %d path(s), %d cycles\n"
     a.Xbound.paths a.Xbound.total_cycles;
   Printf.printf "guaranteed peak power:  %.4f mW\n" (a.Xbound.peak_power_w *. 1e3);
   Printf.printf "guaranteed peak energy: %.4f nJ (%.3f pJ/cycle)\n"
     (a.Xbound.peak_energy_j *. 1e9)
     (a.Xbound.npe_j_per_cycle *. 1e12);
+  List.iter
+    (fun (phase, s) -> Printf.printf "  phase %-12s %.4f s\n" phase s)
+    a.Xbound.phase_timings;
 
   (* 3. Sanity: a concrete run with a specific input must stay below the
      bound for every cycle. *)
   let c =
-    or_die (Xbound.run_concrete program ~inputs:[ (sample_addr, [ 1234 ]) ])
+    or_die
+      (Xbound.run_concrete ~ctx program ~inputs:[ (sample_addr, [ 1234 ]) ])
   in
   Printf.printf "concrete run peak:      %.4f mW (bound holds: %b)\n"
     (c.Xbound.peak_w *. 1e3)

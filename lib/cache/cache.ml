@@ -12,6 +12,18 @@ end
 let format_version = 1
 let magic = "XBCACHE\x01"
 
+(* Telemetry mirrors of the per-cache counters (process-wide, no-ops
+   unless a sink is installed), plus a histogram of how long callers
+   block on another domain's in-flight computation. *)
+let c_mem_hits = Telemetry.Counter.make "cache.mem_hits"
+let c_disk_hits = Telemetry.Counter.make "cache.disk_hits"
+let c_misses = Telemetry.Counter.make "cache.misses"
+let c_stores = Telemetry.Counter.make "cache.stores"
+let c_evictions = Telemetry.Counter.make "cache.evictions"
+let c_corrupt = Telemetry.Counter.make "cache.corrupt"
+let c_joined = Telemetry.Counter.make "cache.joined"
+let h_wait = Telemetry.Histogram.make "cache.wait_ns"
+
 type counters = {
   mutable mem_hits : int;
   mutable disk_hits : int;
@@ -130,7 +142,8 @@ let insert_ready t full_key v =
       unlink t victim;
       Hashtbl.remove t.table victim.ekey;
       t.count <- t.count - 1;
-      t.c.evictions <- t.c.evictions + 1
+      t.c.evictions <- t.c.evictions + 1;
+      Telemetry.Counter.incr c_evictions
   done
 
 (* ---------------- disk layer ---------------- *)
@@ -170,13 +183,17 @@ let disk_load t ~ns ~key =
         if Digest.string payload <> digest then failwith "bad digest";
         Marshal.from_string payload 0
       in
-      match In_channel.with_open_bin file parse with
+      match
+        Telemetry.span ~cat:"cache" "cache.disk_load" (fun () ->
+            In_channel.with_open_bin file parse)
+      with
       | v -> Some v
       | exception _ ->
         (try Sys.remove file with Sys_error _ -> ());
         Mutex.lock t.m;
         t.c.corrupt <- t.c.corrupt + 1;
         Mutex.unlock t.m;
+        Telemetry.Counter.incr c_corrupt;
         None)
 
 (* Atomic publish: write the full entry to a temp file in the same
@@ -188,20 +205,22 @@ let disk_store t ~ns ~key v =
   | None -> ()
   | Some dir -> (
     try
-      mkdir_p dir;
-      let payload = Marshal.to_string v [] in
-      let file = entry_file dir ~ns ~key in
-      let tmp = Filename.temp_file ~temp_dir:dir "xbcache" ".tmp" in
-      Out_channel.with_open_bin tmp (fun oc ->
-          output_string oc magic;
-          output_binary_int oc (String.length ns);
-          output_string oc ns;
-          output_string oc (Digest.string payload);
-          output_string oc payload);
-      Sys.rename tmp file;
+      Telemetry.span ~cat:"cache" "cache.disk_store" (fun () ->
+          mkdir_p dir;
+          let payload = Marshal.to_string v [] in
+          let file = entry_file dir ~ns ~key in
+          let tmp = Filename.temp_file ~temp_dir:dir "xbcache" ".tmp" in
+          Out_channel.with_open_bin tmp (fun oc ->
+              output_string oc magic;
+              output_binary_int oc (String.length ns);
+              output_string oc ns;
+              output_string oc (Digest.string payload);
+              output_string oc payload);
+          Sys.rename tmp file);
       Mutex.lock t.m;
       t.c.stores <- t.c.stores + 1;
-      Mutex.unlock t.m
+      Mutex.unlock t.m;
+      Telemetry.Counter.incr c_stores
     with Sys_error _ | Sys_blocked_io -> ())
 
 let is_entry_name name =
@@ -257,22 +276,34 @@ let clear t =
    computation first. *)
 let acquire t full_key =
   let waited = ref false in
+  let wait_t0 = ref 0L in
+  let observe_wait () =
+    if !waited && Telemetry.enabled () then
+      Telemetry.Histogram.observe h_wait (Int64.sub (Telemetry.now_ns ()) !wait_t0)
+  in
   let rec go () =
     match Hashtbl.find_opt t.table full_key with
     | Some (Ready e) ->
       touch t e;
       (* a caller that waited is already counted in [joined]; the
          counters partition memo calls *)
-      if not !waited then t.c.mem_hits <- t.c.mem_hits + 1;
+      if not !waited then begin
+        t.c.mem_hits <- t.c.mem_hits + 1;
+        Telemetry.Counter.incr c_mem_hits
+      end
+      else observe_wait ();
       Some e.value
     | Some In_flight ->
       if not !waited then begin
         waited := true;
-        t.c.joined <- t.c.joined + 1
+        if Telemetry.enabled () then wait_t0 := Telemetry.now_ns ();
+        t.c.joined <- t.c.joined + 1;
+        Telemetry.Counter.incr c_joined
       end;
       Condition.wait t.cv t.m;
       go ()
     | None ->
+      observe_wait ();
       Hashtbl.replace t.table full_key In_flight;
       None
   in
@@ -310,12 +341,14 @@ let memo t ~ns ~key f =
       Mutex.lock t.m;
       t.c.disk_hits <- t.c.disk_hits + 1;
       Mutex.unlock t.m;
+      Telemetry.Counter.incr c_disk_hits;
       publish t full_key (Obj.repr v);
       v
     | None -> (
       Mutex.lock t.m;
       t.c.misses <- t.c.misses + 1;
       Mutex.unlock t.m;
+      Telemetry.Counter.incr c_misses;
       match f () with
       | v ->
         disk_store t ~ns ~key v;

@@ -1,0 +1,25 @@
+(** The one definition of the command-line knobs shared by the xbound
+    CLI and the bench harness: [-j]/[--jobs], [--cache-dir],
+    [--no-cache], [--trace] and [--stats].
+
+    Evaluating {!term} builds the consolidated {!Xbound.Ctx.t}. When
+    [--trace] or [--stats] is given it also creates a {!Telemetry.t}
+    sink, installs it as the ambient sink for the whole command, and
+    registers an [at_exit] hook that writes the Chrome trace-event file
+    and/or prints the stats summary to stderr — so every subcommand gets
+    tracing without touching stdout (bounds output stays byte-identical
+    with tracing on or off). *)
+
+type t = {
+  ctx : Xbound.Ctx.t;
+  trace_file : string option;  (** [--trace FILE] *)
+  stats : bool;  (** [--stats] *)
+}
+
+val term : t Cmdliner.Term.t
+
+(** The consolidated execution context, for [?ctx] call sites. *)
+val ctx : t -> Xbound.Ctx.t
+
+(** Shorthand for [ (ctx c).cache ]. *)
+val cache : t -> Cache.t option

@@ -83,6 +83,7 @@ let cache_key ?(version = analysis_version) ~config pa cpu image =
    entries are Marshal round-trips of the same floats — also bit
    identical between cached and fresh runs. *)
 let run ?(config = default_config) ?pool ?cache pa cpu (image : Isa.Asm.image) =
+  Telemetry.span "analyze" @@ fun () ->
   let pool = match pool with Some _ as p -> p | None -> Parallel.auto () in
   let explore () =
     let e = engine_for cpu image ~symbolic:true in
@@ -97,10 +98,17 @@ let run ?(config = default_config) ?pool ?cache pa cpu (image : Isa.Asm.image) =
     Gatesim.Sym.run ?pool e sym_config
   in
   let compute ~tree_memo ~algo_cache () =
-    let tree, sym_stats = tree_memo explore in
-    let pp_result = Peak_power.of_tree ?cache:algo_cache pa tree in
+    let tree, sym_stats =
+      Telemetry.span "explore" (fun () -> tree_memo explore)
+    in
+    let pp_result =
+      Telemetry.span "peak-power" (fun () ->
+          Peak_power.of_tree ?cache:algo_cache pa tree)
+    in
     let pe =
-      Peak_energy.of_tree ?cache:algo_cache pa tree ~loop_bound:config.loop_bound
+      Telemetry.span "peak-energy" (fun () ->
+          Peak_energy.of_tree ?cache:algo_cache pa tree
+            ~loop_bound:config.loop_bound)
     in
     {
       image;
@@ -127,6 +135,7 @@ let run ?(config = default_config) ?pool ?cache pa cpu (image : Isa.Asm.image) =
 
 (* Concrete (input-based) execution for profiling and validation. *)
 let run_concrete pa cpu (image : Isa.Asm.image) ~inputs =
+  Telemetry.span "concrete" @@ fun () ->
   let e = engine_for cpu image ~symbolic:false in
   List.iter
     (fun (addr, ws) ->

@@ -139,6 +139,7 @@ let interleave ~even ~odd =
    from each, keeping the result independent of the schedule. *)
 let peak_power_via_vcd ?cache pa lib ~initial cycles =
   let compute () =
+    Telemetry.span "evenodd-vcd" @@ fun () ->
     let nl = Poweran.netlist pa in
     let replayed = replay ~initial cycles in
     let n_cycles = Array.length cycles in

@@ -20,7 +20,12 @@ let of_cycles pa cycles =
   { flattened = cycles; trace; peak; peak_index }
 
 let of_tree ?cache pa tree =
-  let compute () = of_cycles pa (Gatesim.Trace.flatten tree) in
+  let compute () =
+    let cycles =
+      Telemetry.span "flatten" (fun () -> Gatesim.Trace.flatten tree)
+    in
+    Telemetry.span "power-trace" (fun () -> of_cycles pa cycles)
+  in
   match cache with
   | None -> compute ()
   | Some (c, key) -> Cache.memo c ~ns:"peak-power" ~key compute

@@ -17,6 +17,17 @@
 
 type task = unit -> unit
 
+(* Pool observability (all no-ops unless a Telemetry sink is installed):
+   spawn = task queued, steal = task taken from another worker's deque,
+   join = an [await] satisfied, inline = sequential-fallback execution.
+   Each executed task is additionally recorded as a "pool"-category span,
+   which is what per-domain utilization is derived from. *)
+let c_spawn = Telemetry.Counter.make "pool.spawn"
+let c_steal = Telemetry.Counter.make "pool.steal"
+let c_join = Telemetry.Counter.make "pool.join"
+let c_inline = Telemetry.Counter.make "pool.inline"
+let run_task t = Telemetry.span ~cat:"pool" "task" t
+
 module Deque = struct
   type t = {
     mutable buf : task option array;  (* circular, power-of-two length *)
@@ -118,7 +129,9 @@ module Pool = struct
           if k = n then None
           else
             match Deque.steal pool.deques.((me + k) mod n) with
-            | Some _ as t -> t
+            | Some _ as t ->
+              Telemetry.Counter.incr c_steal;
+              t
             | None -> scan (k + 1)
         in
         scan 1
@@ -131,7 +144,7 @@ module Pool = struct
     let rec loop () =
       match find_task pool idx with
       | Some t ->
-        (try t () with _ -> ());
+        (try run_task t with _ -> ());
         loop ()
       | None ->
         if not (Atomic.get pool.stop) then begin
@@ -191,6 +204,7 @@ module Pool = struct
     Mutex.unlock fut.fm
 
   let submit pool task =
+    Telemetry.Counter.incr c_spawn;
     Deque.push pool.deques.(worker_index pool) task;
     Atomic.incr pool.pending;
     Mutex.lock pool.m;
@@ -201,10 +215,12 @@ module Pool = struct
     try Done (f ()) with e -> Err (e, Printexc.get_raw_backtrace ())
 
   let async pool f =
-    if pool.size <= 1 then
+    if pool.size <= 1 then begin
       (* Sequential fallback: run inline and eagerly, preserving the
          exact side-effect order of the unparallelized code. *)
+      Telemetry.Counter.incr c_inline;
       { st = run_to_state f; fm = Mutex.create (); fc = Condition.create () }
+    end
     else begin
       let fut = { st = Pending; fm = Mutex.create (); fc = Condition.create () } in
       submit pool (fun () -> fulfil fut (run_to_state f));
@@ -213,7 +229,7 @@ module Pool = struct
 
   let is_pending fut = match fut.st with Pending -> true | _ -> false
 
-  let rec await pool fut =
+  let rec await_loop pool fut =
     match fut.st with
     (* Unsynchronized peek: a stale [Pending] just sends us through the
        locked path below. *)
@@ -222,8 +238,8 @@ module Pool = struct
     | Pending -> (
       match find_task pool (worker_index pool) with
       | Some t ->
-        t ();
-        await pool fut
+        run_task t;
+        await_loop pool fut
       | None ->
         (* Nothing to help with. The future's own task is necessarily
            held by another worker (it was in our deque or stolen), so
@@ -233,7 +249,11 @@ module Pool = struct
           Condition.wait fut.fc fut.fm
         done;
         Mutex.unlock fut.fm;
-        await pool fut)
+        await_loop pool fut)
+
+  let await pool fut =
+    Telemetry.Counter.incr c_join;
+    await_loop pool fut
 
   let both pool fa fb =
     let fut = async pool fa in

@@ -43,6 +43,10 @@ let create ?(log = fun s -> prerr_endline s) ?cache () =
 
 let period t = Poweran.period t.pa
 
+(* Experiment fan-out observability: one count per benchmark analysis
+   dispatched through [prewarm_analyses]. *)
+let c_fanout = Telemetry.Counter.make "report.fanout"
+
 let analysis_config (b : Benchprogs.Bench.t) =
   {
     Core.Analyze.default_config with
@@ -56,8 +60,11 @@ let analysis t (b : Benchprogs.Bench.t) =
   | None ->
     t.log (Printf.sprintf "  [x-based analysis] %s" b.Benchprogs.Bench.name);
     let a =
-      Core.Analyze.run ~config:(analysis_config b) ?cache:t.cache t.pa t.cpu
-        (Benchprogs.Bench.assemble b)
+      Telemetry.span ~cat:"report"
+        ("analysis:" ^ b.Benchprogs.Bench.name)
+        (fun () ->
+          Core.Analyze.run ~config:(analysis_config b) ?cache:t.cache t.pa t.cpu
+            (Benchprogs.Bench.assemble b))
     in
     Hashtbl.replace t.analyses b.Benchprogs.Bench.name a;
     a
@@ -81,12 +88,14 @@ let prewarm_analyses t benches =
         (Printf.sprintf "  [x-based analysis fan-out: %d benchmarks, %d domains]"
            (List.length missing) (Parallel.Pool.size pool));
       let results =
-        Parallel.Pool.map_list pool
-          (fun b ->
-            Core.Analyze.run ~config:(analysis_config b) ~pool ?cache:t.cache
-              t.pa t.cpu
-              (Benchprogs.Bench.assemble b))
-          missing
+        Telemetry.span ~cat:"report" "prewarm" (fun () ->
+            Parallel.Pool.map_list pool
+              (fun b ->
+                Telemetry.Counter.incr c_fanout;
+                Core.Analyze.run ~config:(analysis_config b) ~pool
+                  ?cache:t.cache t.pa t.cpu
+                  (Benchprogs.Bench.assemble b))
+              missing)
       in
       List.iter2
         (fun b a -> Hashtbl.replace t.analyses b.Benchprogs.Bench.name a)
@@ -98,7 +107,11 @@ let profile t (b : Benchprogs.Bench.t) =
   | Some p -> p
   | None ->
     t.log (Printf.sprintf "  [profiling] %s" b.Benchprogs.Bench.name);
-    let p = Baselines.Profiling.run t.pa t.cpu b in
+    let p =
+      Telemetry.span ~cat:"report"
+        ("profile:" ^ b.Benchprogs.Bench.name)
+        (fun () -> Baselines.Profiling.run t.pa t.cpu b)
+    in
     Hashtbl.replace t.profiles b.Benchprogs.Bench.name p;
     p
 
@@ -145,7 +158,12 @@ let optimization t (b : Benchprogs.Bench.t) =
   | Some o -> o
   | None ->
     t.log (Printf.sprintf "  [optimizing] %s" b.Benchprogs.Bench.name);
-    let o = Optrun.greedy ~analysis:(analysis t b) ?cache:t.cache t.pa t.cpu b in
+    let o =
+      Telemetry.span ~cat:"report"
+        ("optimize:" ^ b.Benchprogs.Bench.name)
+        (fun () ->
+          Optrun.greedy ~analysis:(analysis t b) ?cache:t.cache t.pa t.cpu b)
+    in
     Hashtbl.replace t.opts b.Benchprogs.Bench.name o;
     o
 

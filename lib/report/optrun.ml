@@ -75,7 +75,11 @@ let greedy ~analysis ?cache pa cpu (b : Benchprogs.Bench.t) =
         > max_perf_cost *. float_of_int base_cycles
       then go body current chosen rest
       else begin
-        let a = analyze ?cache pa cpu b candidate in
+        let a =
+          Telemetry.span ~cat:"report"
+            ("opt-try:" ^ Core.Optimize.name opt)
+            (fun () -> analyze ?cache pa cpu b candidate)
+        in
         if a.Core.Analyze.peak_power < current.Core.Analyze.peak_power then
           go candidate a (opt :: chosen) rest
         else go body current chosen rest

@@ -1,0 +1,373 @@
+(* Ambient, domain-safe telemetry: spans into per-domain buffers,
+   process-wide atomic counters and histograms, Chrome trace-event
+   export. See telemetry.mli for the contract.
+
+   Lock discipline: the only mutex is per-sink and is taken once per
+   (domain, sink) pair, when the domain's buffer is first registered.
+   Recording an event is a cons onto a domain-private list; counters and
+   histogram buckets are single atomic RMWs. Every instrumentation site
+   is behind one atomic load of the ambient sink, so disabled telemetry
+   costs exactly that load. *)
+
+type event = {
+  name : string;
+  cat : string;
+  tid : int;
+  ts_ns : int64;
+  dur_ns : int64;
+  depth : int;
+}
+
+(* One per (domain, sink): domain-private, so no lock on record. *)
+type buffer = {
+  tid : int;
+  mutable evs : event list;
+  mutable depth : int;
+}
+
+type t = {
+  id : int;
+  origin : int64;  (* monotonic ns at creation *)
+  m : Mutex.t;
+  mutable buffers : buffer list;
+  main_tid : int;
+}
+
+let ids = Atomic.make 0
+
+let create () =
+  {
+    id = Atomic.fetch_and_add ids 1;
+    origin = Monotonic_clock.now ();
+    m = Mutex.create ();
+    buffers = [];
+    main_tid = (Domain.self () :> int);
+  }
+
+let now_ns () = Monotonic_clock.now ()
+
+let the_ambient : t option Atomic.t = Atomic.make None
+let ambient () = Atomic.get the_ambient
+let set_ambient s = Atomic.set the_ambient s
+let enabled () = Atomic.get the_ambient <> None
+
+let with_ambient s f =
+  let prev = Atomic.get the_ambient in
+  Atomic.set the_ambient (Some s);
+  Fun.protect ~finally:(fun () -> Atomic.set the_ambient prev) f
+
+(* sink id -> buffer, per domain (a domain can record into several
+   sinks over its lifetime). *)
+let buffers_key : (int * buffer) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let buffer_for t =
+  let r = Domain.DLS.get buffers_key in
+  match List.assq_opt t.id !r with
+  | Some b -> b
+  | None ->
+    let b = { tid = (Domain.self () :> int); evs = []; depth = 0 } in
+    r := (t.id, b) :: !r;
+    Mutex.lock t.m;
+    t.buffers <- b :: t.buffers;
+    Mutex.unlock t.m;
+    b
+
+let span ?(cat = "phase") name f =
+  match Atomic.get the_ambient with
+  | None -> f ()
+  | Some t ->
+    let buf = buffer_for t in
+    let t0 = Monotonic_clock.now () in
+    buf.depth <- buf.depth + 1;
+    let depth = buf.depth in
+    Fun.protect f ~finally:(fun () ->
+        let t1 = Monotonic_clock.now () in
+        buf.depth <- buf.depth - 1;
+        buf.evs <-
+          {
+            name;
+            cat;
+            tid = buf.tid;
+            ts_ns = Int64.sub t0 t.origin;
+            dur_ns = Int64.sub t1 t0;
+            depth;
+          }
+          :: buf.evs)
+
+let events t =
+  Mutex.lock t.m;
+  let bufs = t.buffers in
+  Mutex.unlock t.m;
+  List.concat_map (fun b -> b.evs) bufs
+  |> List.sort (fun a b ->
+         match Int64.compare a.ts_ns b.ts_ns with
+         | 0 -> compare (a.tid, a.depth) (b.tid, b.depth)
+         | c -> c)
+
+(* ---------------- counters ---------------- *)
+
+module Counter = struct
+  type c = { cname : string; v : int Atomic.t }
+
+  let registry : (string, c) Hashtbl.t = Hashtbl.create 32
+  let rm = Mutex.create ()
+
+  let make cname =
+    Mutex.lock rm;
+    let c =
+      match Hashtbl.find_opt registry cname with
+      | Some c -> c
+      | None ->
+        let c = { cname; v = Atomic.make 0 } in
+        Hashtbl.add registry cname c;
+        c
+    in
+    Mutex.unlock rm;
+    c
+
+  let incr c = if enabled () then Atomic.incr c.v
+  let add c n = if enabled () then ignore (Atomic.fetch_and_add c.v n)
+  let value c = Atomic.get c.v
+  let name c = c.cname
+end
+
+let counters () =
+  Mutex.lock Counter.rm;
+  let l =
+    Hashtbl.fold
+      (fun name c acc -> (name, Atomic.get c.Counter.v) :: acc)
+      Counter.registry []
+  in
+  Mutex.unlock Counter.rm;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) l
+
+let diff ~before ~after =
+  List.filter_map
+    (fun (name, v) ->
+      let v0 = Option.value (List.assoc_opt name before) ~default:0 in
+      if v - v0 <> 0 then Some (name, v - v0) else None)
+    after
+
+(* ---------------- histograms ---------------- *)
+
+module Histogram = struct
+  type h = {
+    hname : string;
+    bucket : int Atomic.t array;  (* index = log2 of the observation *)
+    count : int Atomic.t;
+    sum_ns : int Atomic.t;
+    max_ns : int Atomic.t;
+  }
+
+  let registry : (string, h) Hashtbl.t = Hashtbl.create 16
+  let rm = Mutex.create ()
+
+  let make hname =
+    Mutex.lock rm;
+    let h =
+      match Hashtbl.find_opt registry hname with
+      | Some h -> h
+      | None ->
+        let h =
+          {
+            hname;
+            bucket = Array.init 64 (fun _ -> Atomic.make 0);
+            count = Atomic.make 0;
+            sum_ns = Atomic.make 0;
+            max_ns = Atomic.make 0;
+          }
+        in
+        Hashtbl.add registry hname h;
+        h
+    in
+    Mutex.unlock rm;
+    h
+
+  let log2i n =
+    let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+    go 0 n
+
+  let rec store_max a v =
+    let cur = Atomic.get a in
+    if v > cur && not (Atomic.compare_and_set a cur v) then store_max a v
+
+  let observe h ns =
+    if enabled () then begin
+      let n = Int64.to_int (Int64.max 0L ns) in
+      Atomic.incr h.bucket.(log2i n);
+      Atomic.incr h.count;
+      ignore (Atomic.fetch_and_add h.sum_ns n);
+      store_max h.max_ns n
+    end
+
+  let totals h =
+    ( Atomic.get h.count,
+      Int64.of_int (Atomic.get h.sum_ns),
+      Int64.of_int (Atomic.get h.max_ns) )
+
+  let buckets h =
+    let acc = ref [] in
+    for i = Array.length h.bucket - 1 downto 0 do
+      let n = Atomic.get h.bucket.(i) in
+      if n > 0 then acc := (Int64.shift_left 1L i, n) :: !acc
+    done;
+    !acc
+
+  let all () =
+    Mutex.lock rm;
+    let l = Hashtbl.fold (fun _ h acc -> h :: acc) registry [] in
+    Mutex.unlock rm;
+    List.sort (fun a b -> String.compare a.hname b.hname) l
+end
+
+(* ---------------- export ---------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let us ns = Int64.to_float ns /. 1e3
+
+(* Chrome trace-event format (the JSON-array flavour inside an object):
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU *)
+let to_chrome_json t =
+  let evs = events t in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\": [\n";
+  let tids =
+    List.sort_uniq compare
+      (t.main_tid :: List.map (fun (e : event) -> e.tid) evs)
+  in
+  List.iter
+    (fun tid ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": \
+            %d, \"args\": {\"name\": \"%s\"}},\n"
+           tid
+           (if tid = t.main_tid then Printf.sprintf "main (domain %d)" tid
+            else Printf.sprintf "domain %d" tid)))
+    tids;
+  let cs = List.filter (fun (_, v) -> v <> 0) (counters ()) in
+  let last_ts = ref 0L in
+  List.iteri
+    (fun i e ->
+      let fin = Int64.add e.ts_ns e.dur_ns in
+      if fin > !last_ts then last_ts := fin;
+      Buffer.add_string b
+        (Printf.sprintf
+           "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"pid\": 1, \
+            \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}%s\n"
+           (json_escape e.name) (json_escape e.cat) e.tid (us e.ts_ns)
+           (us e.dur_ns)
+           (if i = List.length evs - 1 && cs = [] then "" else ",")))
+    evs;
+  List.iteri
+    (fun i (name, v) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  {\"name\": \"%s\", \"cat\": \"counter\", \"ph\": \"C\", \"pid\": \
+            1, \"tid\": %d, \"ts\": %.3f, \"args\": {\"value\": %d}}%s\n"
+           (json_escape name) t.main_tid (us !last_ts) v
+           (if i = List.length cs - 1 then "" else ",")))
+    cs;
+  Buffer.add_string b "],\n\"displayTimeUnit\": \"ms\",\n\"xboundCounters\": {";
+  (* the summary object lists every registered counter, zeros included:
+     "pool.spawn": 0 is information (nothing ran in parallel), absence
+     is not *)
+  List.iteri
+    (fun i (name, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s\"%s\": %d" (if i = 0 then "" else ", ")
+           (json_escape name) v))
+    (counters ());
+  Buffer.add_string b "}}\n";
+  Buffer.contents b
+
+let write_chrome t ~file =
+  Out_channel.with_open_text file (fun oc ->
+      output_string oc (to_chrome_json t))
+
+let span_totals ?cat t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if match cat with None -> true | Some c -> String.equal c e.cat then begin
+        let s, n =
+          Option.value (Hashtbl.find_opt tbl e.name) ~default:(0., 0)
+        in
+        Hashtbl.replace tbl e.name (s +. (Int64.to_float e.dur_ns /. 1e9), n + 1)
+      end)
+    (events t);
+  Hashtbl.fold (fun name sn acc -> (name, sn) :: acc) tbl []
+  |> List.sort (fun (an, (a, _)) (bn, (b, _)) ->
+         match compare b a with 0 -> String.compare an bn | c -> c)
+
+let phase_totals t =
+  List.map (fun (name, (s, _)) -> (name, s)) (span_totals ~cat:"phase" t)
+
+let tid_busy t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if String.equal e.cat "pool" then
+        Hashtbl.replace tbl e.tid
+          (Option.value (Hashtbl.find_opt tbl e.tid) ~default:0.
+          +. (Int64.to_float e.dur_ns /. 1e9)))
+    (events t);
+  Hashtbl.fold (fun tid s acc -> (tid, s) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let stats_summary t =
+  let b = Buffer.create 1024 in
+  let wall = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t.origin) /. 1e9 in
+  Buffer.add_string b (Printf.sprintf "telemetry (wall %.3f s)\n" wall);
+  (match span_totals t with
+  | [] -> ()
+  | totals ->
+    Buffer.add_string b "  spans (total s, count):\n";
+    List.iter
+      (fun (name, (s, n)) ->
+        Buffer.add_string b (Printf.sprintf "    %-32s %9.4f  %6d\n" name s n))
+      totals);
+  (match tid_busy t with
+  | [] -> ()
+  | busy ->
+    Buffer.add_string b "  pool busy per domain:\n";
+    List.iter
+      (fun (tid, s) ->
+        Buffer.add_string b
+          (Printf.sprintf "    domain %-4d %9.4f s (%.0f%%)\n" tid s
+             (if wall > 0. then 100. *. s /. wall else 0.)))
+      busy);
+  (match List.filter (fun (_, v) -> v <> 0) (counters ()) with
+  | [] -> ()
+  | cs ->
+    Buffer.add_string b "  counters:\n";
+    List.iter
+      (fun (name, v) ->
+        Buffer.add_string b (Printf.sprintf "    %-32s %d\n" name v))
+      cs);
+  List.iter
+    (fun h ->
+      let count, sum, mx = Histogram.totals h in
+      if count > 0 then
+        Buffer.add_string b
+          (Printf.sprintf
+             "  histogram %-24s %d obs, mean %.1f us, max %.1f us\n"
+             h.Histogram.hname count
+             (Int64.to_float sum /. 1e3 /. float_of_int count)
+             (Int64.to_float mx /. 1e3)))
+    (Histogram.all ());
+  Buffer.contents b

@@ -1,0 +1,145 @@
+(** Lock-light, domain-safe observability for the analysis engine.
+
+    The engine's cost structure — where cycles go between Algorithm 1
+    exploration, trace flattening, the even/odd power computation and
+    the peak-energy walk; how the domain pool and the single-flight
+    cache behave under load — is invisible from the outside. This module
+    makes it observable without perturbing it:
+
+    - {e spans}: hierarchical wall-time intervals on the monotonic
+      clock, recorded into per-domain buffers (one mutex acquisition per
+      domain {e registration}, none per event);
+    - {e counters}: process-wide named atomic counters (pool
+      spawns/steals/joins, cache hits/misses/evictions, ...);
+    - {e histograms}: log2-bucketed nanosecond distributions (task run
+      times, single-flight wait times);
+    - {e exporters}: Chrome trace-event JSON (load it in
+      [chrome://tracing] or [ui.perfetto.dev]) and a compact stats
+      summary.
+
+    Telemetry is {e ambient}: instrumentation sites call {!span} /
+    {!Counter.incr} unconditionally, and every such call is a single
+    atomic load when no sink is installed — tracing off means no clock
+    reads, no allocation, no contention. Instrumentation never changes
+    results: bounds are bit-identical with tracing on or off, at any
+    job count (asserted in the test suite). *)
+
+(** {1 Sinks} *)
+
+(** An event sink: per-domain span buffers plus the creation-time clock
+    origin. *)
+type t
+
+val create : unit -> t
+
+(** The installed ambient sink, if any. *)
+val ambient : unit -> t option
+
+(** [set_ambient s] installs (or, with [None], removes) the process-wide
+    sink. Visible to every domain. *)
+val set_ambient : t option -> unit
+
+(** [with_ambient s f] runs [f] with [s] installed, restoring the
+    previous sink afterwards (also on exceptions). *)
+val with_ambient : t -> (unit -> 'a) -> 'a
+
+(** True iff a sink is installed. One atomic load. *)
+val enabled : unit -> bool
+
+(** The raw monotonic clock (ns), for instrumentation sites that need
+    interval arithmetic outside {!span} (e.g. histogram observations).
+    Call only behind an {!enabled} check. *)
+val now_ns : unit -> int64
+
+(** {1 Spans} *)
+
+(** [span ~cat name f] times [f ()] on the monotonic clock and records a
+    complete-span event in the calling domain's buffer of the ambient
+    sink; without a sink it is [f ()]. Spans nest: events carry their
+    stack depth, and the Chrome exporter renders containment per
+    domain ([cat] defaults to ["phase"], the category {!phase_totals}
+    aggregates). *)
+val span : ?cat:string -> string -> (unit -> 'a) -> 'a
+
+(** A recorded span. [ts_ns] is relative to the sink's creation;
+    [tid] identifies the recording domain. *)
+type event = {
+  name : string;
+  cat : string;
+  tid : int;
+  ts_ns : int64;
+  dur_ns : int64;
+  depth : int;  (** nesting depth within this domain, 1 = outermost *)
+}
+
+(** All recorded events, in timestamp order. *)
+val events : t -> event list
+
+(** {1 Counters} *)
+
+module Counter : sig
+  type c
+
+  (** [make name] — the process-wide counter registered under [name]
+      (interned: same name, same counter). *)
+  val make : string -> c
+
+  (** One atomic increment when a sink is installed; a no-op otherwise. *)
+  val incr : c -> unit
+
+  val add : c -> int -> unit
+  val value : c -> int
+  val name : c -> string
+end
+
+(** Snapshot of every registered counter, sorted by name. Counters are
+    process-wide and monotonic; subtract two snapshots with {!diff} to
+    scope them to a run. *)
+val counters : unit -> (string * int) list
+
+(** [diff ~before ~after] — per-name deltas, dropping zero entries. *)
+val diff :
+  before:(string * int) list -> after:(string * int) list -> (string * int) list
+
+(** {1 Histograms} *)
+
+module Histogram : sig
+  type h
+
+  (** [make name] — a process-wide log2-bucketed nanosecond histogram. *)
+  val make : string -> h
+
+  (** Record one observation (ns). No-op without an installed sink. *)
+  val observe : h -> int64 -> unit
+
+  (** [(count, total_ns, max_ns)] *)
+  val totals : h -> int * int64 * int64
+
+  (** Non-empty [(bucket_lo_ns, count)] pairs, ascending. *)
+  val buckets : h -> (int64 * int) list
+end
+
+(** {1 Export} *)
+
+(** The sink as a Chrome trace-event JSON document: one ["X"] event per
+    span, ["M"] thread-name metadata per domain, and one trailing ["C"]
+    event per nonzero counter. A top-level ["xboundCounters"] object
+    lists every registered counter, zeros included. *)
+val to_chrome_json : t -> string
+
+val write_chrome : t -> file:string -> unit
+
+(** Total seconds and call count per span name, for the given category
+    (default: every category), sorted by descending total. *)
+val span_totals : ?cat:string -> t -> (string * (float * int)) list
+
+(** Seconds per ["phase"]-category span name — the per-phase breakdown
+    {!Xbound.analyze} reports. *)
+val phase_totals : t -> (string * float) list
+
+(** Busy seconds per domain, from ["pool"]-category task spans. *)
+val tid_busy : t -> (int * float) list
+
+(** Human-readable summary: phase breakdown, per-domain utilization,
+    counter values, histogram totals. *)
+val stats_summary : t -> string

@@ -9,6 +9,32 @@ module Error = struct
     | Cache of string
     | Unknown_benchmark of { name : string; available : string list }
 
+  (* Standard Levenshtein distance, case-insensitive: typing "TEA8" or
+     "tae8" should still land on "tea8". *)
+  let edit_distance a b =
+    let a = String.lowercase_ascii a and b = String.lowercase_ascii b in
+    let la = String.length a and lb = String.length b in
+    let prev = Array.init (lb + 1) Fun.id in
+    let cur = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      cur.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+
+  let closest name available =
+    List.fold_left
+      (fun best cand ->
+        let d = edit_distance name cand in
+        match best with
+        | Some (_, bd) when bd <= d -> best
+        | _ -> Some (cand, d))
+      None available
+
   let to_string = function
     | Parse { file; line; message } -> Printf.sprintf "%s:%d: %s" file line message
     | Assembly { program; message } ->
@@ -17,11 +43,30 @@ module Error = struct
     | Analysis { program; message } ->
       Printf.sprintf "%s: analysis failed: %s" program message
     | Cache m -> Printf.sprintf "cache error: %s" m
-    | Unknown_benchmark { name; available } ->
-      Printf.sprintf "unknown benchmark %S (available: %s)" name
-        (String.concat ", " available)
+    | Unknown_benchmark { name; available } -> (
+      (* A short list is worth printing; past ~10 entries, suggest the
+         closest name instead of flooding the terminal. *)
+      match closest name available with
+      | Some (best, _) when List.length available > 10 ->
+        Printf.sprintf
+          "unknown benchmark %S (did you mean %S? `list` shows all %d)" name
+          best (List.length available)
+      | _ ->
+        Printf.sprintf "unknown benchmark %S (available: %s)" name
+          (String.concat ", " available))
 
   let pp fmt t = Format.pp_print_string fmt (to_string t)
+end
+
+module Ctx = struct
+  type t = {
+    cache : Cache.t option;
+    jobs : int option;
+    telemetry : Telemetry.t option;
+  }
+
+  let default = { cache = None; jobs = None; telemetry = None }
+  let create ?cache ?jobs ?telemetry () = { cache; jobs; telemetry }
 end
 
 type program = {
@@ -75,12 +120,16 @@ let bench bname =
       of_image ~name:b.Benchprogs.Bench.name
         ~loop_bound:b.Benchprogs.Bench.loop_bound
         ~max_paths:b.Benchprogs.Bench.max_paths
-        (Benchprogs.Bench.assemble b))
+        (Telemetry.span "assemble" (fun () -> Benchprogs.Bench.assemble b)))
     (find_bench bname)
 
 (* The processor is elaborated once per process and shared; elaboration
    failures surface as Error.Netlist on every call. *)
-let env = lazy (let cpu = Cpu.build () in (cpu, Core.Analyze.poweran_for cpu))
+let env =
+  lazy
+    (Telemetry.span "elaborate" @@ fun () ->
+     let cpu = Cpu.build () in
+     (cpu, Core.Analyze.poweran_for cpu))
 
 let with_env f =
   match Lazy.force env with
@@ -90,6 +139,24 @@ let with_env f =
   | exception e -> Error (Error.Netlist (Printexc.to_string e))
 
 let set_jobs jobs = Option.iter Parallel.set_default_jobs jobs
+
+(* The deprecated per-call optionals override the corresponding [ctx]
+   fields, so pre-Ctx call sites behave exactly as before. *)
+let resolve ?cache ?jobs ?ctx () =
+  let base = Option.value ctx ~default:Ctx.default in
+  {
+    Ctx.cache = (match cache with Some _ -> cache | None -> base.Ctx.cache);
+    jobs = (match jobs with Some _ -> jobs | None -> base.Ctx.jobs);
+    telemetry = base.Ctx.telemetry;
+  }
+
+(* Fix the job count and install the context's telemetry sink (if any)
+   for the duration of [f]. *)
+let in_ctx (ctx : Ctx.t) f =
+  set_jobs ctx.Ctx.jobs;
+  match ctx.Ctx.telemetry with
+  | Some s -> Telemetry.with_ambient s f
+  | None -> f ()
 
 type analysis = {
   program : program;
@@ -103,8 +170,20 @@ type analysis = {
   dedup_hits : int;
   total_cycles : int;
   power_trace_w : float array;
+  phase_timings : (string * float) list;
+  counter_deltas : (string * int) list;
   raw : Core.Analyze.t;
 }
+
+(* Per-call telemetry scoping: the sink's span totals and the process
+   counters are monotonic, so the call's share is the before/after
+   delta. *)
+let phase_diff ~before ~after =
+  List.filter_map
+    (fun (name, s) ->
+      let s0 = Option.value (List.assoc_opt name before) ~default:0. in
+      if s -. s0 > 0. then Some (name, s -. s0) else None)
+    after
 
 let config_of p =
   {
@@ -113,13 +192,29 @@ let config_of p =
     max_paths = p.max_paths;
   }
 
-let analyze ?cache ?jobs p =
-  set_jobs jobs;
+let analyze ?cache ?jobs ?ctx p =
+  let ctx = resolve ?cache ?jobs ?ctx () in
+  in_ctx ctx @@ fun () ->
+  let sink = Telemetry.ambient () in
+  let phases0 =
+    match sink with Some s -> Telemetry.phase_totals s | None -> []
+  in
+  let counters0 = match sink with Some _ -> Telemetry.counters () | None -> [] in
   with_env (fun cpu pa ->
-      match Core.Analyze.run ~config:(config_of p) ?cache pa cpu p.p_image with
+      match
+        Core.Analyze.run ~config:(config_of p) ?cache:ctx.Ctx.cache pa cpu
+          p.p_image
+      with
       | a ->
         let pe = a.Core.Analyze.peak_energy in
         let st = a.Core.Analyze.sym_stats in
+        let phase_timings, counter_deltas =
+          match sink with
+          | None -> ([], [])
+          | Some s ->
+            ( phase_diff ~before:phases0 ~after:(Telemetry.phase_totals s),
+              Telemetry.diff ~before:counters0 ~after:(Telemetry.counters ()) )
+        in
         Ok
           {
             program = p;
@@ -133,6 +228,8 @@ let analyze ?cache ?jobs p =
             dedup_hits = st.Gatesim.Sym.dedup_hits;
             total_cycles = st.Gatesim.Sym.total_cycles;
             power_trace_w = a.Core.Analyze.power_trace;
+            phase_timings;
+            counter_deltas;
             raw = a;
           }
       | exception Gatesim.Sym.Path_limit m ->
@@ -154,8 +251,9 @@ type concrete = {
   trace_w : float array;
 }
 
-let run_concrete ?jobs p ~inputs =
-  set_jobs jobs;
+let run_concrete ?jobs ?ctx p ~inputs =
+  let ctx = resolve ?jobs ?ctx () in
+  in_ctx ctx @@ fun () ->
   with_env (fun cpu pa ->
       match Core.Analyze.run_concrete pa cpu p.p_image ~inputs with
       | cycles, trace ->
@@ -185,8 +283,10 @@ type optimization = {
   raw_opt : Report.Optrun.t;
 }
 
-let optimize ?cache ?jobs bname =
-  set_jobs jobs;
+let optimize ?cache ?jobs ?ctx bname =
+  let ctx = resolve ?cache ?jobs ?ctx () in
+  in_ctx ctx @@ fun () ->
+  let cache = ctx.Ctx.cache in
   match find_bench bname with
   | Error e -> Error e
   | Ok b ->

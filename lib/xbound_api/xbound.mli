@@ -6,8 +6,10 @@
     source text, or an assembled image), then {!analyze} it into
     guaranteed peak power/energy bounds. All failures are values — a
     typed {!Error.t} instead of [failwith] escapes — and every heavy
-    entry point takes the standard knobs: an optional content-addressed
-    {!Cache.t} and a worker-domain count.
+    entry point takes one consolidated {!Ctx.t} execution context
+    bundling the standard knobs: an optional content-addressed
+    {!Cache.t}, a worker-domain count, and an optional {!Telemetry.t}
+    sink for spans/counters/trace export.
 
     The processor (netlist + power context) is elaborated once per
     process, lazily, and shared by every call. *)
@@ -24,10 +26,41 @@ module Error : sig
     | Cache of string  (** cache directory unusable *)
     | Unknown_benchmark of { name : string; available : string list }
 
-  (** One-line diagnostic, suitable for stderr. *)
+  (** One-line diagnostic, suitable for stderr. For
+      [Unknown_benchmark] with more than ~10 bundled benchmarks the
+      message suggests the closest name by edit distance instead of
+      dumping the whole list. *)
   val to_string : t -> string
 
   val pp : Format.formatter -> t -> unit
+end
+
+(** {1 Execution context}
+
+    Every heavy entry point used to take repeated [?cache ?jobs]
+    (and now [?telemetry]) optionals; {!Ctx.t} consolidates them. The
+    per-call optionals remain as thin deprecated wrappers — an explicit
+    [?cache]/[?jobs] overrides the corresponding [ctx] field — so
+    existing callers keep compiling. *)
+
+module Ctx : sig
+  type t = {
+    cache : Cache.t option;
+        (** content-addressed result cache (memory + optional disk) *)
+    jobs : int option;
+        (** process-wide worker-domain count; [None] keeps the current
+            setting (the [--jobs] flag / recommended count) *)
+    telemetry : Telemetry.t option;
+        (** when set, installed as the ambient sink for the duration of
+            the call: spans, counters and histograms are recorded and
+            the call's per-phase timings appear on the result *)
+  }
+
+  (** No cache, inherited job count, no telemetry. *)
+  val default : t
+
+  val create :
+    ?cache:Cache.t -> ?jobs:int -> ?telemetry:Telemetry.t -> unit -> t
 end
 
 (** {1 Programs} *)
@@ -85,17 +118,30 @@ type analysis = {
   dedup_hits : int;  (** Algorithm 1 line-19 seen-state cuts *)
   total_cycles : int;  (** simulated cycles across all segments *)
   power_trace_w : float array;  (** per-cycle peak power bound, W *)
+  phase_timings : (string * float) list;
+      (** seconds per analysis phase (explore, peak-power, flatten,
+          peak-energy, ...) recorded during this call; [[]] when no
+          telemetry sink was active. Process-wide deltas: with
+          concurrent analyses the phases of overlapping calls are
+          attributed to all of them. *)
+  counter_deltas : (string * int) list;
+      (** pool/cache counter deltas over this call (same caveat);
+          [[]] when no telemetry sink was active *)
   raw : Core.Analyze.t;  (** escape hatch to the full result *)
 }
 
-(** [analyze ?cache ?jobs program] — the paper's flow end to end:
+(** [analyze ?cache ?jobs ?ctx program] — the paper's flow end to end:
     Algorithm 1 symbolic exploration, then the peak power / peak energy
-    computations. [cache] memoizes whole results and intermediate
-    artifacts (see {!Core.Analyze.cache_key}); [jobs] sets the
-    process-wide worker-domain count (same as the [--jobs] flag; results
-    are bit-identical at any value). *)
+    computations. [ctx] carries the standard knobs ({!Ctx.t}); the
+    [cache]/[jobs] optionals are the deprecated pre-[Ctx] spelling and
+    override the corresponding [ctx] fields. Results are bit-identical
+    at any job count and with telemetry on or off. *)
 val analyze :
-  ?cache:Cache.t -> ?jobs:int -> program -> (analysis, Error.t) Stdlib.result
+  ?cache:Cache.t ->
+  ?jobs:int ->
+  ?ctx:Ctx.t ->
+  program ->
+  (analysis, Error.t) Stdlib.result
 
 (** A concrete (input-based) execution, for profiling and for validating
     the bound. *)
@@ -106,10 +152,12 @@ type concrete = {
   trace_w : float array;
 }
 
-(** [run_concrete program ~inputs] — simulate with concrete input words
-    poked into RAM ([(address, words)] pairs). *)
+(** [run_concrete ?jobs ?ctx program ~inputs] — simulate with concrete
+    input words poked into RAM ([(address, words)] pairs). [jobs] is the
+    deprecated pre-{!Ctx} spelling. *)
 val run_concrete :
   ?jobs:int ->
+  ?ctx:Ctx.t ->
   program ->
   inputs:(int * int list) list ->
   (concrete, Error.t) Stdlib.result
@@ -136,8 +184,14 @@ type optimization = {
   raw_opt : Report.Optrun.t;  (** escape hatch *)
 }
 
-(** [optimize ?cache ?jobs name] — greedy guided peak-power optimization
-    of a bundled benchmark (Section 5.1): apply each transform, keep it
-    only if it provably lowers the bound at acceptable cost. *)
+(** [optimize ?cache ?jobs ?ctx name] — greedy guided peak-power
+    optimization of a bundled benchmark (Section 5.1): apply each
+    transform, keep it only if it provably lowers the bound at
+    acceptable cost. [cache]/[jobs] are the deprecated pre-{!Ctx}
+    spelling and override the corresponding [ctx] fields. *)
 val optimize :
-  ?cache:Cache.t -> ?jobs:int -> string -> (optimization, Error.t) Stdlib.result
+  ?cache:Cache.t ->
+  ?jobs:int ->
+  ?ctx:Ctx.t ->
+  string ->
+  (optimization, Error.t) Stdlib.result

@@ -1,0 +1,287 @@
+(* Telemetry: span nesting (single- and multi-domain), deterministic
+   counter sums, Chrome export well-formedness, and the facade-level
+   guarantee that tracing never perturbs the computed bounds. *)
+
+let sp name f = Telemetry.span name f
+
+(* ---------------- span nesting ---------------- *)
+
+let test_span_nesting () =
+  let t = Telemetry.create () in
+  Telemetry.with_ambient t (fun () ->
+      sp "outer" (fun () ->
+          sp "inner" (fun () -> ());
+          sp "inner2" (fun () -> ())));
+  let evs = Telemetry.events t in
+  Alcotest.(check int) "three spans" 3 (List.length evs);
+  let find n = List.find (fun (e : Telemetry.event) -> e.name = n) evs in
+  let outer = find "outer" and inner = find "inner" and inner2 = find "inner2" in
+  Alcotest.(check int) "outer depth" 1 outer.Telemetry.depth;
+  Alcotest.(check int) "inner depth" 2 inner.Telemetry.depth;
+  Alcotest.(check int) "inner2 depth" 2 inner2.Telemetry.depth;
+  (* containment on the clock: children start no earlier and end no
+     later than the parent *)
+  let ends (e : Telemetry.event) = Int64.add e.ts_ns e.dur_ns in
+  List.iter
+    (fun (child : Telemetry.event) ->
+      Alcotest.(check bool) "child starts inside parent" true
+        (child.ts_ns >= outer.ts_ns);
+      Alcotest.(check bool) "child ends inside parent" true
+        (ends child <= ends outer))
+    [ inner; inner2 ]
+
+let test_span_exception () =
+  let t = Telemetry.create () in
+  (try
+     Telemetry.with_ambient t (fun () ->
+         sp "raises" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  match Telemetry.events t with
+  | [ e ] ->
+    Alcotest.(check string) "span recorded on exception" "raises"
+      e.Telemetry.name;
+    Alcotest.(check int) "depth unwound" 1 e.Telemetry.depth
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+
+let test_spans_across_domains () =
+  let t = Telemetry.create () in
+  let n_domains = 3 in
+  Telemetry.with_ambient t (fun () ->
+      let doms =
+        List.init n_domains (fun i ->
+            Domain.spawn (fun () ->
+                sp (Printf.sprintf "outer-%d" i) (fun () ->
+                    sp (Printf.sprintf "inner-%d" i) (fun () -> ()))))
+      in
+      List.iter Domain.join doms);
+  let evs = Telemetry.events t in
+  Alcotest.(check int) "two spans per domain" (2 * n_domains)
+    (List.length evs);
+  let tids =
+    List.sort_uniq compare (List.map (fun (e : Telemetry.event) -> e.tid) evs)
+  in
+  Alcotest.(check int) "one tid per domain" n_domains (List.length tids);
+  (* nesting is per domain: each tid has exactly one depth-1 and one
+     depth-2 span, and they agree on the index suffix *)
+  List.iter
+    (fun tid ->
+      let mine =
+        List.filter (fun (e : Telemetry.event) -> e.tid = tid) evs
+      in
+      let at d =
+        List.find (fun (e : Telemetry.event) -> e.depth = d) mine
+      in
+      let outer = at 1 and inner = at 2 in
+      let suffix (e : Telemetry.event) =
+        List.nth (String.split_on_char '-' e.name) 1
+      in
+      Alcotest.(check string) "matched pair" (suffix outer) (suffix inner))
+    tids
+
+(* ---------------- counters ---------------- *)
+
+let test_counters_sum () =
+  let c = Telemetry.Counter.make "test.sum" in
+  let t = Telemetry.create () in
+  let n_domains = 4 and per_domain = 10_000 in
+  let v0 = Telemetry.Counter.value c in
+  Telemetry.with_ambient t (fun () ->
+      let doms =
+        List.init n_domains (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to per_domain do
+                  Telemetry.Counter.incr c
+                done))
+      in
+      List.iter Domain.join doms);
+  Alcotest.(check int) "no lost increments" (n_domains * per_domain)
+    (Telemetry.Counter.value c - v0)
+
+let test_disabled_is_noop () =
+  Alcotest.(check (option unit)) "no ambient sink"
+    None
+    (Option.map ignore (Telemetry.ambient ()));
+  let c = Telemetry.Counter.make "test.disabled" in
+  Telemetry.Counter.incr c;
+  Telemetry.Counter.add c 41;
+  Alcotest.(check int) "counter frozen without sink" 0
+    (Telemetry.Counter.value c);
+  let h = Telemetry.Histogram.make "test.disabled_h" in
+  Telemetry.Histogram.observe h 123L;
+  let count, _, _ = Telemetry.Histogram.totals h in
+  Alcotest.(check int) "histogram frozen without sink" 0 count;
+  Alcotest.(check int) "span still runs the body" 7 (sp "off" (fun () -> 7))
+
+let test_diff () =
+  Alcotest.(check (list (pair string int)))
+    "per-name deltas, zeros dropped"
+    [ ("a", 2); ("c", 4) ]
+    (Telemetry.diff
+       ~before:[ ("a", 1); ("b", 5) ]
+       ~after:[ ("a", 3); ("b", 5); ("c", 4) ])
+
+let test_histogram () =
+  let h = Telemetry.Histogram.make "test.hist" in
+  let t = Telemetry.create () in
+  Telemetry.with_ambient t (fun () ->
+      List.iter (Telemetry.Histogram.observe h) [ 1L; 2L; 3L; 1000L ]);
+  let count, sum, mx = Telemetry.Histogram.totals h in
+  Alcotest.(check int) "count" 4 count;
+  Alcotest.(check int64) "sum" 1006L sum;
+  Alcotest.(check int64) "max" 1000L mx;
+  (* 1 -> bucket 1; 2,3 -> bucket 2; 1000 -> bucket 512 *)
+  Alcotest.(check (list (pair int64 int)))
+    "log2 buckets"
+    [ (1L, 1); (2L, 2); (512L, 1) ]
+    (Telemetry.Histogram.buckets h)
+
+(* ---------------- Chrome export ---------------- *)
+
+(* Minimal structural JSON check: braces/brackets balance outside string
+   literals and the document is one value. Enough to catch trailing
+   commas in the wrong place, unescaped quotes and truncation. *)
+let check_balanced_json s =
+  let depth = ref 0 and in_str = ref false and escaped = ref false in
+  String.iter
+    (fun ch ->
+      if !in_str then
+        if !escaped then escaped := false
+        else
+          match ch with
+          | '\\' -> escaped := true
+          | '"' -> in_str := false
+          | _ -> ()
+      else
+        match ch with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+          decr depth;
+          if !depth < 0 then Alcotest.fail "unbalanced close"
+        | _ -> ())
+    s;
+  Alcotest.(check bool) "not inside a string" false !in_str;
+  Alcotest.(check int) "balanced" 0 !depth
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let count_sub ~sub s =
+  let n = String.length sub in
+  let rec go acc i =
+    if i + n > String.length s then acc
+    else go (if String.sub s i n = sub then acc + 1 else acc) (i + 1)
+  in
+  go 0 0
+
+let test_chrome_export () =
+  let t = Telemetry.create () in
+  let c = Telemetry.Counter.make "test.chrome" in
+  Telemetry.with_ambient t (fun () ->
+      Telemetry.Counter.incr c;
+      sp "alpha" (fun () -> sp {|quo"ted|} (fun () -> ()));
+      let d = Domain.spawn (fun () -> sp "beta" (fun () -> ())) in
+      Domain.join d);
+  let json = Telemetry.to_chrome_json t in
+  check_balanced_json json;
+  Alcotest.(check bool) "traceEvents" true (contains ~sub:"\"traceEvents\"" json);
+  Alcotest.(check int) "three X events" 3 (count_sub ~sub:"\"ph\": \"X\"" json);
+  Alcotest.(check bool) "thread metadata" true
+    (contains ~sub:"\"thread_name\"" json);
+  Alcotest.(check bool) "counter event" true (contains ~sub:"\"ph\": \"C\"" json);
+  Alcotest.(check bool) "counter summary" true
+    (contains ~sub:"\"xboundCounters\"" json);
+  Alcotest.(check bool) "quote escaped" true (contains ~sub:{|quo\"ted|} json)
+
+(* ---------------- facade: tracing must not perturb results --------- *)
+
+let tiny_program () =
+  let open Benchprogs.Bench.E in
+  let app =
+    prologue
+    @ [
+        mov (abs Benchprogs.Bench.input_base) (dreg 4);
+        mov (reg 4) (dabs Isa.Memmap.mpy);
+        mov (imm 25) (dabs Isa.Memmap.op2);
+        mul_reslo 5;
+        mov (reg 5) (dabs Benchprogs.Bench.output_base);
+      ]
+  in
+  match
+    Xbound.of_ast
+      {
+        Isa.Asm.name = "telemetry-tiny";
+        entry = "start";
+        sections =
+          [
+            {
+              Isa.Asm.org = Isa.Memmap.rom_base;
+              items = (Isa.Asm.Label "start" :: app) @ Isa.Asm.halt_items;
+            };
+          ];
+      }
+  with
+  | Ok p -> p
+  | Error e -> Alcotest.fail (Xbound.Error.to_string e)
+
+let test_analyze_bit_identical () =
+  let p = tiny_program () in
+  let plain =
+    match Xbound.analyze ~jobs:2 p with
+    | Ok a -> a
+    | Error e -> Alcotest.fail (Xbound.Error.to_string e)
+  in
+  let sink = Telemetry.create () in
+  let ctx = Xbound.Ctx.create ~jobs:2 ~telemetry:sink () in
+  let traced =
+    match Xbound.analyze ~ctx p with
+    | Ok a -> a
+    | Error e -> Alcotest.fail (Xbound.Error.to_string e)
+  in
+  Alcotest.(check int64) "peak power bit-identical"
+    (Int64.bits_of_float plain.Xbound.peak_power_w)
+    (Int64.bits_of_float traced.Xbound.peak_power_w);
+  Alcotest.(check int64) "peak energy bit-identical"
+    (Int64.bits_of_float plain.Xbound.peak_energy_j)
+    (Int64.bits_of_float traced.Xbound.peak_energy_j);
+  Alcotest.(check (list (pair string int)))
+    "no telemetry fields without a sink" [] plain.Xbound.counter_deltas;
+  Alcotest.(check (list string)) "no phases without a sink" []
+    (List.map fst plain.Xbound.phase_timings);
+  let phases = List.map fst traced.Xbound.phase_timings in
+  List.iter
+    (fun want ->
+      Alcotest.(check bool) (want ^ " phase present") true
+        (List.mem want phases))
+    [ "analyze"; "explore"; "peak-power"; "peak-energy" ];
+  Alcotest.(check bool) "sink recorded events" true
+    (Telemetry.events sink <> [])
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception" `Quick test_span_exception;
+          Alcotest.test_case "across domains" `Quick test_spans_across_domains;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "deterministic sum" `Quick test_counters_sum;
+          Alcotest.test_case "disabled is no-op" `Quick test_disabled_is_noop;
+          Alcotest.test_case "diff" `Quick test_diff;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+        ] );
+      ( "export",
+        [ Alcotest.test_case "chrome json" `Quick test_chrome_export ] );
+      ( "facade",
+        [
+          Alcotest.test_case "tracing does not perturb bounds" `Quick
+            test_analyze_bit_identical;
+        ] );
+    ]
