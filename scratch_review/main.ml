@@ -1,0 +1,3 @@
+let () =
+  let t = Telemetry.create () in
+  print_string (Telemetry.to_chrome_json t)
