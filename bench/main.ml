@@ -7,8 +7,15 @@
      bench/main.exe fig-5.1 ...     run selected experiments
      bench/main.exe micro           Bechamel micro-benchmarks
      bench/main.exe micro --smoke   tiny quota, for CI smoke runs
+     bench/main.exe compare A B     diff two bench records (regression gate)
      bench/main.exe ablate          ablation studies
      bench/main.exe list            list experiment ids
+
+   `micro` writes the machine-readable BENCH_micro.json snapshot and
+   appends a timestamped record to BENCH_history.jsonl, so the perf
+   trajectory accumulates across runs; `compare` diffs two such records
+   (ns/run, phase seconds, cache speedup) against --tolerance and exits
+   nonzero on a regression — CI runs it against the committed baseline.
 
    The knobs (-j/--jobs, --cache-dir, --no-cache, --trace, --stats) are
    the same ones the xbound CLI takes, defined once in [Cliterm]. *)
@@ -21,6 +28,7 @@ let list_experiments () =
     (fun (id, title, _) -> Printf.printf "  %-10s %s\n" id title)
     Report.Experiments.all;
   print_endline "  micro      bechamel micro-benchmarks (--smoke: tiny quota)";
+  print_endline "  compare    diff two bench records with --tolerance";
   print_endline "  ablate     ablation studies"
 
 (* ---------------- micro-benchmarks ---------------- *)
@@ -50,6 +58,24 @@ let write_bench_json entries cycles_per_run ~cache_json ~phases_json =
     cache_json;
   close_out oc;
   prerr_endline "wrote BENCH_micro.json"
+
+let iso8601_now () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+(* One record per micro run, newest last: the perf trajectory across
+   commits/machines that BENCH_micro.json (a single snapshot) cannot
+   show. `bench compare` reads the last record of a .jsonl file. *)
+let append_history record =
+  let oc =
+    open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_history.jsonl"
+  in
+  output_string oc (Explain.Ejson.to_string (Explain.Regress.to_history_json record));
+  output_char oc '\n';
+  close_out oc;
+  prerr_endline "appended BENCH_history.jsonl"
 
 (* Cold vs warm full-analysis timing through the content-addressed
    cache. The warm pass uses a second Cache.t on the same directory, so
@@ -92,7 +118,7 @@ let bench_cache pa cpu img =
   in
   Cache.clear warm_cache;
   (try Sys.rmdir dir with Sys_error _ -> ());
-  json
+  (json, cold_s, warm_s, speedup)
 
 let micro ~smoke () =
   let open Bechamel in
@@ -187,8 +213,20 @@ let micro ~smoke () =
           | _ -> Printf.printf "%-28s (no estimate)\n" name)
         results)
     [ concrete_step; symbolic_tree; symbolic_tree_seq; peak_power; cpu_build ];
-  let cache_json = bench_cache pa cpu img in
-  write_bench_json (List.rev !collected) cycles_per_run ~cache_json ~phases_json
+  let cache_json, cold_s, warm_s, speedup = bench_cache pa cpu img in
+  let entries = List.rev !collected in
+  write_bench_json entries cycles_per_run ~cache_json ~phases_json;
+  append_history
+    {
+      Explain.Regress.label = "micro";
+      timestamp = Some (iso8601_now ());
+      jobs = Some (Parallel.default_jobs ());
+      results = entries;
+      phases;
+      cache_cold_s = Some cold_s;
+      cache_warm_s = Some warm_s;
+      cache_speedup = Some speedup;
+    }
 
 (* ---------------- ablations (DESIGN.md §5) ---------------- *)
 
@@ -286,13 +324,36 @@ let ablate () =
     (a4.Core.Analyze.peak_power *. 1e3)
     (fst (Poweran.peak_of without_x) *. 1e3)
 
+(* ---------------- bench compare (regression gate) ---------------- *)
+
+(* Exit codes: 0 clean, 1 regression beyond tolerance, 2 usage/parse
+   error — so CI can distinguish "slower" from "broken". *)
+let compare_records ~tolerance = function
+  | [ base_path; cur_path ] -> (
+    match (Explain.Regress.load base_path, Explain.Regress.load cur_path) with
+    | Ok base, Ok cur ->
+      let deltas =
+        Explain.Regress.compare_records ~tolerance_pct:tolerance ~base ~cur ()
+      in
+      print_string (Explain.Regress.to_table ~tolerance_pct:tolerance deltas);
+      if Explain.Regress.regressions deltas <> [] then exit 1
+    | Error m, _ | _, Error m ->
+      prerr_endline ("bench compare: " ^ m);
+      exit 2)
+  | _ ->
+    prerr_endline
+      "usage: bench compare BASE.json CURRENT.json [--tolerance PCT] (a \
+       .jsonl history file means its last record)";
+    exit 2
+
 (* ---------------- entry point ---------------- *)
 
 let () =
   let ids_arg =
     let doc =
       "Experiment ids to run (default: every table/figure). Special ids: \
-       $(b,micro), $(b,ablate), $(b,list)."
+       $(b,micro), $(b,compare) $(i,BASE) $(i,CURRENT), $(b,ablate), \
+       $(b,list)."
     in
     Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
   in
@@ -303,10 +364,19 @@ let () =
     in
     Arg.(value & flag & info [ "smoke" ] ~doc)
   in
-  let run c smoke ids =
+  let tolerance_arg =
+    let doc =
+      "Allowed slowdown for $(b,compare), in percent: a metric that got \
+       slower (or a cache speedup that dropped) by more than this is a \
+       regression and the exit code is 1."
+    in
+    Arg.(value & opt float 25. & info [ "tolerance" ] ~docv:"PCT" ~doc)
+  in
+  let run c smoke tolerance ids =
     let report_ctx () = Report.Context.create ?cache:(Cliterm.cache c) () in
     match ids with
     | [ "list" ] -> list_experiments ()
+    | "compare" :: files -> compare_records ~tolerance files
     | [] ->
       print_string (Report.Experiments.run_all (report_ctx ()));
       print_newline ()
@@ -326,4 +396,7 @@ let () =
     Cmd.info "bench" ~version:"1.2.0"
       ~doc:"Regenerate the paper's tables/figures and micro-benchmark the tool"
   in
-  exit (Cmd.eval (Cmd.v info Term.(const run $ Cliterm.term $ smoke_arg $ ids_arg)))
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(const run $ Cliterm.term $ smoke_arg $ tolerance_arg $ ids_arg)))

@@ -2,7 +2,7 @@
    requirements for the bundled ULP processor.
 
    Subcommands: list, netlist, analyze, analyze-file, profile, coi,
-   optimize, disasm, trace, wcec, stressmark, cache, export-*.
+   explain, optimize, disasm, trace, wcec, stressmark, cache, export-*.
 
    All heavy subcommands share one set of knobs, defined once in
    [Cliterm]: -j/--jobs, --cache-dir, --no-cache, --trace, --stats
@@ -173,6 +173,59 @@ let coi_cmd =
   Cmd.v
     (Cmd.info "coi" ~doc:"Report the cycles of interest (peak power spikes)")
     Term.(const run $ Cliterm.term $ bench_term)
+
+let explain_cmd =
+  let format_arg =
+    let doc =
+      "Report format: $(b,table) (human-readable), $(b,json) (everything, \
+       including the per-cycle X-density series), or $(b,csv) (per-COI \
+       module attribution rows)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("json", `Json); ("csv", `Csv) ]) `Table
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the report to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let top_arg =
+    let doc = "Number of cycles of interest to attribute." in
+    Arg.(value & opt int 4 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let min_gap_arg =
+    let doc = "Minimum cycle distance between reported COIs." in
+    Arg.(value & opt int 5 & info [ "min-gap" ] ~docv:"N" ~doc)
+  in
+  let run c name fmt out top min_gap =
+    handle
+      (let* program = Xbound.bench name in
+       let* a = Xbound.analyze ~ctx:(Cliterm.ctx c) program in
+       let ex = Xbound.explain ~ctx:(Cliterm.ctx c) ~top ~min_gap a in
+       let text =
+         Telemetry.span "render" @@ fun () ->
+         match fmt with
+         | `Table -> Explain.Report.to_table ex
+         | `Json -> Explain.Report.to_json_string ex ^ "\n"
+         | `Csv -> Explain.Report.to_csv ex
+       in
+       (match out with
+       | None -> print_string text
+       | Some file ->
+         Out_channel.with_open_text file (fun oc -> output_string oc text);
+         Printf.eprintf "wrote %s\n" file);
+       Ok ())
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Bound provenance: per-COI module/gate-class power attribution and \
+          execution-tree observability (X-density, fork/merge and seen-set \
+          statistics)")
+    Term.(
+      const run $ Cliterm.term $ bench_term $ format_arg $ out_arg $ top_arg
+      $ min_gap_arg)
 
 let optimize_cmd =
   let run c name =
@@ -378,6 +431,7 @@ let () =
        (Cmd.group info
           [
             list_cmd; netlist_cmd; analyze_cmd; analyze_file_cmd; profile_cmd;
-            coi_cmd; optimize_cmd; disasm_cmd; trace_cmd; wcec_cmd;
-            stressmark_cmd; cache_cmd; export_verilog_cmd; export_liberty_cmd;
+            coi_cmd; explain_cmd; optimize_cmd; disasm_cmd; trace_cmd;
+            wcec_cmd; stressmark_cmd; cache_cmd; export_verilog_cmd;
+            export_liberty_cmd;
           ]))

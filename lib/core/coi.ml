@@ -104,6 +104,13 @@ let find ?image pa ~flattened ~trace ~top ~min_gap =
   List.rev_map (of_cycle ?image pa ~flattened ~trace) !chosen
   |> List.sort (fun a b -> compare a.cycle_index b.cycle_index)
 
+(* Largest power contributors first — the modules the Section 5
+   optimizations would target. *)
+let top_modules ?(n = 3) c =
+  List.filteri
+    (fun i _ -> i < n)
+    (List.sort (fun (_, a) (_, b) -> Float.compare b a) c.breakdown)
+
 let pp fmt c =
   Format.fprintf fmt "COI %d: %.3f mW  %-9s pc=%s  exec: %s%s@." c.cycle_index
     (c.power *. 1e3) c.state_name
@@ -112,6 +119,11 @@ let pp fmt c =
     (match c.fetching_text with
     | Some f -> Printf.sprintf "  fetching: %s" f
     | None -> "");
+  Format.fprintf fmt "    top: %s@."
+    (String.concat ", "
+       (List.map
+          (fun (m, p) -> Printf.sprintf "%s %.4f mW" m (p *. 1e3))
+          (top_modules c)));
   List.iter
     (fun (m, p) -> Format.fprintf fmt "    %-13s %8.4f mW@." m (p *. 1e3))
     c.breakdown

@@ -37,4 +37,8 @@ val find :
   min_gap:int ->
   t list
 
+(** Largest-first prefix of the module breakdown (default 3) — the
+    attribution line both [xbound cois] and [xbound explain] print. *)
+val top_modules : ?n:int -> t -> (string * float) list
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+(* Structural statistics of the execution tree, plus the per-cycle
+   X-density series. See treestat.mli. *)
+
+type t = {
+  nets : int;
+  cycles : int;
+  segments : int;
+  fork_nodes : int;
+  seen_edges : int;
+  end_paths : int;
+  distinct_states : int;
+  max_path_cycles : int;
+  x_density : float array;
+}
+
+let compute (tree : Gatesim.Trace.tree) =
+  let nets = Array.length tree.Gatesim.Trace.initial in
+  let fnets = float_of_int (max nets 1) in
+  let x = Tri.I.x in
+  (* Replay state: current net values and a running X count, maintained
+     incrementally from the recorded deltas (x_active nets are X on both
+     sides of the boundary, so they never move the count). *)
+  let values = Array.copy tree.Gatesim.Trace.initial in
+  let xs =
+    ref (Array.fold_left (fun acc v -> if v = x then acc + 1 else acc) 0 values)
+  in
+  let densities = ref [] in
+  let segments = ref 0
+  and fork_nodes = ref 0
+  and seen_edges = ref 0
+  and end_paths = ref 0
+  and cycles = ref 0
+  and max_depth = ref 0 in
+  let apply (cy : Gatesim.Trace.cycle) =
+    Array.iter
+      (fun packed ->
+        let net, old_v, new_v = Gatesim.Trace.unpack packed in
+        values.(net) <- new_v;
+        if old_v = x && new_v <> x then decr xs
+        else if old_v <> x && new_v = x then incr xs)
+      cy.Gatesim.Trace.deltas;
+    incr cycles;
+    densities := (float_of_int !xs /. fnets) :: !densities
+  in
+  (* Same traversal order as [Trace.flatten]: Run cycles, then the
+     continuation; at a fork, not-taken before taken, restoring the
+     fork-point values for the second child. *)
+  let rec go depth = function
+    | Gatesim.Trace.Run { cycles = cs; next } ->
+      incr segments;
+      Array.iter apply cs;
+      go (depth + Array.length cs) next
+    | Gatesim.Trace.Fork { not_taken; taken } ->
+      incr fork_nodes;
+      let snap = Array.copy values and snap_xs = !xs in
+      go depth not_taken;
+      Array.blit snap 0 values 0 nets;
+      xs := snap_xs;
+      go depth taken
+    | Gatesim.Trace.End_path ->
+      incr end_paths;
+      if depth > !max_depth then max_depth := depth
+    | Gatesim.Trace.Seen _ ->
+      incr seen_edges;
+      if depth > !max_depth then max_depth := depth
+  in
+  go 0 tree.Gatesim.Trace.root;
+  {
+    nets;
+    cycles = !cycles;
+    segments = !segments;
+    fork_nodes = !fork_nodes;
+    seen_edges = !seen_edges;
+    end_paths = !end_paths;
+    distinct_states = Hashtbl.length tree.Gatesim.Trace.registry;
+    max_path_cycles = !max_depth;
+    x_density = Array.of_list (List.rev !densities);
+  }
+
+let density_stats t =
+  let n = Array.length t.x_density in
+  if n = 0 then (0., 0.)
+  else
+    let sum = Array.fold_left ( +. ) 0. t.x_density in
+    let mx = Array.fold_left Float.max neg_infinity t.x_density in
+    (sum /. float_of_int n, mx)

@@ -1,0 +1,33 @@
+(** Minimal JSON values — enough for the explain exporters and for
+    parsing our own bench records ([BENCH_micro.json],
+    [BENCH_history.jsonl]). Numbers are floats; object member order is
+    preserved on print, so emitted documents are deterministic. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** [to_string ?indent v] — without [indent] the whole value is printed
+    on one line (the JSONL flavour); with [indent] it is pretty-printed
+    with that many spaces per level. *)
+val to_string : ?indent:int -> t -> string
+
+(** Raises {!Parse_error} on malformed input (with an offset). *)
+val parse : string -> t
+
+val parse_opt : string -> t option
+
+(** {1 Accessors} — all total, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option
+val float_member : string -> t -> float option
+val string_member : string -> t -> string option

@@ -1,0 +1,176 @@
+(* Bench-record parsing and tolerance-based comparison. See
+   regress.mli. *)
+
+type record = {
+  label : string;
+  timestamp : string option;
+  jobs : int option;
+  results : (string * float) list;
+  phases : (string * float) list;
+  cache_cold_s : float option;
+  cache_warm_s : float option;
+  cache_speedup : float option;
+}
+
+let of_json ?(label = "<json>") j =
+  match j with
+  | Ejson.Obj _ ->
+    let results =
+      match Option.bind (Ejson.member "results" j) Ejson.to_list with
+      | None -> []
+      | Some entries ->
+        List.filter_map
+          (fun e ->
+            match
+              (Ejson.string_member "name" e, Ejson.float_member "ns_per_run" e)
+            with
+            | Some n, Some ns -> Some (n, ns)
+            | _ -> None)
+          entries
+    in
+    let phases =
+      match Ejson.member "phases" j with
+      | Some (Ejson.Obj kvs) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun s -> (k, s)) (Ejson.to_float v))
+          kvs
+      | _ -> []
+    in
+    let cache k =
+      Option.bind (Ejson.member "cache" j) (Ejson.float_member k)
+    in
+    Ok
+      {
+        label;
+        timestamp = Ejson.string_member "timestamp" j;
+        jobs = Option.map int_of_float (Ejson.float_member "jobs" j);
+        results;
+        phases;
+        cache_cold_s = cache "cold_s";
+        cache_warm_s = cache "warm_s";
+        cache_speedup = cache "speedup";
+      }
+  | _ -> Error (label ^ ": bench record is not a JSON object")
+
+let last_nonempty_line text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> String.trim l <> "")
+  |> function
+  | [] -> None
+  | ls -> Some (List.nth ls (List.length ls - 1))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | text -> (
+    let doc =
+      if Filename.check_suffix path ".jsonl" then last_nonempty_line text
+      else Some text
+    in
+    match doc with
+    | None -> Error (path ^ ": empty history file")
+    | Some doc -> (
+      match Ejson.parse doc with
+      | j -> of_json ~label:path j
+      | exception Ejson.Parse_error m -> Error (path ^ ": " ^ m)))
+
+let to_history_json r =
+  let opt_num = function Some f -> Ejson.Num f | None -> Ejson.Null in
+  Ejson.Obj
+    [
+      ( "timestamp",
+        match r.timestamp with Some t -> Ejson.Str t | None -> Ejson.Null );
+      ("jobs", opt_num (Option.map float_of_int r.jobs));
+      ( "results",
+        Ejson.Arr
+          (List.map
+             (fun (n, ns) ->
+               Ejson.Obj
+                 [ ("name", Ejson.Str n); ("ns_per_run", Ejson.Num ns) ])
+             r.results) );
+      ("phases", Ejson.Obj (List.map (fun (k, s) -> (k, Ejson.Num s)) r.phases));
+      ( "cache",
+        Ejson.Obj
+          [
+            ("cold_s", opt_num r.cache_cold_s);
+            ("warm_s", opt_num r.cache_warm_s);
+            ("speedup", opt_num r.cache_speedup);
+          ] );
+    ]
+
+(* ---------------- comparison ---------------- *)
+
+type delta = {
+  metric : string;
+  base : float;
+  cur : float;
+  pct : float;
+  regression : bool;
+}
+
+(* [slow_is_high]: ns/run and phase seconds regress upward; cache
+   speedup regresses downward. [pct] is normalized so positive always
+   means "changed in the slow direction". *)
+let delta_of ~tolerance_pct ~slow_is_high metric base cur =
+  let pct =
+    if base <> 0. then
+      100. *. (if slow_is_high then cur -. base else base -. cur) /. base
+    else 0.
+  in
+  { metric; base; cur; pct; regression = pct > tolerance_pct }
+
+let compare_records ?(min_phase_s = 1e-3) ~tolerance_pct ~base ~cur () =
+  let paired names_of r0 r1 =
+    List.filter_map
+      (fun (n, v0) ->
+        Option.map (fun v1 -> (n, v0, v1)) (List.assoc_opt n r1))
+      (names_of r0)
+  in
+  let results =
+    List.map
+      (fun (n, v0, v1) ->
+        delta_of ~tolerance_pct ~slow_is_high:true ("ns_per_run:" ^ n) v0 v1)
+      (paired (fun r -> r.results) base cur.results)
+  in
+  let phases =
+    List.filter_map
+      (fun (n, v0, v1) ->
+        if v0 < min_phase_s && v1 < min_phase_s then None
+        else
+          Some
+            (delta_of ~tolerance_pct ~slow_is_high:true ("phase_s:" ^ n) v0 v1))
+      (paired (fun r -> r.phases) base cur.phases)
+  in
+  let cache =
+    match (base.cache_speedup, cur.cache_speedup) with
+    | Some v0, Some v1 ->
+      [ delta_of ~tolerance_pct ~slow_is_high:false "cache.speedup" v0 v1 ]
+    | _ -> []
+  in
+  List.sort
+    (fun a b -> Float.compare b.pct a.pct)
+    (results @ phases @ cache)
+
+let regressions = List.filter (fun d -> d.regression)
+
+let to_table ~tolerance_pct deltas =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "%-36s %14s %14s %9s\n" "metric" "base" "current" "change");
+  List.iter
+    (fun d ->
+      Buffer.add_string b
+        (Printf.sprintf "%-36s %14.4g %14.4g %+8.1f%%%s\n" d.metric d.base
+           d.cur d.pct
+           (if d.regression then "  REGRESSION" else "")))
+    deltas;
+  let n = List.length (regressions deltas) in
+  Buffer.add_string b
+    (if n = 0 then
+       Printf.sprintf "no regression beyond %.0f%% tolerance (%d metrics)\n"
+         tolerance_pct (List.length deltas)
+     else
+       Printf.sprintf "%d regression%s beyond %.0f%% tolerance (%d metrics)\n" n
+         (if n = 1 then "" else "s")
+         tolerance_pct (List.length deltas));
+  Buffer.contents b

@@ -1,0 +1,53 @@
+(** Bench-record comparison: the regression gate over
+    [BENCH_micro.json] / [BENCH_history.jsonl].
+
+    A {!record} is the machine-readable output of [bench micro]
+    (per-benchmark ns/run, per-phase seconds, cache cold/warm timing).
+    {!compare_records} diffs two of them metric by metric with a
+    percentage tolerance: slower ns/run, slower phases, or a lower
+    cache speedup beyond the tolerance is a regression. The CI
+    workflow runs it against the committed baseline (warn-only), and
+    the test suite checks an injected regression is detected. *)
+
+type record = {
+  label : string;  (** file path or timestamp, for messages *)
+  timestamp : string option;
+  jobs : int option;
+  results : (string * float) list;  (** benchmark name -> ns/run *)
+  phases : (string * float) list;  (** phase name -> seconds *)
+  cache_cold_s : float option;
+  cache_warm_s : float option;
+  cache_speedup : float option;
+}
+
+val of_json : ?label:string -> Ejson.t -> (record, string) result
+
+(** [load path] — parse a bench record file. A [.jsonl] history file
+    yields its last (most recent) record. *)
+val load : string -> (record, string) result
+
+(** The single-line history flavour; includes the timestamp. *)
+val to_history_json : record -> Ejson.t
+
+type delta = {
+  metric : string;  (** e.g. ["ns_per_run:symbolic-analysis-tea8"] *)
+  base : float;
+  cur : float;
+  pct : float;  (** signed; positive = changed in the slow direction *)
+  regression : bool;  (** [pct > tolerance] *)
+}
+
+(** Metrics present in both records only. [min_phase_s] (default 1 ms)
+    drops phases too short to measure — smoke-quota noise, not signal. *)
+val compare_records :
+  ?min_phase_s:float ->
+  tolerance_pct:float ->
+  base:record ->
+  cur:record ->
+  unit ->
+  delta list
+
+val regressions : delta list -> delta list
+
+(** Human-readable comparison, worst first, regressions flagged. *)
+val to_table : tolerance_pct:float -> delta list -> string

@@ -7,6 +7,7 @@ type t = {
   base : float;
   base_by_module : float array;
   module_count : int;
+  base_by_class : (string * float) list;  (* leakage+clock per cell kind *)
 }
 
 let create ?(bus = [||]) ?(bus_cap = 450e-15) ?(module_scale = []) nl lib ~period =
@@ -44,7 +45,34 @@ let create ?(bus = [||]) ?(bus_cap = 450e-15) ?(module_scale = []) nl lib ~perio
         base_by_module.(g.Netlist.module_id) +. leak +. clk)
     nl.Netlist.gates;
   let base = Array.fold_left ( +. ) 0. base_by_module in
-  { nl; period_ = period; rise; fall; emax; base; base_by_module; module_count }
+  let class_tbl : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let leak = (lib.Stdcell.of_cell g.Netlist.cell).Stdcell.leakage in
+      let clk =
+        if Netlist.is_sequential g.Netlist.cell then
+          lib.Stdcell.clk_pin_energy /. period
+        else 0.
+      in
+      let k = Netlist.cell_name g.Netlist.cell in
+      Hashtbl.replace class_tbl k
+        (Option.value (Hashtbl.find_opt class_tbl k) ~default:0. +. leak +. clk))
+    nl.Netlist.gates;
+  let base_by_class =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) class_tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  {
+    nl;
+    period_ = period;
+    rise;
+    fall;
+    emax;
+    base;
+    base_by_module;
+    module_count;
+    base_by_class;
+  }
 
 let netlist t = t.nl
 let period t = t.period_
@@ -116,6 +144,25 @@ let module_breakdown t ~mode (cy : Gatesim.Trace.cycle) =
     Array.iter (fun net -> add net t.emax.(net)) cy.Gatesim.Trace.x_active;
   Array.to_list
     (Array.mapi (fun m p -> (t.nl.Netlist.module_names.(m), p)) acc)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let class_breakdown t ~mode (cy : Gatesim.Trace.cycle) =
+  let max_mode = match mode with `Max -> true | `Observed -> false in
+  let acc : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace acc k v) t.base_by_class;
+  let add net e =
+    let k = Netlist.cell_name t.nl.Netlist.gates.(net).Netlist.cell in
+    Hashtbl.replace acc k
+      (Option.value (Hashtbl.find_opt acc k) ~default:0. +. (e /. t.period_))
+  in
+  Array.iter
+    (fun d ->
+      let net, _, _ = Gatesim.Trace.unpack d in
+      add net (delta_energy t ~max_mode d))
+    cy.Gatesim.Trace.deltas;
+  if max_mode then
+    Array.iter (fun net -> add net t.emax.(net)) cy.Gatesim.Trace.x_active;
+  Hashtbl.fold (fun k v l -> (k, v) :: l) acc []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let default_design_activity = 0.40

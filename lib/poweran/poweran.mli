@@ -58,6 +58,14 @@ val trace_energy : t -> mode:[ `Observed | `Max ] -> Gatesim.Trace.cycle array -
 val module_breakdown :
   t -> mode:[ `Observed | `Max ] -> Gatesim.Trace.cycle -> (string * float) list
 
+(** [class_breakdown t ~mode cycle] — per gate-class (cell kind) power
+    for one cycle: each class's leakage + clock power plus the dynamic
+    power of this cycle's transitions on nets that class drives, sorted
+    by class name. Like {!module_breakdown}, the entries sum to the
+    cycle's total power. *)
+val class_breakdown :
+  t -> mode:[ `Observed | `Max ] -> Gatesim.Trace.cycle -> (string * float) list
+
 (** [design_tool_power t ~activity] — the design-specification rating:
     every gate assumed to toggle with probability [activity] each cycle
     at its costliest transition (the default-toggle-rate power number a

@@ -214,6 +214,32 @@ module Histogram = struct
     done;
     !acc
 
+  (* Upper edge of the bucket containing the q-quantile observation,
+     clamped to the recorded maximum — an upper bound on the true
+     percentile, tight to within the bucket's 2x resolution. *)
+  let percentile h q =
+    let total = Atomic.get h.count in
+    if total = 0 then 0L
+    else begin
+      let rank =
+        max 1 (int_of_float (Float.round (q *. float_of_int total)))
+      in
+      let i = ref 0 and seen = ref 0 in
+      while
+        !i < Array.length h.bucket
+        &&
+        (seen := !seen + Atomic.get h.bucket.(!i);
+         !seen < rank)
+      do
+        incr i
+      done;
+      let upper =
+        if !i >= 62 then Int64.max_int
+        else Int64.sub (Int64.shift_left 1L (!i + 1)) 1L
+      in
+      Int64.min upper (Int64.of_int (Atomic.get h.max_ns))
+    end
+
   let all () =
     Mutex.lock rm;
     let l = Hashtbl.fold (fun _ h acc -> h :: acc) registry [] in
@@ -365,9 +391,12 @@ let stats_summary t =
       if count > 0 then
         Buffer.add_string b
           (Printf.sprintf
-             "  histogram %-24s %d obs, mean %.1f us, max %.1f us\n"
+             "  histogram %-24s %d obs, mean %.1f us, p50 %.1f us, p99 %.1f \
+              us, max %.1f us\n"
              h.Histogram.hname count
              (Int64.to_float sum /. 1e3 /. float_of_int count)
+             (Int64.to_float (Histogram.percentile h 0.50) /. 1e3)
+             (Int64.to_float (Histogram.percentile h 0.99) /. 1e3)
              (Int64.to_float mx /. 1e3)))
     (Histogram.all ());
   Buffer.contents b

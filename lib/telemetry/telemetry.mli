@@ -117,6 +117,11 @@ module Histogram : sig
 
   (** Non-empty [(bucket_lo_ns, count)] pairs, ascending. *)
   val buckets : h -> (int64 * int) list
+
+  (** [percentile h q] ([0. <= q <= 1.]) — an upper bound on the
+      q-quantile observation (ns): the upper edge of the log2 bucket
+      holding it, clamped to the recorded maximum. [0L] when empty. *)
+  val percentile : h -> float -> int64
 end
 
 (** {1 Export} *)
@@ -141,5 +146,5 @@ val phase_totals : t -> (string * float) list
 val tid_busy : t -> (int * float) list
 
 (** Human-readable summary: phase breakdown, per-domain utilization,
-    counter values, histogram totals. *)
+    counter values, histogram totals with p50/p99 percentiles. *)
 val stats_summary : t -> string

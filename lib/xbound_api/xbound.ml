@@ -269,6 +269,16 @@ let cois ?(top = 4) ?(min_gap = 5) a =
 
 let pp_coi = Core.Coi.pp
 
+type explanation = Explain.Report.t
+
+let explain ?ctx ?(top = 4) ?(min_gap = 5) a =
+  let ctx = Option.value ctx ~default:Ctx.default in
+  in_ctx ctx @@ fun () ->
+  (* [a] exists, so the environment was already elaborated. *)
+  let _, pa = Lazy.force env in
+  Explain.Report.build ~top ~min_gap ~phases:a.phase_timings
+    ~counters:a.counter_deltas ~name:(name a.program) pa a.raw
+
 type optimization = {
   bench_name : string;
   chosen : string list;

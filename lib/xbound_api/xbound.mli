@@ -168,6 +168,23 @@ val cois : ?top:int -> ?min_gap:int -> analysis -> Core.Coi.t list
 
 val pp_coi : Format.formatter -> Core.Coi.t -> unit
 
+(** {1 Bound provenance}
+
+    Why the bound is what it is: per-COI module/gate-class power
+    attribution, the instructions in flight at each COI, and
+    execution-tree observability (per-cycle X-density, fork/merge and
+    seen-set statistics). See {!Explain.Report} for the exporters
+    (table, JSON, CSV) the [xbound explain] subcommand uses. *)
+
+type explanation = Explain.Report.t
+
+(** [explain analysis] — assemble the provenance report for an already
+    computed analysis. [top]/[min_gap] select the COIs as in {!cois};
+    the analysis's own [phase_timings]/[counter_deltas] are attached.
+    Pure over the analysis — no re-exploration. *)
+val explain :
+  ?ctx:Ctx.t -> ?top:int -> ?min_gap:int -> analysis -> explanation
+
 (** {1 Optimization} *)
 
 type optimization = {

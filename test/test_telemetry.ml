@@ -135,6 +135,41 @@ let test_histogram () =
     [ (1L, 1); (2L, 2); (512L, 1) ]
     (Telemetry.Histogram.buckets h)
 
+let test_histogram_percentile () =
+  let h = Telemetry.Histogram.make "test.hist_pct" in
+  Alcotest.(check int64) "empty histogram" 0L
+    (Telemetry.Histogram.percentile h 0.5);
+  let t = Telemetry.create () in
+  Telemetry.with_ambient t (fun () ->
+      List.iter (Telemetry.Histogram.observe h) [ 1L; 2L; 3L; 1000L ]);
+  (* p50 covers the second observation: bucket [2,4) upper edge = 3 *)
+  Alcotest.(check int64) "p50 upper bound" 3L
+    (Telemetry.Histogram.percentile h 0.5);
+  (* p99 lands in the top bucket, clamped to the recorded max *)
+  Alcotest.(check int64) "p99 clamps to max" 1000L
+    (Telemetry.Histogram.percentile h 0.99);
+  Alcotest.(check int64) "p0 still covers one observation" 1L
+    (Telemetry.Histogram.percentile h 0.);
+  let mono =
+    List.for_all
+      (fun (lo, hi) ->
+        Telemetry.Histogram.percentile h lo
+        <= Telemetry.Histogram.percentile h hi)
+      [ (0., 0.25); (0.25, 0.5); (0.5, 0.99); (0.99, 1.) ]
+  in
+  Alcotest.(check bool) "monotone in q" true mono;
+  (* and the human summary surfaces them *)
+  let s = Telemetry.stats_summary t in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "summary shows p50" true (contains "p50");
+  Alcotest.(check bool) "summary shows p99" true (contains "p99")
+
 (* ---------------- Chrome export ---------------- *)
 
 (* Minimal structural JSON check: braces/brackets balance outside string
@@ -261,6 +296,60 @@ let test_analyze_bit_identical () =
   Alcotest.(check bool) "sink recorded events" true
     (Telemetry.events sink <> [])
 
+(* The analysis record's telemetry fields are scoped to the call that
+   produced them: counters are process-wide and monotonic, so a second
+   analyze on the same sink must report its own deltas, not the
+   cumulative totals, and phase times must stay plausible per call. *)
+let test_analysis_fields_scoped_per_call () =
+  let p = tiny_program () in
+  let sink = Telemetry.create () in
+  let ctx = Xbound.Ctx.create ~jobs:2 ~telemetry:sink () in
+  let run () =
+    match Xbound.analyze ~ctx p with
+    | Ok a -> a
+    | Error e -> Alcotest.fail (Xbound.Error.to_string e)
+  in
+  let a1 = run () in
+  let a2 = run () in
+  List.iter
+    (fun (a : Xbound.analysis) ->
+      List.iter
+        (fun (name, s) ->
+          Alcotest.(check bool) (name ^ " non-negative") true (s >= 0.))
+        a.Xbound.phase_timings;
+      List.iter
+        (fun (name, d) ->
+          Alcotest.(check bool) (name ^ " delta positive") true (d > 0))
+        a.Xbound.counter_deltas)
+    [ a1; a2 ];
+  (* same work both times: any counter present in both calls reports a
+     per-call delta, so the second is not the running total (which would
+     be at least double the first) *)
+  List.iter
+    (fun (name, d2) ->
+      match List.assoc_opt name a1.Xbound.counter_deltas with
+      | Some d1 when d1 > 0 ->
+        Alcotest.(check bool)
+          (name ^ " scoped to the call, not cumulative")
+          true
+          (d2 < 2 * d1)
+      | _ -> ())
+    a2.Xbound.counter_deltas;
+  (* the analyze phase wraps the others within each call *)
+  List.iter
+    (fun (a : Xbound.analysis) ->
+      match List.assoc_opt "analyze" a.Xbound.phase_timings with
+      | None -> Alcotest.fail "analyze phase missing"
+      | Some total ->
+        List.iter
+          (fun (name, s) ->
+            if name <> "analyze" then
+              Alcotest.(check bool)
+                (name ^ " nested under analyze")
+                true (s <= total +. 1e-9))
+          a.Xbound.phase_timings)
+    [ a1; a2 ]
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -276,6 +365,7 @@ let () =
           Alcotest.test_case "disabled is no-op" `Quick test_disabled_is_noop;
           Alcotest.test_case "diff" `Quick test_diff;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "percentiles" `Quick test_histogram_percentile;
         ] );
       ( "export",
         [ Alcotest.test_case "chrome json" `Quick test_chrome_export ] );
@@ -283,5 +373,7 @@ let () =
         [
           Alcotest.test_case "tracing does not perturb bounds" `Quick
             test_analyze_bit_identical;
+          Alcotest.test_case "analysis fields scoped per call" `Quick
+            test_analysis_fields_scoped_per_call;
         ] );
     ]
