@@ -327,8 +327,11 @@ let ablate () =
 (* ---------------- bench compare (regression gate) ---------------- *)
 
 (* Exit codes: 0 clean, 1 regression beyond tolerance, 2 usage/parse
-   error — so CI can distinguish "slower" from "broken". *)
-let compare_records ~tolerance = function
+   error — so CI can distinguish "slower" from "broken". With --gate,
+   only regressions on matching metrics are fatal; the rest are
+   reported but warn-only (noisy rows stay visible without flaking
+   the build). *)
+let compare_records ~tolerance ~gates = function
   | [ base_path; cur_path ] -> (
     match (Explain.Regress.load base_path, Explain.Regress.load cur_path) with
     | Ok base, Ok cur ->
@@ -336,14 +339,19 @@ let compare_records ~tolerance = function
         Explain.Regress.compare_records ~tolerance_pct:tolerance ~base ~cur ()
       in
       print_string (Explain.Regress.to_table ~tolerance_pct:tolerance deltas);
-      if Explain.Regress.regressions deltas <> [] then exit 1
+      let all = Explain.Regress.regressions deltas in
+      let fatal = Explain.Regress.gated ~gates deltas in
+      if gates <> [] && List.length all > List.length fatal then
+        Printf.printf "%d ungated regression(s) reported warn-only\n"
+          (List.length all - List.length fatal);
+      if fatal <> [] then exit 1
     | Error m, _ | _, Error m ->
       prerr_endline ("bench compare: " ^ m);
       exit 2)
   | _ ->
     prerr_endline
-      "usage: bench compare BASE.json CURRENT.json [--tolerance PCT] (a \
-       .jsonl history file means its last record)";
+      "usage: bench compare BASE.json CURRENT.json [--tolerance PCT] \
+       [--gate SUBSTR]... (a .jsonl history file means its last record)";
     exit 2
 
 (* ---------------- entry point ---------------- *)
@@ -372,11 +380,20 @@ let () =
     in
     Arg.(value & opt float 25. & info [ "tolerance" ] ~docv:"PCT" ~doc)
   in
-  let run c smoke tolerance ids =
+  let gate_arg =
+    let doc =
+      "Hard-gate $(b,compare) on metrics whose name contains $(docv) \
+       (repeatable). With at least one gate, only matching regressions \
+       set the exit code; others are reported warn-only. Without gates, \
+       every regression is fatal."
+    in
+    Arg.(value & opt_all string [] & info [ "gate" ] ~docv:"SUBSTR" ~doc)
+  in
+  let run c smoke tolerance gates ids =
     let report_ctx () = Report.Context.create ?cache:(Cliterm.cache c) () in
     match ids with
     | [ "list" ] -> list_experiments ()
-    | "compare" :: files -> compare_records ~tolerance files
+    | "compare" :: files -> compare_records ~tolerance ~gates files
     | [] ->
       print_string (Report.Experiments.run_all (report_ctx ()));
       print_newline ()
@@ -399,4 +416,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.v info
-          Term.(const run $ Cliterm.term $ smoke_arg $ tolerance_arg $ ids_arg)))
+          Term.(
+            const run $ Cliterm.term $ smoke_arg $ tolerance_arg $ gate_arg
+            $ ids_arg)))

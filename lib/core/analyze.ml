@@ -48,7 +48,10 @@ let engine_for cpu image ~symbolic =
    exactly those inputs plus [analysis_version] — bump the version
    whenever analysis semantics change, and old entries become misses. *)
 
-let analysis_version = 1
+(* 2: compiled gate-evaluation kernel — dedup digests switched from MD5
+   serialization to incremental Zobrist hashes, so cached trees from
+   version 1 reference stale digest strings. *)
+let analysis_version = 2
 
 let digest_of v = Digest.to_hex (Digest.string (Marshal.to_string v []))
 

@@ -153,6 +153,20 @@ let compare_records ?(min_phase_s = 1e-3) ~tolerance_pct ~base ~cur () =
 
 let regressions = List.filter (fun d -> d.regression)
 
+(* Substring match on the full metric name, so a gate can name a family
+   ("symbolic-analysis" covers the -j1 variant too) or a single row. *)
+let metric_matches ~gates metric =
+  gates = []
+  || List.exists
+       (fun g ->
+         let lg = String.length g and lm = String.length metric in
+         let rec scan i = i + lg <= lm && (String.sub metric i lg = g || scan (i + 1)) in
+         lg > 0 && scan 0)
+       gates
+
+let gated ~gates deltas =
+  List.filter (fun d -> metric_matches ~gates d.metric) (regressions deltas)
+
 let to_table ~tolerance_pct deltas =
   let b = Buffer.create 512 in
   Buffer.add_string b

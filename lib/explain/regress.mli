@@ -49,5 +49,11 @@ val compare_records :
 
 val regressions : delta list -> delta list
 
+(** [gated ~gates deltas] — the regressions whose metric name contains
+    one of the [gates] substrings (e.g. ["symbolic-analysis"] matches
+    both [ns_per_run:symbolic-analysis-tea8] and its [-j1] variant).
+    With [gates = []] every regression gates — the ungated behaviour. *)
+val gated : gates:string list -> delta list -> delta list
+
 (** Human-readable comparison, worst first, regressions flagged. *)
 val to_table : tolerance_pct:float -> delta list -> string

@@ -1,3 +1,33 @@
+(* Compiled three-valued evaluation kernel.
+
+   [create] compiles the netlist into a struct-of-arrays gate program:
+   one flat int array of stride-4 records [op|out<<4; f0; f1; f2] in
+   topological order (the netlist's level-partitioned [topo]), so
+   [eval_pass] is a tight loop over unboxed ints — no gate records, no
+   variant matches. Gate values live in packed ternary bit-planes (two
+   parallel bit arrays, 32 trits per word; see {!Tri.Plane}), which
+   turns the per-cycle whole-netlist work — change detection, activity
+   marking, delta collection, state blits — into word-wide xor/popcount
+   passes.
+
+   Buf/Inv compile to And/Nand with a duplicated fanin (a AND a = a,
+   a NAND a = NOT a in Kleene logic), so the runtime op set is just the
+   six binary connectives plus mux, all evaluated by lookup tables
+   generated from {!Tri.I} — the compiled kernel cannot disagree with
+   the reference semantics ({!Refsim}) on any truth table entry.
+
+   Dirty tracking is a bit-plane over *program positions*: the scanner
+   skips clean words, pops set bits with ctz, and fanout marks are
+   forward-only (a combinational reader's level is strictly greater, so
+   its position is later), which is what makes the single forward scan a
+   fixpoint.
+
+   The architectural-state digest is a Zobrist hash maintained
+   incrementally (two XORs per changed flop/input slot, plus the RAM
+   hash {!Mem.content_hash} keeps on its own), and snapshots are
+   copy-on-write: taking or restoring one is O(1) — it freezes the
+   current planes and the next mutation clones them. *)
+
 type ports = {
   reset : int;
   port_in : int array;
@@ -12,21 +42,104 @@ type ports = {
   fork_net : int option;
 }
 
+let xcode = Tri.I.x
+let word_mask = 0xFFFFFFFF
+
+(* Runtime opcodes. Binary connectives are 0..5 and index [bin_tbl];
+   mux is 6. *)
+let op_and = 0
+let op_or = 1
+let op_nand = 2
+let op_nor = 3
+let op_xor = 4
+let op_xnor = 5
+let op_mux = 6
+
+(* Truth tables generated from Tri.I so the compiled kernel is
+   semantically identical to the interpreted reference by construction.
+   Index: (op lsl 4) lor (a lsl 2) lor b. *)
+let bin_tbl =
+  let ops =
+    [| Tri.I.land_; Tri.I.lor_; Tri.I.lnand; Tri.I.lnor; Tri.I.lxor_;
+       Tri.I.lxnor |]
+  in
+  let t = Array.make 96 0 in
+  Array.iteri
+    (fun op f ->
+      for a = 0 to 2 do
+        for b = 0 to 2 do
+          t.((op lsl 4) lor (a lsl 2) lor b) <- f a b
+        done
+      done)
+    ops;
+  t
+
+(* Index: (sel lsl 4) lor (a lsl 2) lor b. *)
+let mux_tbl =
+  let t = Array.make 48 0 in
+  for s = 0 to 2 do
+    for a = 0 to 2 do
+      for b = 0 to 2 do
+        t.((s lsl 4) lor (a lsl 2) lor b) <- Tri.I.mux s a b
+      done
+    done
+  done;
+  t
+
+(* Plane accessors, hand-inlined for the hot loops. Codes are the Tri.I
+   encoding with X normalized to v=0 (so only 0, 1, 2 occur). *)
+let[@inline] pget vv vx i =
+  let w = i lsr 5 and b = i land 31 in
+  ((Array.unsafe_get vv w lsr b) land 1)
+  lor (((Array.unsafe_get vx w lsr b) land 1) lsl 1)
+
+let[@inline] pset vv vx i code =
+  let w = i lsr 5 and b = i land 31 in
+  let m = lnot (1 lsl b) in
+  Array.unsafe_set vv w
+    ((Array.unsafe_get vv w land m) lor ((code land 1) lsl b));
+  Array.unsafe_set vx w
+    ((Array.unsafe_get vx w land m) lor ((code lsr 1) lsl b))
+
+let[@inline] bit_set pl i =
+  (Array.unsafe_get pl (i lsr 5) lsr (i land 31)) land 1 = 1
+
+let c_words = Telemetry.Counter.make "engine.words_evaluated"
+let h_snapshot_ns = Telemetry.Histogram.make "engine.snapshot_ns"
+
 type t = {
   nl : Netlist.t;
   ports : ports;
   mem_ : Mem.t;
-  values : int array;
-  prev : int array;
-  active : Bytes.t;
-  prev_active : Bytes.t;
-  dirty : Bytes.t;
-  dff_next : int array;  (* indexed like nl.dffs *)
+  (* Compiled program — immutable after [create]. *)
+  prog : int array;  (* stride 4: [op|out<<4; f0; f1; f2], topo order *)
+  fo_off : int array;  (* per net: offset into fo_pos, length n+1 *)
+  fo_pos : int array;  (* program positions of combinational readers *)
+  gkind : Bytes.t;  (* 1=Input, 2=Dff, 3=Dffe, 0 otherwise *)
+  gf0 : int array;  (* fanin 0 of Input/Dff/Dffe gates (en for Dffe) *)
+  xsp : int array;  (* bit-plane over net ids: Input|Dff|Dffe *)
+  islot : int array;  (* net id -> Zobrist slot of inputs, -1 otherwise *)
+  dff_e : Bytes.t;  (* per dff index: 1 iff Dffe *)
+  dff_f0 : int array;  (* d for Dff, en for Dffe *)
+  dff_f1 : int array;  (* d for Dffe *)
+  nw : int;  (* words per net-id plane *)
+  pw : int;  (* words in the program-position dirty plane *)
+  (* Mutable simulation state. The arrays are copy-on-write: [snapshot]
+     freezes them ([shared]), the next mutating entry point clones. *)
+  mutable vv : int array;  (* value plane *)
+  mutable vx : int array;  (* unknown plane *)
+  mutable pv : int array;  (* previous-cycle value plane *)
+  mutable px : int array;
+  mutable av : int array;  (* activity bit-plane *)
+  mutable pav : int array;  (* previous-cycle activity *)
+  mutable dirty : int array;  (* program-position dirty bit-plane *)
+  mutable dff_next : int array;  (* pending flop codes, indexed like nl.dffs *)
+  mutable shared : bool;
+  mutable hash : int;  (* Zobrist hash over dff_next + input values *)
   mutable reset_drive : int;
   port_drive : int array;
   mutable cycle : int;
   mutable mid : bool;  (* between begin_cycle and finish_cycle *)
-  mutable forked : bool;
   (* Per-engine scratch for finish_cycle's delta/X-active collection;
      not part of the observable state (excluded from snapshots). *)
   scratch_deltas : int array;
@@ -37,100 +150,251 @@ let netlist t = t.nl
 let mem t = t.mem_
 let cycle_index t = t.cycle
 
-let xcode = Tri.I.x
+let unshare t =
+  if t.shared then begin
+    t.vv <- Array.copy t.vv;
+    t.vx <- Array.copy t.vx;
+    t.pv <- Array.copy t.pv;
+    t.px <- Array.copy t.px;
+    t.av <- Array.copy t.av;
+    t.pav <- Array.copy t.pav;
+    t.dirty <- Array.copy t.dirty;
+    t.dff_next <- Array.copy t.dff_next;
+    t.shared <- false
+  end
 
 let create nl ~ports ~mem =
   let n = Netlist.gate_count nl in
-  let values = Array.make n xcode in
-  (* Constants have their value from the start and are never dirty. *)
+  let ndffs = Netlist.dff_count nl in
+  let topo = nl.Netlist.topo in
+  let gates = nl.Netlist.gates in
+  let ncomb = Array.length topo in
+  let nw = Tri.Plane.words n in
+  let pw = Tri.Plane.words ncomb in
+  (* Compile the gate program in (level, id) order. *)
+  let prog = Array.make (ncomb * 4) 0 in
+  let pos_of = Array.make n (-1) in
+  Array.iteri
+    (fun k id ->
+      pos_of.(id) <- k;
+      let g = gates.(id) in
+      let f = g.Netlist.fanins in
+      let op, f0, f1, f2 =
+        match g.Netlist.cell with
+        | Netlist.Buf -> (op_and, f.(0), f.(0), 0)
+        | Netlist.Inv -> (op_nand, f.(0), f.(0), 0)
+        | Netlist.And2 -> (op_and, f.(0), f.(1), 0)
+        | Netlist.Or2 -> (op_or, f.(0), f.(1), 0)
+        | Netlist.Nand2 -> (op_nand, f.(0), f.(1), 0)
+        | Netlist.Nor2 -> (op_nor, f.(0), f.(1), 0)
+        | Netlist.Xor2 -> (op_xor, f.(0), f.(1), 0)
+        | Netlist.Xnor2 -> (op_xnor, f.(0), f.(1), 0)
+        | Netlist.Mux2 -> (op_mux, f.(0), f.(1), f.(2))
+        | Netlist.Input | Netlist.Const _ | Netlist.Dff | Netlist.Dffe ->
+          assert false
+      in
+      let p = k lsl 2 in
+      prog.(p) <- (id lsl 4) lor op;
+      prog.(p + 1) <- f0;
+      prog.(p + 2) <- f1;
+      prog.(p + 3) <- f2)
+    topo;
+  (* Fanout lists in program space: per net, the positions of its
+     combinational readers (flop readers are sampled at cycle
+     boundaries, not re-evaluated, so they don't appear). *)
+  let fo_off = Array.make (n + 1) 0 in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      if pos_of.(g.Netlist.id) >= 0 then
+        Array.iter
+          (fun f -> fo_off.(f + 1) <- fo_off.(f + 1) + 1)
+          g.Netlist.fanins)
+    gates;
+  for i = 0 to n - 1 do
+    fo_off.(i + 1) <- fo_off.(i + 1) + fo_off.(i)
+  done;
+  let fo_pos = Array.make fo_off.(n) 0 in
+  let cursor = Array.copy fo_off in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let pos = pos_of.(g.Netlist.id) in
+      if pos >= 0 then
+        Array.iter
+          (fun f ->
+            fo_pos.(cursor.(f)) <- pos;
+            cursor.(f) <- cursor.(f) + 1)
+          g.Netlist.fanins)
+    gates;
+  (* Per-gate metadata for activity marking and digest maintenance. *)
+  let gkind = Bytes.make n '\000' in
+  let gf0 = Array.make n 0 in
+  let xsp = Array.make nw 0 in
+  let islot = Array.make n (-1) in
+  let mark_xsp id = xsp.(id lsr 5) <- xsp.(id lsr 5) lor (1 lsl (id land 31)) in
+  Array.iteri
+    (fun j id ->
+      Bytes.set gkind id '\001';
+      islot.(id) <- ndffs + j;
+      mark_xsp id)
+    nl.Netlist.inputs;
+  let dff_e = Bytes.make ndffs '\000' in
+  let dff_f0 = Array.make ndffs 0 in
+  let dff_f1 = Array.make ndffs 0 in
+  Array.iteri
+    (fun i id ->
+      let g = gates.(id) in
+      (match g.Netlist.cell with
+      | Netlist.Dff ->
+        Bytes.set gkind id '\002';
+        dff_f0.(i) <- g.Netlist.fanins.(0)
+      | Netlist.Dffe ->
+        Bytes.set gkind id '\003';
+        Bytes.set dff_e i '\001';
+        dff_f0.(i) <- g.Netlist.fanins.(0);
+        dff_f1.(i) <- g.Netlist.fanins.(1)
+      | _ -> assert false);
+      gf0.(id) <- gates.(id).Netlist.fanins.(0);
+      mark_xsp id)
+    nl.Netlist.dffs;
+  (* All nets start X; constants get their value and are never dirty. *)
+  let vv, vx = Tri.Plane.make n in
+  for w = 0 to nw - 1 do
+    vx.(w) <- word_mask
+  done;
+  if n land 31 <> 0 && nw > 0 then vx.(nw - 1) <- (1 lsl (n land 31)) - 1;
   Array.iter
     (fun (g : Netlist.gate) ->
       match g.Netlist.cell with
-      | Netlist.Const c -> values.(g.Netlist.id) <- Tri.to_int c
+      | Netlist.Const c -> pset vv vx g.Netlist.id (Tri.to_int c)
       | _ -> ())
-    nl.Netlist.gates;
-  let t =
-    {
-      nl;
-      ports;
-      mem_ = mem;
-      values;
-      prev = Array.copy values;
-      active = Bytes.make n '\000';
-      prev_active = Bytes.make n '\000';
-      dirty = Bytes.make n '\000';
-      dff_next = Array.make (Netlist.dff_count nl) xcode;
-      reset_drive = xcode;
-      port_drive = Array.make (Array.length ports.port_in) xcode;
-      cycle = 0;
-      mid = false;
-      forked = false;
-      scratch_deltas = Array.make n 0;
-      scratch_x = Array.make n 0;
-    }
-  in
-  (* Everything needs one initial evaluation. *)
-  Array.iter (fun id -> Bytes.unsafe_set t.dirty id '\001') nl.Netlist.topo;
-  t
+    gates;
+  let dirty = Array.make pw 0 in
+  for w = 0 to pw - 1 do
+    dirty.(w) <- word_mask
+  done;
+  if ncomb land 31 <> 0 && pw > 0 then
+    dirty.(pw - 1) <- (1 lsl (ncomb land 31)) - 1;
+  (* Initial digest: every flop slot and input slot holds X. *)
+  let h = ref 0 in
+  for i = 0 to ndffs - 1 do
+    h := !h lxor Zhash.key i xcode
+  done;
+  for j = 0 to Array.length nl.Netlist.inputs - 1 do
+    h := !h lxor Zhash.key (ndffs + j) xcode
+  done;
+  {
+    nl;
+    ports;
+    mem_ = mem;
+    prog;
+    fo_off;
+    fo_pos;
+    gkind;
+    gf0;
+    xsp;
+    islot;
+    dff_e;
+    dff_f0;
+    dff_f1;
+    nw;
+    pw;
+    vv;
+    vx;
+    pv = Array.copy vv;
+    px = Array.copy vx;
+    av = Array.make nw 0;
+    pav = Array.make nw 0;
+    dirty;
+    dff_next = Array.make ndffs xcode;
+    shared = false;
+    hash = !h;
+    reset_drive = xcode;
+    port_drive = Array.make (Array.length ports.port_in) xcode;
+    cycle = 0;
+    mid = false;
+    scratch_deltas = Array.make n 0;
+    scratch_x = Array.make n 0;
+  }
 
 let set_reset t level = t.reset_drive <- Tri.to_int level
 
 let set_port_in t trits =
   if Array.length trits <> Array.length t.port_drive then
-    invalid_arg "Engine.set_port_in: width mismatch";
+    invalid_arg
+      (Printf.sprintf
+         "Engine.set_port_in: width mismatch (expected %d trits, got %d)"
+         (Array.length t.port_drive) (Array.length trits));
   Array.iteri (fun i v -> t.port_drive.(i) <- Tri.to_int v) trits
 
-let mark_fanouts t id =
-  let fo = t.nl.Netlist.fanouts.(id) in
-  for k = 0 to Array.length fo - 1 do
-    Bytes.unsafe_set t.dirty (Array.unsafe_get fo k) '\001'
+let[@inline] mark_fanouts t id =
+  let dirty = t.dirty in
+  let stop = Array.unsafe_get t.fo_off (id + 1) in
+  for k = Array.unsafe_get t.fo_off id to stop - 1 do
+    let pos = Array.unsafe_get t.fo_pos k in
+    let w = pos lsr 5 in
+    Array.unsafe_set dirty w
+      (Array.unsafe_get dirty w lor (1 lsl (pos land 31)))
   done
 
+(* Only entry point that writes a net value outside eval_pass. Keeps the
+   Zobrist digest current when the net is a primary input. *)
 let drive t id v =
-  if t.values.(id) <> v then begin
-    t.values.(id) <- v;
+  let old = pget t.vv t.vx id in
+  if old <> v then begin
+    pset t.vv t.vx id v;
+    let slot = Array.unsafe_get t.islot id in
+    if slot >= 0 then
+      t.hash <- t.hash lxor Zhash.key slot old lxor Zhash.key slot v;
     mark_fanouts t id
   end
 
-let eval_gate t (g : Netlist.gate) =
-  let v = t.values in
-  let f = g.Netlist.fanins in
-  match g.Netlist.cell with
-  | Netlist.Buf -> v.(f.(0))
-  | Netlist.Inv -> Tri.I.lnot v.(f.(0))
-  | Netlist.And2 -> Tri.I.land_ v.(f.(0)) v.(f.(1))
-  | Netlist.Or2 -> Tri.I.lor_ v.(f.(0)) v.(f.(1))
-  | Netlist.Nand2 -> Tri.I.lnand v.(f.(0)) v.(f.(1))
-  | Netlist.Nor2 -> Tri.I.lnor v.(f.(0)) v.(f.(1))
-  | Netlist.Xor2 -> Tri.I.lxor_ v.(f.(0)) v.(f.(1))
-  | Netlist.Xnor2 -> Tri.I.lxnor v.(f.(0)) v.(f.(1))
-  | Netlist.Mux2 -> Tri.I.mux v.(f.(0)) v.(f.(1)) v.(f.(2))
-  | Netlist.Input | Netlist.Const _ | Netlist.Dff | Netlist.Dffe -> assert false
-
 let eval_pass t =
-  let topo = t.nl.Netlist.topo in
-  let gates = t.nl.Netlist.gates in
-  for k = 0 to Array.length topo - 1 do
-    let id = Array.unsafe_get topo k in
-    if Bytes.unsafe_get t.dirty id = '\001' then begin
-      Bytes.unsafe_set t.dirty id '\000';
-      let nv = eval_gate t (Array.unsafe_get gates id) in
-      if nv <> Array.unsafe_get t.values id then begin
-        Array.unsafe_set t.values id nv;
-        mark_fanouts t id
+  let dirty = t.dirty
+  and prog = t.prog
+  and vv = t.vv
+  and vx = t.vx in
+  let pw = t.pw in
+  let words = ref 0 in
+  let w = ref 0 in
+  while !w < pw do
+    let bits = Array.unsafe_get dirty !w in
+    incr words;
+    if bits = 0 then incr w
+    else begin
+      (* Clear the lowest set bit *before* evaluating: the evaluation
+         may re-mark bits in this very word (forward fanouts), which the
+         next iteration picks up by re-reading it. *)
+      Array.unsafe_set dirty !w (bits land (bits - 1));
+      let p = ((!w lsl 5) lor Tri.Plane.ctz bits) lsl 2 in
+      let hd = Array.unsafe_get prog p in
+      let op = hd land 15 in
+      let out = hd lsr 4 in
+      let a = pget vv vx (Array.unsafe_get prog (p + 1)) in
+      let b = pget vv vx (Array.unsafe_get prog (p + 2)) in
+      let nv =
+        if op < 6 then
+          Array.unsafe_get bin_tbl ((op lsl 4) lor (a lsl 2) lor b)
+        else
+          let c = pget vv vx (Array.unsafe_get prog (p + 3)) in
+          Array.unsafe_get mux_tbl ((a lsl 4) lor (b lsl 2) lor c)
+      in
+      if nv <> pget vv vx out then begin
+        pset vv vx out nv;
+        mark_fanouts t out
       end
     end
-  done
+  done;
+  Telemetry.Counter.add c_words !words
 
 let sample t bus =
-  Tri.Word.of_trits (Array.map (fun id -> Tri.of_int t.values.(id)) bus)
+  Tri.Word.of_trits (Array.map (fun id -> Tri.of_int (pget t.vv t.vx id)) bus)
 
-let value t id = Tri.of_int t.values.(id)
+let value t id = Tri.of_int (pget t.vv t.vx id)
 
 let begin_cycle t =
   if t.mid then invalid_arg "Engine.begin_cycle: already mid-cycle";
+  unshare t;
   t.mid <- true;
-  t.forked <- false;
   (* Clock edge: flops take their pending values. *)
   Array.iteri (fun i id -> drive t id t.dff_next.(i)) t.nl.Netlist.dffs;
   (* External drives. *)
@@ -138,7 +402,7 @@ let begin_cycle t =
   Array.iteri (fun i id -> drive t id t.port_drive.(i)) t.ports.port_in;
   eval_pass t;
   (* Combinational memory read. *)
-  let ren = Tri.of_int t.values.(t.ports.mem_ren) in
+  let ren = Tri.of_int (pget t.vv t.vx t.ports.mem_ren) in
   (match ren with
   | Tri.Zero -> () (* bus keeper: rdata holds its previous value *)
   | Tri.One ->
@@ -151,7 +415,7 @@ let begin_cycle t =
     Array.iter (fun id -> drive t id xcode) t.ports.mem_rdata);
   eval_pass t;
   match t.ports.fork_net with
-  | Some f when t.values.(f) = xcode -> `Fork
+  | Some f when pget t.vv t.vx f = xcode -> `Fork
   | Some _ | None -> `Ok
 
 let force_fork t v =
@@ -159,133 +423,170 @@ let force_fork t v =
   (match v with
   | Tri.X -> invalid_arg "Engine.force_fork: cannot force X"
   | Tri.Zero | Tri.One -> ());
+  unshare t;
   (match t.ports.fork_net with
   | None -> invalid_arg "Engine.force_fork: no fork net"
   | Some f -> drive t f (Tri.to_int v));
-  t.forked <- true;
   eval_pass t
 
 let finish_cycle t =
   if not t.mid then invalid_arg "Engine.finish_cycle: begin_cycle first";
   (match t.ports.fork_net with
-  | Some f when t.values.(f) = xcode ->
+  | Some f when pget t.vv t.vx f = xcode ->
     invalid_arg "Engine.finish_cycle: unresolved fork"
   | Some _ | None -> ());
+  unshare t;
   t.mid <- false;
   let nl = t.nl in
-  let n = Netlist.gate_count nl in
+  let vv = t.vv and vx = t.vx and pv = t.pv and px = t.px in
+  let nw = t.nw in
   (* Pending flop values (visible next cycle). An enable-flop holds when
      its enable is 0, loads on 1, and on X keeps its value only if old
-     and new agree. *)
-  Array.iteri
-    (fun i id ->
-      let g = nl.Netlist.gates.(id) in
-      match g.Netlist.cell with
-      | Netlist.Dff -> t.dff_next.(i) <- t.values.(g.Netlist.fanins.(0))
-      | Netlist.Dffe ->
-        let en = t.values.(g.Netlist.fanins.(0)) in
-        let d = t.values.(g.Netlist.fanins.(1)) in
-        let q = t.values.(id) in
-        t.dff_next.(i) <-
-          (if en = 0 then q
-           else if en = 1 then d
-           else if d = q then q
-           else xcode)
-      | _ -> assert false)
-    nl.Netlist.dffs;
+     and new agree. Each change is two XORs into the running digest. *)
+  let dffs = nl.Netlist.dffs in
+  let dff_next = t.dff_next in
+  for i = 0 to Array.length dffs - 1 do
+    let nv =
+      if Bytes.unsafe_get t.dff_e i = '\000' then
+        pget vv vx (Array.unsafe_get t.dff_f0 i)
+      else begin
+        let en = pget vv vx (Array.unsafe_get t.dff_f0 i) in
+        let d = pget vv vx (Array.unsafe_get t.dff_f1 i) in
+        let q = pget vv vx (Array.unsafe_get dffs i) in
+        if en = 0 then q else if en = 1 then d else if d = q then q else xcode
+      end
+    in
+    let ov = Array.unsafe_get dff_next i in
+    if nv <> ov then begin
+      t.hash <- t.hash lxor Zhash.key i ov lxor Zhash.key i nv;
+      Array.unsafe_set dff_next i nv
+    end
+  done;
   (* Memory write (synchronous). *)
-  let wen = Tri.of_int t.values.(t.ports.mem_wen) in
+  let wen = Tri.of_int (pget vv vx t.ports.mem_wen) in
   (match wen with
   | Tri.Zero -> ()
   | Tri.One | Tri.X ->
     let addr = sample t t.ports.mem_addr in
     let data = sample t t.ports.mem_wdata in
     Mem.write t.mem_ ~strobe:wen addr data);
-  (* Activity marking, in topo order so combinational X-activity
-     propagates forward. *)
-  let gates = nl.Netlist.gates in
-  for id = 0 to n - 1 do
-    let changed = t.values.(id) <> t.prev.(id) in
-    let act =
-      match gates.(id).Netlist.cell with
-      | Netlist.Const _ -> false
-      | Netlist.Input -> changed || t.values.(id) = xcode
-      | Netlist.Dff ->
-        changed
-        || t.values.(id) = xcode
-           && Bytes.get t.prev_active gates.(id).Netlist.fanins.(0) = '\001'
-      | Netlist.Dffe ->
-        (* A held unknown cannot toggle: only a (possibly) enabled write
-           of an unknown value makes the flop potentially active. *)
-        changed
-        || t.values.(id) = xcode
-           && t.prev.(gates.(id).Netlist.fanins.(0)) <> 0
-      | Netlist.Buf | Netlist.Inv | Netlist.And2 | Netlist.Or2 | Netlist.Nand2
-      | Netlist.Nor2 | Netlist.Xor2 | Netlist.Xnor2 | Netlist.Mux2 ->
-        changed
-    in
-    Bytes.unsafe_set t.active id (if act then '\001' else '\000')
+  (* Activity marking. Base case, word-wide: a gate that changed value
+     is active (constants never change, so they never set a bit). *)
+  let av = t.av in
+  for w = 0 to nw - 1 do
+    Array.unsafe_set av w
+      ((Array.unsafe_get vv w lxor Array.unsafe_get pv w)
+      lor (Array.unsafe_get vx w lxor Array.unsafe_get px w))
   done;
-  (* X-propagated activity in dependency order: an X-valued gate is
-     active when an active fanin can actually reach its output. For
-     and/or/xor-class cells an X output already implies every fanin is
-     potentially controlling, so any active fanin suffices; a mux with a
-     stable known select is only sensitive to the selected input (this
-     sensitization matters: without it, every idle X register whose
-     write-data bus toggles would be counted as potentially switching
-     each cycle, grossly inflating the bound). *)
-  Array.iter
-    (fun id ->
-      if Bytes.unsafe_get t.active id = '\000' && t.values.(id) = xcode then begin
-        let g = gates.(id) in
-        let f = g.Netlist.fanins in
-        let act k = Bytes.unsafe_get t.active f.(k) = '\001' in
-        let any =
-          match g.Netlist.cell with
-          | Netlist.Mux2 ->
-            act 0
-            ||
-            let sel = t.values.(f.(0)) in
-            if sel = 0 then act 1
-            else if sel = 1 then act 2
-            else act 1 || act 2
-          | Netlist.Buf | Netlist.Inv -> act 0
-          | Netlist.And2 | Netlist.Or2 | Netlist.Nand2 | Netlist.Nor2
-          | Netlist.Xor2 | Netlist.Xnor2 ->
-            act 0 || act 1
-          | Netlist.Input | Netlist.Const _ | Netlist.Dff | Netlist.Dffe ->
-            false
+  (* X-special cases, scanning only X-valued Input/Dff/Dffe bits: an X
+     input is always (potentially) switching; an X flop only if its data
+     could have moved — Dff when the data net was active last cycle,
+     Dffe when the enable wasn't known-0 last cycle (a held unknown
+     cannot toggle). *)
+  let pav = t.pav in
+  for w = 0 to nw - 1 do
+    let cand =
+      Array.unsafe_get vx w
+      land Array.unsafe_get t.xsp w
+      land lnot (Array.unsafe_get av w)
+    in
+    if cand <> 0 then begin
+      let c = ref cand in
+      while !c <> 0 do
+        let b = Tri.Plane.ctz !c in
+        c := !c land (!c - 1);
+        let id = (w lsl 5) lor b in
+        let act =
+          match Bytes.unsafe_get t.gkind id with
+          | '\001' -> true
+          | '\002' -> bit_set pav (Array.unsafe_get t.gf0 id)
+          | _ -> pget pv px (Array.unsafe_get t.gf0 id) <> 0
         in
-        if any then Bytes.unsafe_set t.active id '\001'
-      end)
-    nl.Netlist.topo;
-  (* Collect deltas and X-active sets: one forward pass straight into
-     per-engine scratch arrays (this loop runs once per simulated cycle
-     over every gate — no intermediate lists). *)
+        if act then
+          Array.unsafe_set av w (Array.unsafe_get av w lor (1 lsl b))
+      done
+    end
+  done;
+  (* X-propagated activity in dependency (program) order: an X-valued
+     gate is active when an active fanin can actually reach its output.
+     For and/or/xor-class cells an X output already implies every fanin
+     is potentially controlling, so any active fanin suffices; a mux
+     with a stable known select is only sensitive to the selected input
+     (this sensitization matters: without it, every idle X register
+     whose write-data bus toggles would be counted as potentially
+     switching each cycle, grossly inflating the bound). *)
+  let prog = t.prog in
+  let ncomb = Array.length nl.Netlist.topo in
+  for k = 0 to ncomb - 1 do
+    let p = k lsl 2 in
+    let hd = Array.unsafe_get prog p in
+    let out = hd lsr 4 in
+    let ow = out lsr 5 and ob = out land 31 in
+    if
+      (Array.unsafe_get vx ow lsr ob) land 1 = 1
+      && (Array.unsafe_get av ow lsr ob) land 1 = 0
+    then begin
+      let f0 = Array.unsafe_get prog (p + 1) in
+      let any =
+        if hd land 15 < 6 then
+          bit_set av f0 || bit_set av (Array.unsafe_get prog (p + 2))
+        else
+          bit_set av f0
+          ||
+          let sel = pget vv vx f0 in
+          if sel = 0 then bit_set av (Array.unsafe_get prog (p + 2))
+          else if sel = 1 then bit_set av (Array.unsafe_get prog (p + 3))
+          else
+            bit_set av (Array.unsafe_get prog (p + 2))
+            || bit_set av (Array.unsafe_get prog (p + 3))
+      in
+      if any then Array.unsafe_set av ow (Array.unsafe_get av ow lor (1 lsl ob))
+    end
+  done;
+  (* Collect deltas and X-active sets word by word into per-engine
+     scratch: changed bits become packed deltas, active-but-unchanged
+     bits the X-active list, both in ascending net order. *)
   let nd = ref 0 and nx = ref 0 in
   let sd = t.scratch_deltas and sx = t.scratch_x in
-  for id = 0 to n - 1 do
-    if t.values.(id) <> t.prev.(id) then begin
-      sd.(!nd) <- Trace.pack ~net:id ~old_v:t.prev.(id) ~new_v:t.values.(id);
-      incr nd
-    end
-    else if Bytes.unsafe_get t.active id = '\001' then begin
-      sx.(!nx) <- id;
-      incr nx
+  for w = 0 to nw - 1 do
+    let diff =
+      (Array.unsafe_get vv w lxor Array.unsafe_get pv w)
+      lor (Array.unsafe_get vx w lxor Array.unsafe_get px w)
+    in
+    if diff <> 0 then begin
+      let d = ref diff in
+      while !d <> 0 do
+        let b = Tri.Plane.ctz !d in
+        d := !d land (!d - 1);
+        let id = (w lsl 5) lor b in
+        Array.unsafe_set sd !nd
+          (Trace.pack ~net:id ~old_v:(pget pv px id) ~new_v:(pget vv vx id));
+        incr nd
+      done
+    end;
+    let xact = Array.unsafe_get av w land lnot diff in
+    if xact <> 0 then begin
+      let d = ref xact in
+      while !d <> 0 do
+        let b = Tri.Plane.ctz !d in
+        d := !d land (!d - 1);
+        Array.unsafe_set sx !nx ((w lsl 5) lor b);
+        incr nx
+      done
     end
   done;
-  let darr = Array.sub sd 0 !nd and xarr = Array.sub sx 0 !nx in
   let rec_ =
     {
-      Trace.deltas = darr;
-      x_active = xarr;
+      Trace.deltas = Array.sub sd 0 !nd;
+      x_active = Array.sub sx 0 !nx;
       pc = sample t t.ports.pc;
       state = sample t t.ports.state;
       ir = sample t t.ports.ir;
     }
   in
-  Array.blit t.values 0 t.prev 0 n;
-  Bytes.blit t.active 0 t.prev_active 0 n;
+  Array.blit vv 0 pv 0 nw;
+  Array.blit vx 0 px 0 nw;
+  Array.blit av 0 t.pav 0 nw;
   t.cycle <- t.cycle + 1;
   rec_
 
@@ -294,64 +595,82 @@ let step t =
   | `Ok -> finish_cycle t
   | `Fork -> failwith "Engine.step: unexpected fork (X on branch decision)"
 
-let arch_digest t =
-  let buf = Buffer.create 4096 in
-  Array.iter (fun v -> Buffer.add_char buf (Char.chr v)) t.dff_next;
-  Array.iter
-    (fun id -> Buffer.add_char buf (Char.chr t.values.(id)))
-    t.nl.Netlist.inputs;
-  Buffer.add_string buf (Mem.digest t.mem_);
-  Digest.string (Buffer.contents buf)
+(* O(1): the flop/input hash is maintained incrementally, the RAM hash
+   by Mem. Zobrist equality mirrors content equality (collisions are
+   negligible — 63-bit keys), so dedup decisions match the old
+   full-serialization MD5 digest. *)
+let arch_digest t = Zhash.to_digest (t.hash lxor Mem.content_hash t.mem_)
 
-let values_snapshot t = Array.copy t.values
+let values_snapshot t = Array.init (Netlist.gate_count t.nl) (pget t.vv t.vx)
 
 type snapshot = {
-  s_values : int array;
-  s_prev : int array;
-  s_active : bytes;
-  s_prev_active : bytes;
-  s_dirty : bytes;
+  s_vv : int array;
+  s_vx : int array;
+  s_pv : int array;
+  s_px : int array;
+  s_av : int array;
+  s_pav : int array;
+  s_dirty : int array;
   s_dff_next : int array;
   s_mem : Mem.snapshot;
+  s_hash : int;
   s_reset_drive : int;
   s_port_drive : int array;
   s_cycle : int;
   s_mid : bool;
 }
 
-let snapshot t =
+let snapshot_ t =
+  t.shared <- true;
   {
-    s_values = Array.copy t.values;
-    s_prev = Array.copy t.prev;
-    s_active = Bytes.copy t.active;
-    s_prev_active = Bytes.copy t.prev_active;
-    s_dirty = Bytes.copy t.dirty;
-    s_dff_next = Array.copy t.dff_next;
+    s_vv = t.vv;
+    s_vx = t.vx;
+    s_pv = t.pv;
+    s_px = t.px;
+    s_av = t.av;
+    s_pav = t.pav;
+    s_dirty = t.dirty;
+    s_dff_next = t.dff_next;
     s_mem = Mem.snapshot t.mem_;
+    s_hash = t.hash;
     s_reset_drive = t.reset_drive;
     s_port_drive = Array.copy t.port_drive;
     s_cycle = t.cycle;
     s_mid = t.mid;
   }
 
+let snapshot t =
+  if Telemetry.enabled () then begin
+    let t0 = Telemetry.now_ns () in
+    let s = snapshot_ t in
+    Telemetry.Histogram.observe h_snapshot_ns
+      (Int64.sub (Telemetry.now_ns ()) t0);
+    s
+  end
+  else snapshot_ t
+
 let restore t s =
-  Array.blit s.s_values 0 t.values 0 (Array.length t.values);
-  Array.blit s.s_prev 0 t.prev 0 (Array.length t.prev);
-  Bytes.blit s.s_active 0 t.active 0 (Bytes.length t.active);
-  Bytes.blit s.s_prev_active 0 t.prev_active 0 (Bytes.length t.prev_active);
-  Bytes.blit s.s_dirty 0 t.dirty 0 (Bytes.length t.dirty);
-  Array.blit s.s_dff_next 0 t.dff_next 0 (Array.length t.dff_next);
+  t.vv <- s.s_vv;
+  t.vx <- s.s_vx;
+  t.pv <- s.s_pv;
+  t.px <- s.s_px;
+  t.av <- s.s_av;
+  t.pav <- s.s_pav;
+  t.dirty <- s.s_dirty;
+  t.dff_next <- s.s_dff_next;
+  t.shared <- true;
   Mem.restore t.mem_ s.s_mem;
+  t.hash <- s.s_hash;
   t.reset_drive <- s.s_reset_drive;
   Array.blit s.s_port_drive 0 t.port_drive 0 (Array.length t.port_drive);
   t.cycle <- s.s_cycle;
   t.mid <- s.s_mid
 
 (* Replica for a worker domain: shares the read-only netlist, port map
-   and ROM with [t]; owns fresh value/activity arrays and RAM. The
-   external drive levels are carried by [snapshot]/[restore], so a
-   replica becomes interchangeable with the original the moment a
-   snapshot is restored into it. *)
+   and ROM with [t]; owns fresh planes and RAM (the compiled program is
+   rebuilt — O(gates), once per domain). The external drive levels are
+   carried by [snapshot]/[restore], so a replica becomes interchangeable
+   with the original the moment a snapshot is restored into it. *)
 let create_like t = create t.nl ~ports:t.ports ~mem:(Mem.like t.mem_)
 
 let of_snapshot t s =

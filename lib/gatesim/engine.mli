@@ -1,7 +1,11 @@
-(** Levelized three-valued gate simulator.
+(** Levelized three-valued gate simulator (compiled kernel).
 
-    Evaluates a {!Netlist.t} cycle by cycle with event-driven updates in
-    topological order. The same engine serves both concrete simulation
+    [create] compiles the netlist into a flat struct-of-arrays gate
+    program in level-partitioned topological order and packs net values
+    into ternary bit-planes ({!Tri.Plane}), so the per-cycle hot path is
+    a word-skipping scan over unboxed ints; change detection, activity
+    marking and delta collection are word-wide passes. The same engine
+    serves both concrete simulation
     (profiling baselines, validation) and symbolic simulation with X
     propagation (Algorithm 1) — the only difference is what the inputs
     and memory are driven with.
@@ -63,7 +67,8 @@ val sample : t -> int array -> Tri.Word.t
 
 (** Digest of the architectural state (pending flop values, inputs,
     memory) — Algorithm 1's "(PC, processor state)" dedup key. Valid
-    after {!finish_cycle}. *)
+    after {!finish_cycle}. O(1): a Zobrist hash maintained incrementally
+    as flops, inputs and RAM words change. *)
 val arch_digest : t -> string
 
 (** Trit codes of all net values right now (used as a trace's initial
@@ -72,10 +77,15 @@ val values_snapshot : t -> int array
 
 type snapshot
 
-(** Deep-copies the simulator state (including the external drive
-    levels); used at forks and to ship work to other domains. *)
+(** Captures the simulator state (including the external drive levels);
+    used at forks and to ship work to other domains. O(1): the state
+    planes are frozen copy-on-write — the engine's next mutating call
+    clones them, so the snapshot stays immutable for its lifetime. *)
 val snapshot : t -> snapshot
 
+(** O(1): adopts the snapshot's frozen planes (the engine's next
+    mutating call clones). A snapshot may be restored any number of
+    times, into any replica. *)
 val restore : t -> snapshot -> unit
 
 (** [create_like t] is a fresh engine sharing [t]'s immutable netlist,

@@ -1,10 +1,23 @@
 type t = {
   rom : (int, int) Hashtbl.t;
-  ram_v : int array;  (* value bits per word *)
-  ram_x : int array;  (* unknown mask per word *)
+  mutable ram_v : int array;  (* value bits per word *)
+  mutable ram_x : int array;  (* unknown mask per word *)
   ram_base : int;
   ram_words : int;
+  mutable hash : int;  (* XOR of per-word Zobrist keys, incremental *)
+  all_x_hash : int;  (* hash of the fully-smeared RAM, precomputed *)
+  mutable shared : bool;  (* arrays are referenced by a live snapshot *)
 }
+
+(* Key of RAM word [i] holding value bits [v] under unknown mask [x]. *)
+let wkey i v x = Zhash.word_key i ((v lsl 16) lor x)
+
+let all_x_hash_of words =
+  let h = ref 0 in
+  for i = 0 to words - 1 do
+    h := !h lxor wkey i 0 0xFFFF
+  done;
+  !h
 
 let create ~rom ~ram_base ~ram_bytes =
   let tbl = Hashtbl.create (List.length rom * 2) in
@@ -15,12 +28,17 @@ let create ~rom ~ram_base ~ram_bytes =
         invalid_arg "Mem.create: ROM word inside RAM range";
       Hashtbl.replace tbl (a land 0xFFFF) (w land 0xFFFF))
     rom;
+  let words = ram_bytes / 2 in
+  let h = all_x_hash_of words in
   {
     rom = tbl;
-    ram_v = Array.make (ram_bytes / 2) 0;
-    ram_x = Array.make (ram_bytes / 2) 0xFFFF;
+    ram_v = Array.make words 0;
+    ram_x = Array.make words 0xFFFF;
     ram_base;
-    ram_words = ram_bytes / 2;
+    ram_words = words;
+    hash = h;
+    all_x_hash = h;
+    shared = false;
   }
 
 (* The ROM table is immutable after [create] (writes never touch it), so
@@ -33,7 +51,30 @@ let like t =
     ram_x = Array.make t.ram_words 0xFFFF;
     ram_base = t.ram_base;
     ram_words = t.ram_words;
+    hash = t.all_x_hash;
+    all_x_hash = t.all_x_hash;
+    shared = false;
   }
+
+(* Copy-on-write: a snapshot shares the RAM arrays and freezes them; the
+   first write after a snapshot/restore clones them, so the arrays a
+   snapshot holds are immutable for its whole lifetime (which also makes
+   shipping snapshots to worker domains safe). *)
+let unshare t =
+  if t.shared then begin
+    t.ram_v <- Array.copy t.ram_v;
+    t.ram_x <- Array.copy t.ram_x;
+    t.shared <- false
+  end
+
+let set_word t i v x =
+  let ov = t.ram_v.(i) and ox = t.ram_x.(i) in
+  if ov <> v || ox <> x then begin
+    unshare t;
+    t.hash <- t.hash lxor wkey i ov ox lxor wkey i v x;
+    t.ram_v.(i) <- v;
+    t.ram_x.(i) <- x
+  end
 
 let ram_index t a =
   let i = (a - t.ram_base) / 2 in
@@ -41,9 +82,7 @@ let ram_index t a =
 
 let poke_tri t addr (w : Tri.Word.t) =
   match ram_index t addr with
-  | Some i ->
-    t.ram_v.(i) <- w.Tri.Word.v;
-    t.ram_x.(i) <- w.Tri.Word.x
+  | Some i -> set_word t i w.Tri.Word.v w.Tri.Word.x
   | None -> invalid_arg (Printf.sprintf "Mem.poke: 0x%04x not in RAM" addr)
 
 let poke t addr w = poke_tri t addr (Tri.Word.of_int ~width:16 w)
@@ -70,8 +109,12 @@ let read t addr =
   end
 
 let smear_all t =
-  Array.fill t.ram_x 0 t.ram_words 0xFFFF;
-  Array.fill t.ram_v 0 t.ram_words 0
+  if t.hash <> t.all_x_hash then begin
+    unshare t;
+    Array.fill t.ram_x 0 t.ram_words 0xFFFF;
+    Array.fill t.ram_v 0 t.ram_words 0;
+    t.hash <- t.all_x_hash
+  end
 
 let write t ~strobe addr (data : Tri.Word.t) =
   match strobe with
@@ -82,9 +125,7 @@ let write t ~strobe addr (data : Tri.Word.t) =
     | Some a -> (
       let a = a land lnot 1 in
       match ram_index t a with
-      | Some i ->
-        t.ram_v.(i) <- data.Tri.Word.v;
-        t.ram_x.(i) <- data.Tri.Word.x
+      | Some i -> set_word t i data.Tri.Word.v data.Tri.Word.x
       | None -> () (* peripheral and ROM writes are handled in the netlist *))
   end
   | Tri.X -> begin
@@ -96,8 +137,7 @@ let write t ~strobe addr (data : Tri.Word.t) =
       | Some i ->
         let old = Tri.Word.make ~width:16 ~v:t.ram_v.(i) ~x:t.ram_x.(i) in
         let merged = Tri.Word.merge old data in
-        t.ram_v.(i) <- merged.Tri.Word.v;
-        t.ram_x.(i) <- merged.Tri.Word.x
+        set_word t i merged.Tri.Word.v merged.Tri.Word.x
       | None -> ())
   end
 
@@ -107,13 +147,19 @@ let digest t =
   Array.iter (fun x -> Buffer.add_int32_le buf (Int32.of_int x)) t.ram_x;
   Digest.string (Buffer.contents buf)
 
-type snapshot = { s_v : int array; s_x : int array }
+let content_hash t = t.hash
 
-let snapshot t = { s_v = Array.copy t.ram_v; s_x = Array.copy t.ram_x }
+type snapshot = { s_v : int array; s_x : int array; s_hash : int }
+
+let snapshot t =
+  t.shared <- true;
+  { s_v = t.ram_v; s_x = t.ram_x; s_hash = t.hash }
 
 let restore t s =
-  Array.blit s.s_v 0 t.ram_v 0 t.ram_words;
-  Array.blit s.s_x 0 t.ram_x 0 t.ram_words
+  t.ram_v <- s.s_v;
+  t.ram_x <- s.s_x;
+  t.hash <- s.s_hash;
+  t.shared <- true
 
 let x_word_count t =
   Array.fold_left (fun acc x -> if x <> 0 then acc + 1 else acc) 0 t.ram_x

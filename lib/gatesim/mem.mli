@@ -38,12 +38,27 @@ val read : t -> Tri.Word.t -> Tri.Word.t
     write flash); writes to unknown addresses X the whole RAM. *)
 val write : t -> strobe:Tri.t -> Tri.Word.t -> Tri.Word.t -> unit
 
-(** [digest t] — stable digest of RAM contents (ROM is immutable). *)
+(** [digest t] — stable digest of RAM contents (ROM is immutable). A
+    full rehash on every call; the dedup hot path uses {!content_hash}
+    instead. *)
 val digest : t -> string
+
+(** Zobrist hash of the RAM contents, maintained incrementally: each
+    write costs two XOR-mixes, so reading the hash is O(1). Equal
+    contents hash equally; distinct contents collide with negligible
+    probability. Folded into {!Engine.arch_digest}. *)
+val content_hash : t -> int
 
 type snapshot
 
+(** [snapshot t] is O(1): it shares the RAM arrays and freezes them —
+    the next write to [t] copies first (copy-on-write), so the snapshot
+    stays immutable (and is safe to ship to another domain). *)
 val snapshot : t -> snapshot
+
+(** [restore t s] is O(1): [t] adopts the snapshot's (frozen) arrays;
+    its next write copies. A snapshot may be restored any number of
+    times, into any engine replica's memory of the same geometry. *)
 val restore : t -> snapshot -> unit
 
 (** Number of RAM words currently holding any X bit. *)

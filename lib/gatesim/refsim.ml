@@ -1,0 +1,315 @@
+(* The original interpreted evaluator, kept as the reference
+   implementation for differential testing of the compiled kernel in
+   [Engine]. Straight-line per-gate loops over the gate records — slow
+   but obviously faithful to the netlist semantics. Not used on any
+   production path. *)
+
+type t = {
+  nl : Netlist.t;
+  ports : Engine.ports;
+  mem_ : Mem.t;
+  values : int array;
+  prev : int array;
+  active : Bytes.t;
+  prev_active : Bytes.t;
+  dirty : Bytes.t;
+  dff_next : int array;  (* indexed like nl.dffs *)
+  mutable reset_drive : int;
+  port_drive : int array;
+  mutable cycle : int;
+  mutable mid : bool;  (* between begin_cycle and finish_cycle *)
+}
+
+let mem t = t.mem_
+let cycle_index t = t.cycle
+
+let xcode = Tri.I.x
+
+let create nl ~ports ~mem =
+  let n = Netlist.gate_count nl in
+  let values = Array.make n xcode in
+  (* Constants have their value from the start and are never dirty. *)
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      match g.Netlist.cell with
+      | Netlist.Const c -> values.(g.Netlist.id) <- Tri.to_int c
+      | _ -> ())
+    nl.Netlist.gates;
+  let t =
+    {
+      nl;
+      ports;
+      mem_ = mem;
+      values;
+      prev = Array.copy values;
+      active = Bytes.make n '\000';
+      prev_active = Bytes.make n '\000';
+      dirty = Bytes.make n '\000';
+      dff_next = Array.make (Netlist.dff_count nl) xcode;
+      reset_drive = xcode;
+      port_drive = Array.make (Array.length ports.Engine.port_in) xcode;
+      cycle = 0;
+      mid = false;
+    }
+  in
+  (* Everything needs one initial evaluation. *)
+  Array.iter (fun id -> Bytes.unsafe_set t.dirty id '\001') nl.Netlist.topo;
+  t
+
+let set_reset t level = t.reset_drive <- Tri.to_int level
+
+let set_port_in t trits =
+  if Array.length trits <> Array.length t.port_drive then
+    invalid_arg "Refsim.set_port_in: width mismatch";
+  Array.iteri (fun i v -> t.port_drive.(i) <- Tri.to_int v) trits
+
+let mark_fanouts t id =
+  let fo = t.nl.Netlist.fanouts.(id) in
+  for k = 0 to Array.length fo - 1 do
+    Bytes.unsafe_set t.dirty (Array.unsafe_get fo k) '\001'
+  done
+
+let drive t id v =
+  if t.values.(id) <> v then begin
+    t.values.(id) <- v;
+    mark_fanouts t id
+  end
+
+let eval_gate t (g : Netlist.gate) =
+  let v = t.values in
+  let f = g.Netlist.fanins in
+  match g.Netlist.cell with
+  | Netlist.Buf -> v.(f.(0))
+  | Netlist.Inv -> Tri.I.lnot v.(f.(0))
+  | Netlist.And2 -> Tri.I.land_ v.(f.(0)) v.(f.(1))
+  | Netlist.Or2 -> Tri.I.lor_ v.(f.(0)) v.(f.(1))
+  | Netlist.Nand2 -> Tri.I.lnand v.(f.(0)) v.(f.(1))
+  | Netlist.Nor2 -> Tri.I.lnor v.(f.(0)) v.(f.(1))
+  | Netlist.Xor2 -> Tri.I.lxor_ v.(f.(0)) v.(f.(1))
+  | Netlist.Xnor2 -> Tri.I.lxnor v.(f.(0)) v.(f.(1))
+  | Netlist.Mux2 -> Tri.I.mux v.(f.(0)) v.(f.(1)) v.(f.(2))
+  | Netlist.Input | Netlist.Const _ | Netlist.Dff | Netlist.Dffe -> assert false
+
+let eval_pass t =
+  let topo = t.nl.Netlist.topo in
+  let gates = t.nl.Netlist.gates in
+  for k = 0 to Array.length topo - 1 do
+    let id = Array.unsafe_get topo k in
+    if Bytes.unsafe_get t.dirty id = '\001' then begin
+      Bytes.unsafe_set t.dirty id '\000';
+      let nv = eval_gate t (Array.unsafe_get gates id) in
+      if nv <> Array.unsafe_get t.values id then begin
+        Array.unsafe_set t.values id nv;
+        mark_fanouts t id
+      end
+    end
+  done
+
+let sample t bus =
+  Tri.Word.of_trits (Array.map (fun id -> Tri.of_int t.values.(id)) bus)
+
+let value t id = Tri.of_int t.values.(id)
+
+let begin_cycle t =
+  if t.mid then invalid_arg "Refsim.begin_cycle: already mid-cycle";
+  t.mid <- true;
+  (* Clock edge: flops take their pending values. *)
+  Array.iteri (fun i id -> drive t id t.dff_next.(i)) t.nl.Netlist.dffs;
+  (* External drives. *)
+  drive t t.ports.Engine.reset t.reset_drive;
+  Array.iteri (fun i id -> drive t id t.port_drive.(i)) t.ports.Engine.port_in;
+  eval_pass t;
+  (* Combinational memory read. *)
+  let ren = Tri.of_int t.values.(t.ports.Engine.mem_ren) in
+  (match ren with
+  | Tri.Zero -> () (* bus keeper: rdata holds its previous value *)
+  | Tri.One ->
+    let addr = sample t t.ports.Engine.mem_addr in
+    let data = Mem.read t.mem_ addr in
+    Array.iteri
+      (fun i id -> drive t id (Tri.to_int (Tri.Word.bit data i)))
+      t.ports.Engine.mem_rdata
+  | Tri.X ->
+    Array.iter (fun id -> drive t id xcode) t.ports.Engine.mem_rdata);
+  eval_pass t;
+  match t.ports.Engine.fork_net with
+  | Some f when t.values.(f) = xcode -> `Fork
+  | Some _ | None -> `Ok
+
+let force_fork t v =
+  if not t.mid then invalid_arg "Refsim.force_fork: not mid-cycle";
+  (match v with
+  | Tri.X -> invalid_arg "Refsim.force_fork: cannot force X"
+  | Tri.Zero | Tri.One -> ());
+  (match t.ports.Engine.fork_net with
+  | None -> invalid_arg "Refsim.force_fork: no fork net"
+  | Some f -> drive t f (Tri.to_int v));
+  eval_pass t
+
+let finish_cycle t =
+  if not t.mid then invalid_arg "Refsim.finish_cycle: begin_cycle first";
+  (match t.ports.Engine.fork_net with
+  | Some f when t.values.(f) = xcode ->
+    invalid_arg "Refsim.finish_cycle: unresolved fork"
+  | Some _ | None -> ());
+  t.mid <- false;
+  let nl = t.nl in
+  let n = Netlist.gate_count nl in
+  (* Pending flop values (visible next cycle). An enable-flop holds when
+     its enable is 0, loads on 1, and on X keeps its value only if old
+     and new agree. *)
+  Array.iteri
+    (fun i id ->
+      let g = nl.Netlist.gates.(id) in
+      match g.Netlist.cell with
+      | Netlist.Dff -> t.dff_next.(i) <- t.values.(g.Netlist.fanins.(0))
+      | Netlist.Dffe ->
+        let en = t.values.(g.Netlist.fanins.(0)) in
+        let d = t.values.(g.Netlist.fanins.(1)) in
+        let q = t.values.(id) in
+        t.dff_next.(i) <-
+          (if en = 0 then q
+           else if en = 1 then d
+           else if d = q then q
+           else xcode)
+      | _ -> assert false)
+    nl.Netlist.dffs;
+  (* Memory write (synchronous). *)
+  let wen = Tri.of_int t.values.(t.ports.Engine.mem_wen) in
+  (match wen with
+  | Tri.Zero -> ()
+  | Tri.One | Tri.X ->
+    let addr = sample t t.ports.Engine.mem_addr in
+    let data = sample t t.ports.Engine.mem_wdata in
+    Mem.write t.mem_ ~strobe:wen addr data);
+  (* Activity marking, in topo order so combinational X-activity
+     propagates forward. *)
+  let gates = nl.Netlist.gates in
+  for id = 0 to n - 1 do
+    let changed = t.values.(id) <> t.prev.(id) in
+    let act =
+      match gates.(id).Netlist.cell with
+      | Netlist.Const _ -> false
+      | Netlist.Input -> changed || t.values.(id) = xcode
+      | Netlist.Dff ->
+        changed
+        || t.values.(id) = xcode
+           && Bytes.get t.prev_active gates.(id).Netlist.fanins.(0) = '\001'
+      | Netlist.Dffe ->
+        (* A held unknown cannot toggle: only a (possibly) enabled write
+           of an unknown value makes the flop potentially active. *)
+        changed
+        || t.values.(id) = xcode
+           && t.prev.(gates.(id).Netlist.fanins.(0)) <> 0
+      | Netlist.Buf | Netlist.Inv | Netlist.And2 | Netlist.Or2 | Netlist.Nand2
+      | Netlist.Nor2 | Netlist.Xor2 | Netlist.Xnor2 | Netlist.Mux2 ->
+        changed
+    in
+    Bytes.unsafe_set t.active id (if act then '\001' else '\000')
+  done;
+  (* X-propagated activity in dependency order: an X-valued gate is
+     active when an active fanin can actually reach its output. *)
+  Array.iter
+    (fun id ->
+      if Bytes.unsafe_get t.active id = '\000' && t.values.(id) = xcode then begin
+        let g = gates.(id) in
+        let f = g.Netlist.fanins in
+        let act k = Bytes.unsafe_get t.active f.(k) = '\001' in
+        let any =
+          match g.Netlist.cell with
+          | Netlist.Mux2 ->
+            act 0
+            ||
+            let sel = t.values.(f.(0)) in
+            if sel = 0 then act 1
+            else if sel = 1 then act 2
+            else act 1 || act 2
+          | Netlist.Buf | Netlist.Inv -> act 0
+          | Netlist.And2 | Netlist.Or2 | Netlist.Nand2 | Netlist.Nor2
+          | Netlist.Xor2 | Netlist.Xnor2 ->
+            act 0 || act 1
+          | Netlist.Input | Netlist.Const _ | Netlist.Dff | Netlist.Dffe ->
+            false
+        in
+        if any then Bytes.unsafe_set t.active id '\001'
+      end)
+    nl.Netlist.topo;
+  (* Collect deltas and X-active sets. *)
+  let deltas = ref [] and x_active = ref [] in
+  for id = n - 1 downto 0 do
+    if t.values.(id) <> t.prev.(id) then
+      deltas :=
+        Trace.pack ~net:id ~old_v:t.prev.(id) ~new_v:t.values.(id) :: !deltas
+    else if Bytes.unsafe_get t.active id = '\001' then x_active := id :: !x_active
+  done;
+  let rec_ =
+    {
+      Trace.deltas = Array.of_list !deltas;
+      x_active = Array.of_list !x_active;
+      pc = sample t t.ports.Engine.pc;
+      state = sample t t.ports.Engine.state;
+      ir = sample t t.ports.Engine.ir;
+    }
+  in
+  Array.blit t.values 0 t.prev 0 n;
+  Bytes.blit t.active 0 t.prev_active 0 n;
+  t.cycle <- t.cycle + 1;
+  rec_
+
+let step t =
+  match begin_cycle t with
+  | `Ok -> finish_cycle t
+  | `Fork -> failwith "Refsim.step: unexpected fork (X on branch decision)"
+
+let arch_digest t =
+  let buf = Buffer.create 4096 in
+  Array.iter (fun v -> Buffer.add_char buf (Char.chr v)) t.dff_next;
+  Array.iter
+    (fun id -> Buffer.add_char buf (Char.chr t.values.(id)))
+    t.nl.Netlist.inputs;
+  Buffer.add_string buf (Mem.digest t.mem_);
+  Digest.string (Buffer.contents buf)
+
+let values_snapshot t = Array.copy t.values
+
+type snapshot = {
+  s_values : int array;
+  s_prev : int array;
+  s_active : bytes;
+  s_prev_active : bytes;
+  s_dirty : bytes;
+  s_dff_next : int array;
+  s_mem : Mem.snapshot;
+  s_reset_drive : int;
+  s_port_drive : int array;
+  s_cycle : int;
+  s_mid : bool;
+}
+
+let snapshot t =
+  {
+    s_values = Array.copy t.values;
+    s_prev = Array.copy t.prev;
+    s_active = Bytes.copy t.active;
+    s_prev_active = Bytes.copy t.prev_active;
+    s_dirty = Bytes.copy t.dirty;
+    s_dff_next = Array.copy t.dff_next;
+    s_mem = Mem.snapshot t.mem_;
+    s_reset_drive = t.reset_drive;
+    s_port_drive = Array.copy t.port_drive;
+    s_cycle = t.cycle;
+    s_mid = t.mid;
+  }
+
+let restore t s =
+  Array.blit s.s_values 0 t.values 0 (Array.length t.values);
+  Array.blit s.s_prev 0 t.prev 0 (Array.length t.prev);
+  Bytes.blit s.s_active 0 t.active 0 (Bytes.length t.active);
+  Bytes.blit s.s_prev_active 0 t.prev_active 0 (Bytes.length t.prev_active);
+  Bytes.blit s.s_dirty 0 t.dirty 0 (Bytes.length t.dirty);
+  Array.blit s.s_dff_next 0 t.dff_next 0 (Array.length t.dff_next);
+  Mem.restore t.mem_ s.s_mem;
+  t.reset_drive <- s.s_reset_drive;
+  Array.blit s.s_port_drive 0 t.port_drive 0 (Array.length t.port_drive);
+  t.cycle <- s.s_cycle;
+  t.mid <- s.s_mid

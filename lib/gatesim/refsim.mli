@@ -1,0 +1,34 @@
+(** Reference (interpreted) three-valued evaluator.
+
+    The original per-gate-record engine, kept verbatim as the oracle for
+    differential testing of the compiled kernel in {!Engine}: same
+    netlist semantics, same cycle protocol, same trace records — but
+    straight-line loops over gate records with a variant match per gate,
+    and an MD5 digest over the serialized architectural state. Slow by
+    design; used only by the test suite. *)
+
+type t
+
+val create : Netlist.t -> ports:Engine.ports -> mem:Mem.t -> t
+val mem : t -> Mem.t
+val cycle_index : t -> int
+val set_reset : t -> Tri.t -> unit
+val set_port_in : t -> Tri.t array -> unit
+val begin_cycle : t -> [ `Ok | `Fork ]
+val force_fork : t -> Tri.t -> unit
+val finish_cycle : t -> Trace.cycle
+val step : t -> Trace.cycle
+val value : t -> int -> Tri.t
+val sample : t -> int array -> Tri.Word.t
+
+(** MD5 digest of the serialized architectural state. Not comparable to
+    {!Engine.arch_digest} strings — only its {e partition} of states is
+    (equal states get equal digests in both). *)
+val arch_digest : t -> string
+
+val values_snapshot : t -> int array
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

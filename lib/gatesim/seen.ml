@@ -1,0 +1,64 @@
+(* Visit counts for dedup digests, as a parent-chained overlay.
+
+   The speculative scheduler in [Sym] hands the taken branch of every
+   fork to the pool together with the dedup state at that point. Copying
+   the whole table per fork made fork cost scale with the number of
+   distinct states visited; instead, [fork] freezes the current top
+   layer and pushes a fresh one (O(1)), and the child chains a fresh top
+   of its own over the same frozen layers.
+
+   Frozen layers are never written again, so sharing them with a child
+   running on another domain is race-free by construction — the parent's
+   subsequent writes land in its new private top. Lookups walk top-down
+   and the first hit wins (a layer always stores the full visit count at
+   the time of the write, not an increment). Long chains are compacted
+   by merging the frozen layers into one fresh table, newest-first, so
+   lookup cost stays bounded without mutating anything shared. *)
+
+type t = {
+  mutable top : (string, int) Hashtbl.t;  (* private, mutable layer *)
+  mutable parents : (string, int) Hashtbl.t list;  (* frozen, newest first *)
+}
+
+let max_chain = 24
+
+let create () = { top = Hashtbl.create 256; parents = [] }
+
+let visits t d =
+  match Hashtbl.find_opt t.top d with
+  | Some v -> v
+  | None ->
+    let rec go = function
+      | [] -> 0
+      | layer :: rest -> (
+        match Hashtbl.find_opt layer d with
+        | Some v -> v
+        | None -> go rest)
+    in
+    go t.parents
+
+let set t d v = Hashtbl.replace t.top d v
+
+let depth t = 1 + List.length t.parents
+
+(* Merge the frozen chain into one fresh table (newest layer wins); the
+   old layers may still be referenced by live children, so they are
+   read, never touched. *)
+let compact t =
+  if List.length t.parents > max_chain then begin
+    let merged = Hashtbl.create 256 in
+    List.iter
+      (fun layer ->
+        Hashtbl.iter
+          (fun k v -> if not (Hashtbl.mem merged k) then Hashtbl.add merged k v)
+          layer)
+      t.parents;
+    t.parents <- [ merged ]
+  end
+
+let fork t =
+  let chain = t.top :: t.parents in
+  t.top <- Hashtbl.create 64;
+  t.parents <- chain;
+  compact t;
+  { top = Hashtbl.create 64; parents = chain }

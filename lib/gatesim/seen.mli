@@ -1,0 +1,27 @@
+(** Dedup visit counts as a parent-chained overlay with O(1) fork.
+
+    Behaves like a [(digest -> visit count)] table, but {!fork} is O(1):
+    it freezes the writer's current layer and starts fresh private tops
+    for both parties over the shared frozen chain. Frozen layers are
+    immutable, so a forked-off handle can be read from another domain
+    while the parent keeps writing. Chains are compacted transparently
+    to keep lookups bounded. *)
+
+type t
+
+val create : unit -> t
+
+(** [visits t d] — current visit count of digest [d] (0 if never seen). *)
+val visits : t -> string -> int
+
+(** [set t d v] — record visit count [v] for [d] (full count, not an
+    increment; shadows any frozen entry). *)
+val set : t -> string -> int -> unit
+
+(** [fork t] — an independent handle seeing exactly [t]'s current
+    contents. Writes to either side are invisible to the other. O(1)
+    (amortized: long chains trigger a compaction of the parent). *)
+val fork : t -> t
+
+(** Number of layers (the private top included); for tests. *)
+val depth : t -> int

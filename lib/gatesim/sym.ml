@@ -40,9 +40,9 @@ let do_reset e =
    Parallel exploration.
 
    The DFS is parallelized by speculation: at every fork the taken
-   branch is packaged as a task (engine snapshot + a copy of the [seen]
-   table) and handed to the pool while the not-taken branch is explored
-   inline — exactly the sequential order. A speculative task simulates
+   branch is packaged as a task (an O(1) engine snapshot + an O(1)
+   {!Seen.fork} of the dedup table) and handed to the pool while the
+   not-taken branch is explored inline — exactly the sequential order. A speculative task simulates
    on a private engine replica and records an *event log*: every cycle
    count, fork, path end and — crucially — every dedup decision (digest,
    cut-or-expand). Because the simulation itself is deterministic, the
@@ -91,11 +91,25 @@ type sched = {
   proto : Engine.t;  (* prototype for Engine.create_like *)
 }
 
+(* Digest computation is O(1) now (incremental Zobrist), but it sits on
+   the per-fork hot path — keep it observable. *)
+let h_digest_ns = Telemetry.Histogram.make "sym.digest_ns"
+
+let arch_digest e =
+  if Telemetry.enabled () then begin
+    let t0 = Telemetry.now_ns () in
+    let d = Engine.arch_digest e in
+    Telemetry.Histogram.observe h_digest_ns
+      (Int64.sub (Telemetry.now_ns ()) t0);
+    d
+  end
+  else Engine.arch_digest e
+
 type ctx = {
   auth : bool;  (* authoritative (sequential-order) context *)
   cfg : config;
   engine : Engine.t;
-  seen : (string, int) Hashtbl.t;
+  seen : Seen.t;
   registry : (string, Trace.node ref) Hashtbl.t option;  (* auth only *)
   mutable paths : int;
   mutable forks : int;
@@ -153,7 +167,7 @@ let validate ctx events =
   let lookup d =
     match Hashtbl.find_opt overlay d with
     | Some v -> v
-    | None -> Option.value ~default:0 (Hashtbl.find_opt ctx.seen d)
+    | None -> Seen.visits ctx.seen d
   in
   let rec go paths = function
     | [] -> true
@@ -191,10 +205,8 @@ let commit ctx events =
           emit ctx (E_decision d)
         end
         else begin
-          let visits =
-            Option.value ~default:0 (Hashtbl.find_opt ctx.seen d.d_digest)
-          in
-          Hashtbl.replace ctx.seen d.d_digest (visits + 1);
+          let visits = Seen.visits ctx.seen d.d_digest in
+          Seen.set ctx.seen d.d_digest (visits + 1);
           (match ctx.registry with
           | Some reg when visits = 0 ->
             Hashtbl.replace reg d.d_digest (ref d.d_cont)
@@ -229,11 +241,13 @@ let rec explore ctx acc len =
     let spec =
       match ctx.sched with
       | Some s when Parallel.Pool.size s.pool > 1 ->
-        let seen_copy = Hashtbl.copy ctx.seen in
+        (* O(1) freeze-push: the child reads the frozen chain, the
+           parent keeps writing into a fresh private layer. *)
+        let seen_child = Seen.fork ctx.seen in
         Some
           ( s.pool,
             Parallel.Pool.async s.pool (fun () ->
-                run_spec ctx.cfg s seen_copy snap len) )
+                run_spec ctx.cfg s seen_child snap len) )
       | _ -> None
     in
     let not_taken = branch ctx snap Tri.Zero len in
@@ -262,8 +276,8 @@ and branch ctx snap v len =
   Engine.force_fork e v;
   let c = Engine.finish_cycle e in
   bump_cycles ctx 1;
-  let d = Engine.arch_digest e in
-  let visits = Option.value ~default:0 (Hashtbl.find_opt ctx.seen d) in
+  let d = arch_digest e in
+  let visits = Seen.visits ctx.seen d in
   if visits > ctx.cfg.revisit_limit then begin
     emit ctx (E_decision { d_digest = d; d_cut = true; d_cont = Trace.End_path });
     ctx.dedup_hits <- ctx.dedup_hits + 1;
@@ -271,7 +285,7 @@ and branch ctx snap v len =
     Trace.Run { cycles = [| c |]; next = Trace.Seen d }
   end
   else begin
-    Hashtbl.replace ctx.seen d (visits + 1);
+    Seen.set ctx.seen d (visits + 1);
     let dec = { d_digest = d; d_cut = false; d_cont = Trace.End_path } in
     emit ctx (E_decision dec);
     let node =
@@ -299,13 +313,13 @@ and branch ctx snap v len =
   end
 
 (* Speculative taken-branch exploration on a worker domain. *)
-and run_spec cfg sched seen_copy snap len =
+and run_spec cfg sched seen_child snap len =
   let ctx =
     {
       auth = false;
       cfg;
       engine = replica_of sched;
-      seen = seen_copy;
+      seen = seen_child;
       registry = None;
       paths = 0;
       forks = 0;
@@ -337,7 +351,7 @@ let run ?pool e config =
       auth = true;
       cfg = config;
       engine = e;
-      seen = Hashtbl.create 256;
+      seen = Seen.create ();
       registry = Some registry;
       paths = 0;
       forks = 0;

@@ -1,0 +1,33 @@
+(* Zobrist-style incremental state hashing over OCaml's native ints.
+
+   The dedup digest of Algorithm 1 only needs a hash that (a) is equal
+   for equal architectural states and (b) collides with negligible
+   probability for distinct ones. XOR-accumulating one well-mixed key
+   per (slot, value) pair gives exactly that, and makes the digest
+   maintainable in O(changed slots) per cycle: flipping slot [s] from
+   [a] to [b] is [h lxor key s a lxor key s b].
+
+   Mixing is a splitmix64-shaped finalizer restricted to 62-bit odd
+   multipliers (OCaml int literals cannot carry the canonical 64-bit
+   constants); native int multiplication wraps modulo 2^63, which is
+   all a hash needs. *)
+
+let mix z =
+  let z = z lxor (z lsr 30) in
+  let z = z * 0x2545F4914F6CDD1D in
+  let z = z lxor (z lsr 27) in
+  let z = z * 0x1A85EC53B87A6E55 in
+  z lxor (z lsr 31)
+
+(* [key slot v] — the Zobrist key of value [v] in slot [slot]. Distinct
+   (slot, v) pairs get independent-looking keys; generation is
+   deterministic, so engine replicas agree without sharing tables. *)
+let key slot v = mix (((slot * 3) + v) lxor 0x51CC517CC1B7)
+
+(* [word_key i w] — key of a packed word-sized payload [w] in slot [i]
+   (used for RAM words, where tabulating every value is impossible). *)
+let word_key i w = mix ((i lsl 33) lxor w lxor 0x3EA3A37EA3)
+
+(* Render a combined hash as a stable digest string. [%x] prints the
+   two's-complement 63-bit pattern, so negatives round-trip fine. *)
+let to_digest h = Printf.sprintf "%016x" (mix h)

@@ -1,0 +1,19 @@
+(** Zobrist-style incremental hashing for dedup digests.
+
+    XOR-accumulate {!key}/{!word_key} values per state slot; updating a
+    slot is two XORs, so a full-state digest is maintained in O(changed
+    slots) per cycle instead of rehashing the state. Key generation is
+    deterministic — engine replicas on other domains compute identical
+    digests without sharing tables. *)
+
+(** Splitmix-shaped finalizer on the native int domain. *)
+val mix : int -> int
+
+(** [key slot v] — key of small value [v] (a trit code) in [slot]. *)
+val key : int -> int -> int
+
+(** [word_key i w] — key of packed word payload [w] in slot [i]. *)
+val word_key : int -> int -> int
+
+(** Stable printable digest of an accumulated hash. *)
+val to_digest : int -> string

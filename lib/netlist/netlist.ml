@@ -52,7 +52,11 @@ type t = {
   dffs : int array;
   inputs : int array;
   fanouts : int array array;
+  levels : int array;
+  level_starts : int array;
 }
+
+let level_count nl = Array.length nl.level_starts - 1
 
 let gate_count nl = Array.length nl.gates
 let dff_count nl = Array.length nl.dffs
@@ -210,10 +214,47 @@ module Builder = struct
     for id = 0 to n - 1 do
       visit id []
     done;
-    (* Dff data inputs participate in no combinational cycle check beyond
-       their cone, which [visit] already covered from each gate. Also walk
-       them so purely-registered cones are ordered. *)
-    let topo = Array.of_list (List.rev !order) in
+    let ncomb = List.length !order in
+    (* Logic levels: sources (inputs, constants, flops) are level 0; a
+       combinational gate sits one level past its deepest fanin. Ids are
+       dependency-ordered for combinational gates (the builder rejects
+       forward combinational fanins), so one ascending pass suffices. *)
+    let levels = Array.make n 0 in
+    let max_level = ref 0 in
+    for id = 0 to n - 1 do
+      let g = gates.(id) in
+      match g.cell with
+      | Input | Const _ | Dff | Dffe -> ()
+      | Buf | Inv | And2 | Or2 | Nand2 | Nor2 | Xor2 | Xnor2 | Mux2 ->
+        let lv =
+          Array.fold_left (fun m f -> max m (levels.(f) + 1)) 1 g.fanins
+        in
+        levels.(id) <- lv;
+        if lv > !max_level then max_level := lv
+    done;
+    (* The evaluation order is partitioned by level (counting sort, ids
+       ascending within a level) — still a valid topological order, and
+       the compiled simulation kernel relies on the partitioning to keep
+       its dirty bits clustered. [level_starts] has [max_level + 2]
+       entries: level [l]'s combinational gates are
+       [topo.(level_starts.(l)) .. topo.(level_starts.(l+1) - 1)]
+       (levels 0 holds no combinational gate, so its range is empty). *)
+    let level_starts = Array.make (!max_level + 2) 0 in
+    for id = 0 to n - 1 do
+      if levels.(id) > 0 then
+        level_starts.(levels.(id) + 1) <- level_starts.(levels.(id) + 1) + 1
+    done;
+    for l = 1 to !max_level + 1 do
+      level_starts.(l) <- level_starts.(l) + level_starts.(l - 1)
+    done;
+    let topo = Array.make ncomb 0 in
+    let fill_pos = Array.copy level_starts in
+    for id = 0 to n - 1 do
+      if levels.(id) > 0 then begin
+        topo.(fill_pos.(levels.(id))) <- id;
+        fill_pos.(levels.(id)) <- fill_pos.(levels.(id)) + 1
+      end
+    done;
     let dffs =
       Array.of_seq
         (Seq.filter
@@ -248,6 +289,8 @@ module Builder = struct
       dffs;
       inputs;
       fanouts;
+      levels;
+      level_starts;
     }
 end
 

@@ -41,14 +41,26 @@ type t = private {
   gates : gate array;
   module_names : string array;
   net_names : (string * int) list;  (** probe name -> net id *)
-  topo : int array;  (** combinational gates, fanins-first order *)
+  topo : int array;
+      (** combinational gates, fanins-first order, partitioned by logic
+          level (see {!field-level_starts}); ids ascend within a level *)
   dffs : int array;
   inputs : int array;
   fanouts : int array array;  (** per net: ids of gates reading it *)
+  levels : int array;
+      (** logic level per gate: 0 for sources (inputs, constants,
+          flops), [1 + max fanin level] for combinational gates *)
+  level_starts : int array;
+      (** level [l]'s combinational gates are
+          [topo.(level_starts.(l)) .. topo.(level_starts.(l+1) - 1)];
+          length is [level_count + 1] *)
 }
 
 val gate_count : t -> int
 val dff_count : t -> int
+
+(** Number of logic levels (deepest combinational level + 1). *)
+val level_count : t -> int
 val find_net : t -> string -> int
 
 (** [module_of nl id] is the module name of gate [id]. *)

@@ -299,6 +299,45 @@ let test_regress_direction () =
   Alcotest.(check bool) "halved speedup is positive pct" true (sp.pct > 0.);
   Alcotest.(check bool) "and flagged" true sp.regression
 
+let test_regress_gated () =
+  (* two regressions: one on a gated benchmark row, one elsewhere — only
+     the gated one survives the filter *)
+  let base =
+    {
+      base_record with
+      results =
+        [ ("symbolic-analysis-tea8-j1", 100.); ("cpu-elaboration", 100.) ];
+    }
+  in
+  let cur =
+    {
+      base with
+      Explain.Regress.label = "cur";
+      results =
+        [ ("symbolic-analysis-tea8-j1", 200.); ("cpu-elaboration", 200.) ];
+    }
+  in
+  let deltas =
+    Explain.Regress.compare_records ~tolerance_pct:25. ~base ~cur ()
+  in
+  let metrics ds =
+    List.map (fun (d : Explain.Regress.delta) -> d.metric) ds
+  in
+  Alcotest.(check (list string))
+    "gate keeps only matching regressions"
+    [ "ns_per_run:symbolic-analysis-tea8-j1" ]
+    (metrics
+       (Explain.Regress.gated
+          ~gates:[ "symbolic-analysis"; "concrete-100-cycles" ]
+          deltas));
+  Alcotest.(check (list string))
+    "empty gate list means everything gates"
+    (metrics (Explain.Regress.regressions deltas))
+    (metrics (Explain.Regress.gated ~gates:[] deltas));
+  Alcotest.(check (list string))
+    "non-matching gate passes everything" []
+    (metrics (Explain.Regress.gated ~gates:[ "no-such-row" ] deltas))
+
 let test_regress_history_roundtrip () =
   let line =
     Explain.Ejson.to_string (Explain.Regress.to_history_json base_record)
@@ -339,6 +378,7 @@ let () =
             test_regress_detects_injection;
           Alcotest.test_case "direction normalization" `Quick
             test_regress_direction;
+          Alcotest.test_case "gated filtering" `Quick test_regress_gated;
           Alcotest.test_case "history round-trip" `Quick
             test_regress_history_roundtrip;
         ] );
