@@ -14,8 +14,9 @@
    `micro` writes the machine-readable BENCH_micro.json snapshot and
    appends a timestamped record to BENCH_history.jsonl, so the perf
    trajectory accumulates across runs; `compare` diffs two such records
-   (ns/run, phase seconds, cache speedup) against --tolerance and exits
-   nonzero on a regression — CI runs it against the committed baseline.
+   (ns/run, phase seconds, cache and parallel speedup) against
+   --tolerance and exits nonzero on a regression — CI runs it against
+   the committed baseline.
 
    The knobs (-j/--jobs, --cache-dir, --no-cache, --trace, --stats) are
    the same ones the xbound CLI takes, defined once in [Cliterm]. *)
@@ -36,7 +37,8 @@ let list_experiments () =
 (* Machine-readable mirror of the console output, so the perf trajectory
    is trackable across commits: run with -j 1 and -j N and compare the
    two files. *)
-let write_bench_json entries cycles_per_run ~cache_json ~phases_json =
+let write_bench_json entries cycles_per_run ~cache_json ~phases_json
+    ~parallel_jobs ~parallel_speedup =
   let oc = open_out "BENCH_micro.json" in
   Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"results\": [\n"
     (Parallel.default_jobs ());
@@ -54,8 +56,17 @@ let write_bench_json entries cycles_per_run ~cache_json ~phases_json =
         name ns runs_per_s cyc
         (if i = last then "" else ","))
     entries;
-  Printf.fprintf oc "  ],\n  \"phases\": %s,\n  \"cache\": %s\n}\n" phases_json
-    cache_json;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"phases\": %s,\n\
+    \  \"cache\": %s,\n\
+    \  \"parallel_jobs\": %d,\n\
+    \  \"parallel_speedup\": %s\n\
+     }\n"
+    phases_json cache_json parallel_jobs
+    (match parallel_speedup with
+    | Some s -> Printf.sprintf "%.3f" s
+    | None -> "null");
   close_out oc;
   prerr_endline "wrote BENCH_micro.json"
 
@@ -152,6 +163,26 @@ let micro ~smoke () =
     Test.make ~name:"symbolic-analysis-tea8-j1"
       (Staged.stage (fun () -> ignore (Core.Analyze.run ~pool:seq_pool pa cpu img)))
   in
+  (* Task-parallel exploration at the machine's worker count. The row
+     name is a fixed literal ("-jN", not "-j8") so records from
+     machines with different core counts still pair up in `bench
+     compare`; the actual N travels as parallel_jobs, and compare only
+     diffs parallel_speedup when both records used the same N. *)
+  let par_jobs = Parallel.default_jobs () in
+  let par_pool = Parallel.Pool.create ~jobs:par_jobs in
+  let symbolic_tree_par =
+    Test.make ~name:"symbolic-analysis-tea8-jN"
+      (Staged.stage (fun () -> ignore (Core.Analyze.run ~pool:par_pool pa cpu img)))
+  in
+  (* div is the fork-heavy benchmark (tea8 never forks), so this is the
+     one row whose inner loop actually exercises fork spawning and the
+     gang-stepped sibling lanes. *)
+  let img_div = Benchprogs.Bench.assemble (Benchprogs.Bench.find "div") in
+  let symbolic_div =
+    Test.make ~name:"symbolic-analysis-div-j1"
+      (Staged.stage (fun () ->
+           ignore (Core.Analyze.run ~pool:seq_pool pa cpu img_div)))
+  in
   (* One fully instrumented, uncached reference analysis: its per-phase
      wall-time breakdown is mirrored into BENCH_micro.json, and the same
      run is exported as a Chrome trace for the CI artifact. *)
@@ -192,6 +223,7 @@ let micro ~smoke () =
       ("concrete-100-cycles", 102.);
       ("symbolic-analysis-tea8", sym_cycles);
       ("symbolic-analysis-tea8-j1", sym_cycles);
+      ("symbolic-analysis-tea8-jN", sym_cycles);
       ("algorithm2-peak-power", float_of_int (Array.length a.Core.Analyze.flattened));
     ]
   in
@@ -212,10 +244,26 @@ let micro ~smoke () =
             collected := (name, est) :: !collected
           | _ -> Printf.printf "%-28s (no estimate)\n" name)
         results)
-    [ concrete_step; symbolic_tree; symbolic_tree_seq; peak_power; cpu_build ];
+    [
+      concrete_step; symbolic_tree; symbolic_tree_seq; symbolic_tree_par;
+      symbolic_div; peak_power; cpu_build;
+    ];
   let cache_json, cold_s, warm_s, speedup = bench_cache pa cpu img in
   let entries = List.rev !collected in
-  write_bench_json entries cycles_per_run ~cache_json ~phases_json;
+  let parallel_speedup =
+    match
+      ( List.assoc_opt "symbolic-analysis-tea8-j1" entries,
+        List.assoc_opt "symbolic-analysis-tea8-jN" entries )
+    with
+    | Some j1, Some jn when jn > 0. -> Some (j1 /. jn)
+    | _ -> None
+  in
+  (match parallel_speedup with
+  | Some s ->
+    Printf.printf "%-28s %.2fx at -j%d\n" "parallel-speedup-tea8" s par_jobs
+  | None -> ());
+  write_bench_json entries cycles_per_run ~cache_json ~phases_json
+    ~parallel_jobs:par_jobs ~parallel_speedup;
   append_history
     {
       Explain.Regress.label = "micro";
@@ -226,6 +274,8 @@ let micro ~smoke () =
       cache_cold_s = Some cold_s;
       cache_warm_s = Some warm_s;
       cache_speedup = Some speedup;
+      parallel_jobs = Some par_jobs;
+      parallel_speedup;
     }
 
 (* ---------------- ablations (DESIGN.md §5) ---------------- *)

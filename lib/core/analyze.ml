@@ -92,8 +92,10 @@ let run ?(config = default_config) ?pool ?cache pa cpu (image : Isa.Asm.image) =
     let e = engine_for cpu image ~symbolic:true in
     let sym_config =
       {
-        Gatesim.Sym.is_end = Cpu.is_end_cycle ~halt_addr:image.Isa.Asm.halt_addr;
-        max_cycles_per_path = config.max_cycles_per_path;
+        (Gatesim.Sym.default_config
+           ~is_end:(Cpu.is_end_cycle ~halt_addr:image.Isa.Asm.halt_addr))
+        with
+        Gatesim.Sym.max_cycles_per_path = config.max_cycles_per_path;
         max_paths = config.max_paths;
         revisit_limit = config.revisit_limit;
       }

@@ -10,6 +10,8 @@ type record = {
   cache_cold_s : float option;
   cache_warm_s : float option;
   cache_speedup : float option;
+  parallel_jobs : int option;
+  parallel_speedup : float option;
 }
 
 let of_json ?(label = "<json>") j =
@@ -49,6 +51,9 @@ let of_json ?(label = "<json>") j =
         cache_cold_s = cache "cold_s";
         cache_warm_s = cache "warm_s";
         cache_speedup = cache "speedup";
+        parallel_jobs =
+          Option.map int_of_float (Ejson.float_member "parallel_jobs" j);
+        parallel_speedup = Ejson.float_member "parallel_speedup" j;
       }
   | _ -> Error (label ^ ": bench record is not a JSON object")
 
@@ -96,6 +101,8 @@ let to_history_json r =
             ("warm_s", opt_num r.cache_warm_s);
             ("speedup", opt_num r.cache_speedup);
           ] );
+      ("parallel_jobs", opt_num (Option.map float_of_int r.parallel_jobs));
+      ("parallel_speedup", opt_num r.parallel_speedup);
     ]
 
 (* ---------------- comparison ---------------- *)
@@ -147,9 +154,19 @@ let compare_records ?(min_phase_s = 1e-3) ~tolerance_pct ~base ~cur () =
       [ delta_of ~tolerance_pct ~slow_is_high:false "cache.speedup" v0 v1 ]
     | _ -> []
   in
+  (* Only comparable when both records measured the same job count. *)
+  let par =
+    match
+      (base.parallel_speedup, cur.parallel_speedup, base.parallel_jobs,
+       cur.parallel_jobs)
+    with
+    | Some v0, Some v1, j0, j1 when j0 = j1 ->
+      [ delta_of ~tolerance_pct ~slow_is_high:false "parallel.speedup" v0 v1 ]
+    | _ -> []
+  in
   List.sort
     (fun a b -> Float.compare b.pct a.pct)
-    (results @ phases @ cache)
+    (results @ phases @ cache @ par)
 
 let regressions = List.filter (fun d -> d.regression)
 

@@ -18,6 +18,12 @@ type record = {
   cache_cold_s : float option;
   cache_warm_s : float option;
   cache_speedup : float option;
+  parallel_jobs : int option;
+      (** worker count of the [-jN] symbolic row, for cross-machine
+          comparability of [parallel_speedup] *)
+  parallel_speedup : float option;
+      (** symbolic-analysis ns/run at -j1 divided by -jN (higher is
+          better); regresses downward, like [cache_speedup] *)
 }
 
 val of_json : ?label:string -> Ejson.t -> (record, string) result

@@ -1,6 +1,6 @@
 (* Visit counts for dedup digests, as a parent-chained overlay.
 
-   The speculative scheduler in [Sym] hands the taken branch of every
+   The task-parallel explorer in [Sym] hands the taken branch of every
    fork to the pool together with the dedup state at that point. Copying
    the whole table per fork made fork cost scale with the number of
    distinct states visited; instead, [fork] freezes the current top
@@ -9,56 +9,78 @@
 
    Frozen layers are never written again, so sharing them with a child
    running on another domain is race-free by construction — the parent's
-   subsequent writes land in its new private top. Lookups walk top-down
-   and the first hit wins (a layer always stores the full visit count at
-   the time of the write, not an increment). Long chains are compacted
-   by merging the frozen layers into one fresh table, newest-first, so
-   lookup cost stays bounded without mutating anything shared. *)
+   subsequent writes land in its new private top. The freeze is explicit
+   and checked: every layer carries a [frozen] flag set at the moment it
+   becomes shared, [set] refuses to write a frozen layer, and compaction
+   asserts that everything it merges is frozen and that the merged
+   result — which sits in the (shareable) parent chain — is born frozen.
+   A future refactor that accidentally mutated a shared layer would trip
+   these checks deterministically instead of racing.
+
+   Lookups walk top-down and the first hit wins (a layer always stores
+   the full visit count at the time of the write, not an increment).
+   Long chains are compacted by merging the frozen layers into one fresh
+   table, newest-first, so lookup cost stays bounded without mutating
+   anything shared. *)
+
+type layer = {
+  tbl : (string, int) Hashtbl.t;
+  mutable frozen : bool;  (* set once, when the layer becomes shared *)
+}
 
 type t = {
-  mutable top : (string, int) Hashtbl.t;  (* private, mutable layer *)
-  mutable parents : (string, int) Hashtbl.t list;  (* frozen, newest first *)
+  mutable top : layer;  (* private, mutable layer *)
+  mutable parents : layer list;  (* frozen, newest first *)
 }
 
 let max_chain = 24
 
-let create () = { top = Hashtbl.create 256; parents = [] }
+let fresh_layer n = { tbl = Hashtbl.create n; frozen = false }
+
+let create () = { top = fresh_layer 256; parents = [] }
 
 let visits t d =
-  match Hashtbl.find_opt t.top d with
+  match Hashtbl.find_opt t.top.tbl d with
   | Some v -> v
   | None ->
     let rec go = function
       | [] -> 0
       | layer :: rest -> (
-        match Hashtbl.find_opt layer d with
+        match Hashtbl.find_opt layer.tbl d with
         | Some v -> v
         | None -> go rest)
     in
     go t.parents
 
-let set t d v = Hashtbl.replace t.top d v
+let set t d v =
+  if t.top.frozen then
+    invalid_arg "Seen.set: top layer is frozen (shared with a fork)";
+  Hashtbl.replace t.top.tbl d v
 
 let depth t = 1 + List.length t.parents
 
 (* Merge the frozen chain into one fresh table (newest layer wins); the
    old layers may still be referenced by live children, so they are
-   read, never touched. *)
+   read, never touched — the merged replacement is a new table. *)
 let compact t =
   if List.length t.parents > max_chain then begin
     let merged = Hashtbl.create 256 in
     List.iter
       (fun layer ->
+        assert layer.frozen;
         Hashtbl.iter
           (fun k v -> if not (Hashtbl.mem merged k) then Hashtbl.add merged k v)
-          layer)
+          layer.tbl)
       t.parents;
-    t.parents <- [ merged ]
+    (* Born frozen: it lives in the parent chain, which any later
+       [fork] shares wholesale. *)
+    t.parents <- [ { tbl = merged; frozen = true } ]
   end
 
 let fork t =
+  t.top.frozen <- true;
   let chain = t.top :: t.parents in
-  t.top <- Hashtbl.create 64;
+  t.top <- fresh_layer 64;
   t.parents <- chain;
   compact t;
-  { top = Hashtbl.create 64; parents = chain }
+  { top = fresh_layer 64; parents = chain }

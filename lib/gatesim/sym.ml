@@ -3,10 +3,17 @@ type config = {
   max_cycles_per_path : int;
   max_paths : int;
   revisit_limit : int;
+  gang_width : int;
 }
 
 let default_config ~is_end =
-  { is_end; max_cycles_per_path = 20_000; max_paths = 4_096; revisit_limit = 0 }
+  {
+    is_end;
+    max_cycles_per_path = 20_000;
+    max_paths = 4_096;
+    revisit_limit = 0;
+    gang_width = 16;
+  }
 
 type stats = {
   paths : int;
@@ -36,61 +43,6 @@ let do_reset e =
     ignore (Engine.step e : Trace.cycle)
   done
 
-(* ---------------------------------------------------------------------
-   Parallel exploration.
-
-   The DFS is parallelized by speculation: at every fork the taken
-   branch is packaged as a task (an O(1) engine snapshot + an O(1)
-   {!Seen.fork} of the dedup table) and handed to the pool while the
-   not-taken branch is explored inline — exactly the sequential order. A speculative task simulates
-   on a private engine replica and records an *event log*: every cycle
-   count, fork, path end and — crucially — every dedup decision (digest,
-   cut-or-expand). Because the simulation itself is deterministic, the
-   only way a speculative subtree can diverge from the sequential run is
-   through the [seen] table (a digest first reached by an *earlier*
-   sibling would have been a dedup cut). So at the join point the parent
-   validates the log against its authoritative table: if every decision
-   replays identically, the speculative subtree IS the sequential
-   subtree and its log is committed (counters bumped, table updated,
-   registry filled) without re-simulating anything; otherwise the log is
-   discarded and the branch re-explored inline. Either way the resulting
-   tree, stats and registry are bit-identical to the sequential run.
-
-   Speculative tasks cannot know the global path count, so they truncate
-   themselves once their *local* count crosses [max_paths] (the global
-   count is at least the local one, so the authoritative replay below is
-   guaranteed to raise [Path_limit] at or before the truncation point —
-   a truncated tree is never consumed). *)
-
-type decision = {
-  d_digest : string;
-  d_cut : bool;  (* dedup cut vs. expanded *)
-  mutable d_cont : Trace.node;
-      (* for expanded first visits: the continuation minus the fork
-         cycle, as stored in the registry; filled after exploration *)
-}
-
-type ev =
-  | E_cycles of int
-  | E_fork
-  | E_path_end
-  | E_decision of decision
-  | E_raised of exn  (* deterministic raise (cycle limit) at this point *)
-
-type spec_result = {
-  sr_events : ev list;  (* in DFS order *)
-  sr_node : Trace.node option;  (* None when truncated *)
-}
-
-(* Spec-local: abandon the speculation; the events so far stand. *)
-exception Cut_short
-
-type sched = {
-  pool : Parallel.Pool.t;
-  replicas : Engine.t option array;  (* one slot per pool worker *)
-  proto : Engine.t;  (* prototype for Engine.create_like *)
-}
-
 (* Digest computation is O(1) now (incremental Zobrist), but it sits on
    the per-fork hot path — keep it observable. *)
 let h_digest_ns = Telemetry.Histogram.make "sym.digest_ns"
@@ -105,199 +57,407 @@ let arch_digest e =
   end
   else Engine.arch_digest e
 
-type ctx = {
-  auth : bool;  (* authoritative (sequential-order) context *)
-  cfg : config;
-  engine : Engine.t;
-  seen : Seen.t;
-  registry : (string, Trace.node ref) Hashtbl.t option;  (* auth only *)
-  mutable paths : int;
-  mutable forks : int;
-  mutable dedup_hits : int;
-  mutable total_cycles : int;
-  mutable events : ev list;  (* reversed; speculative contexts only *)
-  sched : sched option;
+(* Fork-arm scheduling: spawned = handed to the pool as a stealable
+   task, inlined = kept on the spawning task's local stack. The
+   gang-width histogram records how many sibling branches each compiled
+   gang pass settled together. *)
+let c_spawned = Telemetry.Counter.make "sym.forks_spawned"
+let c_stolen = Telemetry.Counter.make "sym.forks_stolen"
+let c_inlined = Telemetry.Counter.make "sym.forks_inlined"
+let h_gang_width = Telemetry.Histogram.make "sym.gang_width"
+
+(* ---------------------------------------------------------------------
+   Task-parallel exploration with deferred sequential commit.
+
+   The exploration phase builds a *speculative arm tree*: every fork is
+   resolved immediately (both arms simulated one cycle on a scratch
+   engine, digested, and given a provisional cut-or-expand decision
+   against the exploring task's [Seen] overlay), and every expanded arm
+   becomes a [work] item — an O(1) boundary snapshot plus the tree node
+   it will fill in. Work items are directly stealable: when the pool is
+   hungry the taken arm is spawned as a task (with an O(1) {!Seen.fork}
+   of the overlay); otherwise both arms stay on the task's local LIFO
+   stack, which preserves depth-first order. A task with several local
+   branches packs them into the lanes of an {!Engine.Gang} and settles
+   them with one pass of the compiled kernel per cycle; a lone branch
+   runs on the scalar fast path. Tasks never block — they only simulate
+   and spawn — so every pool worker is either simulating or stealing.
+
+   Speculative dedup decisions may differ from the sequential run's
+   (each task only sees its own overlay chain), so after exploration a
+   *sequential commit walk* replays the tree in exact DFS order against
+   an authoritative digest table: an arm the table cuts is demoted (its
+   speculative subtree discarded — over-exploration costs wall-clock,
+   never correctness) and an arm the table expands but speculation cut
+   is patched up by sequential re-exploration from the arm's boundary
+   snapshot. The walk bumps all counters, fills the registry, and
+   raises the cycle/path limits exactly where the sequential explorer
+   would have, so the returned tree, registry, stats and exceptions are
+   bit-identical to the sequential run.
+
+   Global truncation is cooperative: a shared estimated-path counter
+   and a stop flag. Once the estimate crosses [max_paths] (or any
+   branch hits the cycle limit) tasks drain their remaining branches to
+   [T_unexplored] boundary snapshots and exit; the commit walk
+   re-explores any such snapshot it reaches before the (deterministic)
+   limit raise. *)
+
+type seg = {
+  mutable s_cycles_rev : Trace.cycle list;  (* newest first *)
+  mutable s_term : term;
 }
 
-let emit ctx e = if not ctx.auth then ctx.events <- e :: ctx.events
+and term =
+  | T_open  (* still being explored; never seen by the commit walk *)
+  | T_end  (* reached the application's halt cycle *)
+  | T_raise of exn  (* deterministic limit raise at this point *)
+  | T_fork of fork
+  | T_unexplored of { u_snap : Engine.snapshot; u_len : int }
+      (* drained by the stop flag; commit re-explores sequentially *)
 
-let bump_cycles ctx n =
-  ctx.total_cycles <- ctx.total_cycles + n;
-  emit ctx (E_cycles n)
+and fork = {
+  f_nt : arm;
+  f_tk : arm;
+  mutable f_fut : unit Parallel.Pool.future option;
+      (* the taken arm's task when it was spawned; awaited by the
+         commit walk before reading [f_tk.a_seg] *)
+}
 
-let count_fork ctx =
-  ctx.forks <- ctx.forks + 1;
-  emit ctx E_fork
+and arm = {
+  a_entry : Trace.cycle;  (* the resolved fork cycle *)
+  a_digest : string;  (* architectural digest after [a_entry] *)
+  a_snap : Engine.snapshot;  (* boundary state after [a_entry] *)
+  a_len : int;  (* path length including [a_entry] *)
+  a_cut : bool;  (* the speculative dedup decision *)
+  a_seg : seg;  (* continuation; only explored when [not a_cut] *)
+}
 
-let end_of_path ctx =
-  ctx.paths <- ctx.paths + 1;
-  emit ctx E_path_end;
-  if ctx.paths > ctx.cfg.max_paths then
-    if ctx.auth then
-      raise (Path_limit (Printf.sprintf "more than %d paths" ctx.cfg.max_paths))
-    else raise Cut_short
+(* An expanded arm (or the root) awaiting simulation. *)
+type work = { w_seg : seg; w_snap : Engine.snapshot; w_len : int }
 
-(* A deterministic raise: authoritative contexts raise it for real;
-   speculative ones record it and stop. *)
-let stop_raise ctx e =
-  if ctx.auth then raise e
-  else begin
-    emit ctx (E_raised e);
-    raise Cut_short
-  end
+type sched = {
+  cfg : config;
+  pool : Parallel.Pool.t option;
+  proto : Engine.t;
+  (* Per-worker scratch state, lazily built, each slot only ever touched
+     by its own domain (tasks never block, so a worker runs one task at
+     a time and helping cannot re-enter a slot mid-use). *)
+  scratch : Engine.t option array;
+  gangs : Engine.Gang.g option array;
+  stop : bool Atomic.t;
+  est_paths : int Atomic.t;
+      (* speculative path-end count; an over-estimate of the committed
+         count (demotions only shrink it), so crossing [max_paths] here
+         can only stop exploration the commit walk would truncate — or
+         patch up sequentially — anyway *)
+}
 
-(* Lazily build this worker's private engine replica. Each slot is only
-   ever touched by its own domain, so no locking is needed. *)
-let replica_of sched =
-  let i = Parallel.Pool.worker_index sched.pool in
-  match sched.replicas.(i) with
+(* Exploration state of one task: a Seen overlay shared by all its
+   local branches and a LIFO stack of pending arms. *)
+type tstate = {
+  t_seen : Seen.t;
+  mutable t_pending : work list;
+  mutable t_npending : int;
+}
+
+type lane = { l_seg : seg; mutable l_len : int }
+
+let gang_width_of cfg = max 1 (min 32 cfg.gang_width)
+
+let cycle_limit_exn cfg =
+  Path_limit
+    (Printf.sprintf "path exceeded %d cycles" cfg.max_cycles_per_path)
+
+let worker_slot sd =
+  match sd.pool with Some p -> Parallel.Pool.worker_index p | None -> 0
+
+let scratch_of sd =
+  let i = worker_slot sd in
+  match sd.scratch.(i) with
   | Some e -> e
   | None ->
-    let e = Engine.create_like sched.proto in
-    sched.replicas.(i) <- Some e;
+    let e = Engine.create_like sd.proto in
+    sd.scratch.(i) <- Some e;
     e
 
-(* Pass 1 (read-only): would the sibling's dedup decisions replay
-   identically on top of our current [seen] table? The overlay records
-   the visit counts the replay itself adds. Scanning stops early at a
-   path-count crossing or recorded raise — the commit pass will raise
-   there, so later events are unreachable either way. *)
-let validate ctx events =
-  let overlay : (string, int) Hashtbl.t = Hashtbl.create 32 in
-  let lookup d =
-    match Hashtbl.find_opt overlay d with
-    | Some v -> v
-    | None -> Seen.visits ctx.seen d
-  in
-  let rec go paths = function
-    | [] -> true
-    | E_cycles _ :: rest | E_fork :: rest -> go paths rest
-    | E_path_end :: rest ->
-      let paths = paths + 1 in
-      if paths > ctx.cfg.max_paths then true else go paths rest
-    | E_raised _ :: _ -> true
-    | E_decision d :: rest ->
-      let visits = lookup d.d_digest in
-      let cut = visits > ctx.cfg.revisit_limit in
-      if cut <> d.d_cut then false
-      else begin
-        if not cut then Hashtbl.replace overlay d.d_digest (visits + 1);
-        go paths rest
-      end
-  in
-  go ctx.paths events
+let gang_of sd =
+  let i = worker_slot sd in
+  match sd.gangs.(i) with
+  | Some g -> g
+  | None ->
+    let g = Engine.Gang.create sd.proto ~width:(gang_width_of sd.cfg) in
+    sd.gangs.(i) <- Some g;
+    g
 
-(* Pass 2: replay the validated events for real — counters, [seen]
-   updates, registry fills, and (in a parent speculation) re-emission
-   into its own log. [end_of_path]/[stop_raise] fire here exactly where
-   the sequential run would have raised. *)
-let commit ctx events =
+let note_path sd =
+  Atomic.incr sd.est_paths;
+  if Atomic.get sd.est_paths > sd.cfg.max_paths then Atomic.set sd.stop true
+
+let push_work ts w =
+  ts.t_pending <- w :: ts.t_pending;
+  ts.t_npending <- ts.t_npending + 1
+
+let pop_work ts =
+  match ts.t_pending with
+  | [] -> None
+  | w :: rest ->
+    ts.t_pending <- rest;
+    ts.t_npending <- ts.t_npending - 1;
+    Some w
+
+let drain_pending ts =
   List.iter
-    (fun ev ->
-      match ev with
-      | E_cycles n -> bump_cycles ctx n
-      | E_fork -> count_fork ctx
-      | E_path_end -> end_of_path ctx
-      | E_raised e -> stop_raise ctx e
-      | E_decision d ->
-        if d.d_cut then begin
-          ctx.dedup_hits <- ctx.dedup_hits + 1;
-          emit ctx (E_decision d)
-        end
-        else begin
-          let visits = Seen.visits ctx.seen d.d_digest in
-          Seen.set ctx.seen d.d_digest (visits + 1);
-          (match ctx.registry with
-          | Some reg when visits = 0 ->
-            Hashtbl.replace reg d.d_digest (ref d.d_cont)
-          | _ -> ());
-          emit ctx (E_decision d)
-        end)
-    events
+    (fun w ->
+      w.w_seg.s_term <- T_unexplored { u_snap = w.w_snap; u_len = w.w_len })
+    ts.t_pending;
+  ts.t_pending <- [];
+  ts.t_npending <- 0
 
-(* Explore from the current engine state. [acc] is the reversed list of
-   cycles of the current straight-line segment; [len] the path length so
-   far. Returns the node for this segment onward. *)
-let rec explore ctx acc len =
-  if len > ctx.cfg.max_cycles_per_path then
-    stop_raise ctx
-      (Path_limit
-         (Printf.sprintf "path exceeded %d cycles" ctx.cfg.max_cycles_per_path));
-  match Engine.begin_cycle ctx.engine with
-  | `Ok ->
-    let c = Engine.finish_cycle ctx.engine in
-    bump_cycles ctx 1;
-    let acc = c :: acc in
-    if ctx.cfg.is_end c then begin
-      end_of_path ctx;
-      Trace.Run { cycles = Array.of_list (List.rev acc); next = Trace.End_path }
-    end
-    else explore ctx acc (len + 1)
-  | `Fork ->
-    count_fork ctx;
-    let snap = Engine.snapshot ctx.engine in
-    (* Hand the taken branch to the pool before diving into the
-       not-taken branch (the sequential order) inline. *)
-    let spec =
-      match ctx.sched with
-      | Some s when Parallel.Pool.size s.pool > 1 ->
-        (* O(1) freeze-push: the child reads the frozen chain, the
-           parent keeps writing into a fresh private layer. *)
-        let seen_child = Seen.fork ctx.seen in
-        Some
-          ( s.pool,
-            Parallel.Pool.async s.pool (fun () ->
-                run_spec ctx.cfg s seen_child snap len) )
-      | _ -> None
-    in
-    let not_taken = branch ctx snap Tri.Zero len in
-    let taken =
-      match spec with
-      | None -> branch ctx snap Tri.One len
-      | Some (pool, fut) ->
-        let r = Parallel.Pool.await pool fut in
-        if validate ctx r.sr_events then begin
-          commit ctx r.sr_events;
-          (* [commit] raises at any truncation point, so a surviving
-             speculation always carries its tree. *)
-          match r.sr_node with
-          | Some n -> n
-          | None -> assert false
-        end
-        else branch ctx snap Tri.One len
-    in
-    Trace.Run
-      { cycles = Array.of_list (List.rev acc); next = Trace.Fork { not_taken; taken } }
-
-(* Resolve one fork arm from [snap] and explore it to completion. *)
-and branch ctx snap v len =
-  let e = ctx.engine in
-  Engine.restore e snap;
+(* Resolve one arm of a fork on [e] (positioned at the fork's settled
+   mid-cycle state): force the decision net, finish the cycle, take the
+   speculative dedup decision against the task's overlay. *)
+let resolve_arm sd ts e v len_at_fork =
   Engine.force_fork e v;
   let c = Engine.finish_cycle e in
-  bump_cycles ctx 1;
   let d = arch_digest e in
-  let visits = Seen.visits ctx.seen d in
-  if visits > ctx.cfg.revisit_limit then begin
-    emit ctx (E_decision { d_digest = d; d_cut = true; d_cont = Trace.End_path });
-    ctx.dedup_hits <- ctx.dedup_hits + 1;
-    end_of_path ctx;
-    Trace.Run { cycles = [| c |]; next = Trace.Seen d }
+  let snap = Engine.snapshot e in
+  let visits = Seen.visits ts.t_seen d in
+  let cut = visits > sd.cfg.revisit_limit in
+  if not cut then Seen.set ts.t_seen d (visits + 1);
+  let a =
+    {
+      a_entry = c;
+      a_digest = d;
+      a_snap = snap;
+      a_len = len_at_fork + 1;
+      a_cut = cut;
+      a_seg = { s_cycles_rev = []; s_term = T_open };
+    }
+  in
+  if cut then note_path sd
+  else if sd.cfg.is_end c then begin
+    a.a_seg.s_term <- T_end;
+    note_path sd
+  end;
+  a
+
+let needs_work a = (not a.a_cut) && a.a_seg.s_term == T_open
+
+(* A branch hit a fork: resolve both arms on the scratch engine, record
+   the fork node, and queue the arms — the taken arm first (spawned to
+   the pool when it is hungry), so the local LIFO pops the not-taken arm
+   next, preserving depth-first order. *)
+let rec resolve_fork sd ts seg mid_snap len_at_fork =
+  let e = scratch_of sd in
+  Engine.restore e mid_snap;
+  let nt = resolve_arm sd ts e Tri.Zero len_at_fork in
+  Engine.restore e mid_snap;
+  let tk = resolve_arm sd ts e Tri.One len_at_fork in
+  let fork = { f_nt = nt; f_tk = tk; f_fut = None } in
+  seg.s_term <- T_fork fork;
+  let work_of a = { w_seg = a.a_seg; w_snap = a.a_snap; w_len = a.a_len } in
+  if needs_work tk then begin
+    match sd.pool with
+    | Some p
+      when Parallel.Pool.size p > 1
+           && Parallel.Pool.queued p < Parallel.Pool.size p
+           && not (Atomic.get sd.stop) ->
+      Telemetry.Counter.incr c_spawned;
+      let child_seen = Seen.fork ts.t_seen in
+      let w = work_of tk in
+      let origin = Parallel.Pool.worker_index p in
+      fork.f_fut <-
+        Some
+          (Parallel.Pool.async p (fun () ->
+               if Parallel.Pool.worker_index p <> origin then
+                 Telemetry.Counter.incr c_stolen;
+               spawn_task sd child_seen w))
+    | _ ->
+      Telemetry.Counter.incr c_inlined;
+      push_work ts (work_of tk)
+  end;
+  if needs_work nt then push_work ts (work_of nt)
+
+(* Straight-line fast path: a lone branch simulates on the scalar
+   scratch engine with no gang overhead. *)
+and run_scalar sd ts w =
+  let e = scratch_of sd in
+  Engine.restore e w.w_snap;
+  let seg = w.w_seg in
+  let len = ref w.w_len in
+  let rec go () =
+    if Atomic.get sd.stop then
+      seg.s_term <- T_unexplored { u_snap = Engine.snapshot e; u_len = !len }
+    else if !len > sd.cfg.max_cycles_per_path then begin
+      seg.s_term <- T_raise (cycle_limit_exn sd.cfg);
+      Atomic.set sd.stop true
+    end
+    else
+      match Engine.begin_cycle e with
+      | `Ok ->
+        let c = Engine.finish_cycle e in
+        seg.s_cycles_rev <- c :: seg.s_cycles_rev;
+        if sd.cfg.is_end c then begin
+          seg.s_term <- T_end;
+          note_path sd
+        end
+        else begin
+          incr len;
+          go ()
+        end
+      | `Fork -> resolve_fork sd ts seg (Engine.snapshot e) !len
+  in
+  go ()
+
+(* Gang path: pack the pending branches into lanes and settle them all
+   with one compiled-kernel pass per cycle. Lanes retire on path end,
+   limit, or fork (forks re-queue their arms, refilling the gang). *)
+and run_gang sd ts =
+  let g = gang_of sd in
+  let lanes : lane option array = Array.make (Engine.Gang.width g) None in
+  let drain_lanes () =
+    Array.iteri
+      (fun i st ->
+        match st with
+        | Some st ->
+          st.l_seg.s_term <-
+            T_unexplored { u_snap = Engine.Gang.extract g i; u_len = st.l_len };
+          Engine.Gang.retire g i;
+          lanes.(i) <- None
+        | None -> ())
+      lanes
+  in
+  let refill () =
+    while
+      Engine.Gang.has_free g
+      && ts.t_npending > 0
+      && Engine.Gang.live_count g + ts.t_npending >= 2
+      && not (Atomic.get sd.stop)
+    do
+      match pop_work ts with
+      | None -> assert false
+      | Some w ->
+        if w.w_len > sd.cfg.max_cycles_per_path then begin
+          w.w_seg.s_term <- T_raise (cycle_limit_exn sd.cfg);
+          Atomic.set sd.stop true
+        end
+        else begin
+          let l = Engine.Gang.load g w.w_snap in
+          lanes.(l) <- Some { l_seg = w.w_seg; l_len = w.w_len }
+        end
+    done
+  in
+  let rec loop () =
+    if Atomic.get sd.stop then begin
+      drain_lanes ();
+      drain_pending ts
+    end
+    else begin
+      refill ();
+      let live = Engine.Gang.live_count g in
+      if live = 0 then ()  (* pending (if any) handled by the caller *)
+      else if live = 1 && ts.t_npending = 0 then
+        (* Lone survivor: evict to the scalar fast path. *)
+        Array.iteri
+          (fun i st ->
+            match st with
+            | Some st ->
+              push_work ts
+                {
+                  w_seg = st.l_seg;
+                  w_snap = Engine.Gang.extract g i;
+                  w_len = st.l_len;
+                };
+              Engine.Gang.retire g i;
+              lanes.(i) <- None
+            | None -> ())
+          lanes
+      else begin
+        if Telemetry.enabled () then
+          Telemetry.Histogram.observe h_gang_width (Int64.of_int live);
+        Engine.Gang.step g (fun l o ->
+            match lanes.(l) with
+            | None -> assert false
+            | Some st -> (
+              match o with
+              | Engine.Gang.Cycle c ->
+                st.l_seg.s_cycles_rev <- c :: st.l_seg.s_cycles_rev;
+                if sd.cfg.is_end c then begin
+                  st.l_seg.s_term <- T_end;
+                  note_path sd;
+                  Engine.Gang.retire g l;
+                  lanes.(l) <- None
+                end
+                else begin
+                  st.l_len <- st.l_len + 1;
+                  if st.l_len > sd.cfg.max_cycles_per_path then begin
+                    st.l_seg.s_term <- T_raise (cycle_limit_exn sd.cfg);
+                    Atomic.set sd.stop true;
+                    Engine.Gang.retire g l;
+                    lanes.(l) <- None
+                  end
+                end
+              | Engine.Gang.Forked snap ->
+                (* the gang auto-retired the lane *)
+                lanes.(l) <- None;
+                resolve_fork sd ts st.l_seg snap st.l_len));
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+and task_loop sd ts =
+  if Atomic.get sd.stop then drain_pending ts
+  else if ts.t_npending = 0 then ()
+  else if ts.t_npending = 1 || gang_width_of sd.cfg < 2 then begin
+    (match pop_work ts with
+    | Some w -> run_scalar sd ts w
+    | None -> ());
+    task_loop sd ts
   end
   else begin
-    Seen.set ctx.seen d (visits + 1);
-    let dec = { d_digest = d; d_cut = false; d_cont = Trace.End_path } in
-    emit ctx (E_decision dec);
-    let node =
-      if ctx.cfg.is_end c then begin
-        end_of_path ctx;
-        Trace.Run { cycles = [| c |]; next = Trace.End_path }
-      end
-      else explore ctx [ c ] (len + 1)
-    in
-    (* The registered continuation starts after cycle [c]; store the
-       subtree minus this first cycle so peak-energy lookups do not
-       double-count it. *)
+    run_gang sd ts;
+    task_loop sd ts
+  end
+
+and spawn_task sd seen w =
+  Telemetry.span ~cat:"sym" "explore" (fun () ->
+      let ts = { t_seen = seen; t_pending = []; t_npending = 0 } in
+      push_work ts w;
+      task_loop sd ts)
+
+(* ---------------------------------------------------------------------
+   Sequential commit walk: replays the speculative arm tree in exact
+   DFS order against an authoritative digest table, producing the same
+   tree, registry, stats and limit raises as the sequential explorer. *)
+
+type cctx = {
+  c_cfg : config;
+  c_engine : Engine.t;  (* the caller's engine, used for patch-ups *)
+  c_pool : Parallel.Pool.t option;
+  c_table : (string, int) Hashtbl.t;
+  c_registry : (string, Trace.node ref) Hashtbl.t;
+  mutable c_paths : int;
+  mutable c_forks : int;
+  mutable c_dedup : int;
+  mutable c_cycles : int;
+}
+
+let path_end cctx =
+  cctx.c_paths <- cctx.c_paths + 1;
+  if cctx.c_paths > cctx.c_cfg.max_paths then
+    raise
+      (Path_limit (Printf.sprintf "more than %d paths" cctx.c_cfg.max_paths))
+
+let table_visits cctx d =
+  match Hashtbl.find_opt cctx.c_table d with Some v -> v | None -> 0
+
+(* The registered continuation starts after the fork cycle; store the
+   subtree minus that first cycle so peak-energy lookups do not
+   double-count it. *)
+let register cctx d visits node =
+  if visits = 0 then begin
     let cont =
       match node with
       | Trace.Run { cycles; next } when Array.length cycles >= 1 ->
@@ -305,32 +465,117 @@ and branch ctx snap v len =
           { cycles = Array.sub cycles 1 (Array.length cycles - 1); next }
       | other -> other
     in
-    dec.d_cont <- cont;
-    (match ctx.registry with
-    | Some reg when visits = 0 -> Hashtbl.replace reg d (ref cont)
-    | _ -> ());
+    Hashtbl.replace cctx.c_registry d (ref cont)
+  end
+
+(* Sequential exploration on the main engine — re-explores subtrees the
+   parallel phase drained ([T_unexplored]) or under-explored (a
+   speculative cut the committed table expands). [acc] is the reversed
+   list of cycles of the current straight-line segment. *)
+let rec explore_seq cctx acc len =
+  if len > cctx.c_cfg.max_cycles_per_path then raise (cycle_limit_exn cctx.c_cfg);
+  match Engine.begin_cycle cctx.c_engine with
+  | `Ok ->
+    let c = Engine.finish_cycle cctx.c_engine in
+    cctx.c_cycles <- cctx.c_cycles + 1;
+    let acc = c :: acc in
+    if cctx.c_cfg.is_end c then begin
+      path_end cctx;
+      Trace.Run { cycles = Array.of_list (List.rev acc); next = Trace.End_path }
+    end
+    else explore_seq cctx acc (len + 1)
+  | `Fork ->
+    cctx.c_forks <- cctx.c_forks + 1;
+    let snap = Engine.snapshot cctx.c_engine in
+    let not_taken = branch_seq cctx snap Tri.Zero len in
+    let taken = branch_seq cctx snap Tri.One len in
+    Trace.Run
+      {
+        cycles = Array.of_list (List.rev acc);
+        next = Trace.Fork { not_taken; taken };
+      }
+
+and branch_seq cctx snap v len =
+  let e = cctx.c_engine in
+  Engine.restore e snap;
+  Engine.force_fork e v;
+  let c = Engine.finish_cycle e in
+  cctx.c_cycles <- cctx.c_cycles + 1;
+  let d = arch_digest e in
+  let visits = table_visits cctx d in
+  if visits > cctx.c_cfg.revisit_limit then begin
+    cctx.c_dedup <- cctx.c_dedup + 1;
+    path_end cctx;
+    Trace.Run { cycles = [| c |]; next = Trace.Seen d }
+  end
+  else begin
+    Hashtbl.replace cctx.c_table d (visits + 1);
+    let node =
+      if cctx.c_cfg.is_end c then begin
+        path_end cctx;
+        Trace.Run { cycles = [| c |]; next = Trace.End_path }
+      end
+      else explore_seq cctx [ c ] (len + 1)
+    in
+    register cctx d visits node;
     node
   end
 
-(* Speculative taken-branch exploration on a worker domain. *)
-and run_spec cfg sched seen_child snap len =
-  let ctx =
-    {
-      auth = false;
-      cfg;
-      engine = replica_of sched;
-      seen = seen_child;
-      registry = None;
-      paths = 0;
-      forks = 0;
-      dedup_hits = 0;
-      total_cycles = 0;
-      events = [];
-      sched = Some sched;
-    }
-  in
-  let node = try Some (branch ctx snap Tri.One len) with Cut_short -> None in
-  { sr_events = List.rev ctx.events; sr_node = node }
+let rec commit_seg cctx seg ~pre =
+  let own = List.rev seg.s_cycles_rev in
+  cctx.c_cycles <- cctx.c_cycles + List.length own;
+  let all = pre @ own in
+  match seg.s_term with
+  | T_open -> assert false
+  | T_raise e -> raise e
+  | T_end ->
+    path_end cctx;
+    Trace.Run { cycles = Array.of_list all; next = Trace.End_path }
+  | T_unexplored { u_snap; u_len } ->
+    Engine.restore cctx.c_engine u_snap;
+    explore_seq cctx (List.rev all) u_len
+  | T_fork f ->
+    cctx.c_forks <- cctx.c_forks + 1;
+    let not_taken = commit_arm cctx f.f_nt in
+    (* Join the spawned taken-arm task (helping while it runs) before
+       reading its tree; demoted subtrees are never awaited. *)
+    (match (f.f_fut, cctx.c_pool) with
+    | Some fut, Some p -> Parallel.Pool.await p fut
+    | _ -> ());
+    let taken = commit_arm cctx f.f_tk in
+    Trace.Run
+      { cycles = Array.of_list all; next = Trace.Fork { not_taken; taken } }
+
+and commit_arm cctx a =
+  cctx.c_cycles <- cctx.c_cycles + 1 (* the arm's entry cycle *);
+  let visits = table_visits cctx a.a_digest in
+  if visits > cctx.c_cfg.revisit_limit then begin
+    (* Possibly a demotion: the committed table cuts here even though
+       speculation expanded; the speculative subtree is discarded. *)
+    cctx.c_dedup <- cctx.c_dedup + 1;
+    path_end cctx;
+    Trace.Run { cycles = [| a.a_entry |]; next = Trace.Seen a.a_digest }
+  end
+  else begin
+    Hashtbl.replace cctx.c_table a.a_digest (visits + 1);
+    let node =
+      if a.a_cut then
+        (* Speculation cut here but the committed table expands (the
+           overlay entries it relied on were demoted): patch up by
+           exploring sequentially from the arm's boundary snapshot. *)
+        if cctx.c_cfg.is_end a.a_entry then begin
+          path_end cctx;
+          Trace.Run { cycles = [| a.a_entry |]; next = Trace.End_path }
+        end
+        else begin
+          Engine.restore cctx.c_engine a.a_snap;
+          explore_seq cctx [ a.a_entry ] a.a_len
+        end
+      else commit_seg cctx a.a_seg ~pre:[ a.a_entry ]
+    in
+    register cctx a.a_digest visits node;
+    node
+  end
 
 let run ?pool e config =
   if Engine.cycle_index e <> 0 then invalid_arg "Sym.run: engine not fresh";
@@ -339,35 +584,45 @@ let run ?pool e config =
      i.e. the previous-cycle baseline of the first recorded cycle. *)
   let initial = Engine.values_snapshot e in
   let registry : (string, Trace.node ref) Hashtbl.t = Hashtbl.create 256 in
-  let sched =
-    match pool with
-    | Some p when Parallel.Pool.size p > 1 ->
-      Some
-        { pool = p; replicas = Array.make (Parallel.Pool.size p) None; proto = e }
-    | _ -> None
-  in
-  let ctx =
+  let nslots = match pool with Some p -> Parallel.Pool.size p | None -> 1 in
+  let sd =
     {
-      auth = true;
       cfg = config;
-      engine = e;
-      seen = Seen.create ();
-      registry = Some registry;
-      paths = 0;
-      forks = 0;
-      dedup_hits = 0;
-      total_cycles = 0;
-      events = [];
-      sched;
+      pool;
+      proto = e;
+      scratch = Array.make nslots None;
+      gangs = Array.make nslots None;
+      stop = Atomic.make false;
+      est_paths = Atomic.make 0;
     }
   in
-  let root = explore ctx [] 0 in
+  let root_seg = { s_cycles_rev = []; s_term = T_open } in
+  (* Ensure abandoned speculative tasks (demoted subtrees are never
+     joined) drain promptly once the result — or a limit raise — is
+     decided. *)
+  Fun.protect ~finally:(fun () -> Atomic.set sd.stop true) @@ fun () ->
+  spawn_task sd (Seen.create ())
+    { w_seg = root_seg; w_snap = Engine.snapshot e; w_len = 0 };
+  let cctx =
+    {
+      c_cfg = config;
+      c_engine = e;
+      c_pool = pool;
+      c_table = Hashtbl.create 256;
+      c_registry = registry;
+      c_paths = 0;
+      c_forks = 0;
+      c_dedup = 0;
+      c_cycles = 0;
+    }
+  in
+  let root = commit_seg cctx root_seg ~pre:[] in
   ( { Trace.root; registry; initial },
     {
-      paths = ctx.paths;
-      forks = ctx.forks;
-      dedup_hits = ctx.dedup_hits;
-      total_cycles = ctx.total_cycles;
+      paths = cctx.c_paths;
+      forks = cctx.c_forks;
+      dedup_hits = cctx.c_dedup;
+      total_cycles = cctx.c_cycles;
     } )
 
 let run_concrete e ~is_end ~max_cycles =

@@ -17,6 +17,10 @@ type config = {
   revisit_limit : int;
       (** how many times a previously-seen state may be re-explored
           (bounded unrolling for input-dependent loops); 0 = always cut *)
+  gang_width : int;
+      (** how many sibling branches one task packs into an
+          {!Engine.Gang} and settles per compiled-kernel pass (clamped
+          to 1..32; 1 disables gang simulation) *)
 }
 
 val default_config : is_end:(Trace.cycle -> bool) -> config
@@ -33,11 +37,15 @@ exception Path_limit of string
 (** [run ?pool engine config] — symbolic execution from reset to the end
     of every path. The engine must be fresh (cycle 0).
 
-    With [pool] (of size > 1), fork branches are explored speculatively
-    on worker domains (private engine replicas) and validated against
-    the authoritative dedup table at the join, so the returned tree,
-    registry and stats are bit-identical to the sequential run; without
-    it (or with a size-1 pool) exploration is strictly sequential. *)
+    Exploration is task-parallel: every fork arm is a stealable task
+    (O(1) snapshot + O(1) dedup-overlay fork) and a task's local sibling
+    branches are gang-simulated in the lanes of one compiled kernel
+    pass. Dedup decisions taken during exploration are speculative; a
+    sequential commit walk then replays the tree in DFS order against
+    an authoritative table — demoting over-explored arms and sequentially
+    patching up under-explored ones — so the returned tree, registry,
+    stats and limit raises are bit-identical to the sequential run
+    regardless of [pool] size or scheduling. *)
 val run : ?pool:Parallel.Pool.t -> Engine.t -> config -> Trace.tree * stats
 
 (** [run_concrete engine ~is_end ~max_cycles] — single-path concrete

@@ -117,6 +117,7 @@ module Pool = struct
     | None -> 0
 
   let size t = t.size
+  let queued t = Atomic.get t.pending
 
   (* Own deque first (LIFO), then sweep the others (FIFO steal). *)
   let find_task pool me =

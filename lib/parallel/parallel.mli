@@ -27,6 +27,11 @@ module Pool : sig
       fully sequential. *)
   val size : t -> int
 
+  (** Number of queued (submitted, not yet dequeued) tasks right now.
+      Racy by nature — a cheap load of the pending counter, meant for
+      spawn heuristics ("is the pool hungry?"), not synchronization. *)
+  val queued : t -> int
+
   (** Signals workers to stop (after draining their deques) and joins
       them. Idempotent. *)
   val shutdown : t -> unit

@@ -175,6 +175,152 @@ let test_random_netlists () =
       ds
   done
 
+(* ---------------- gang vs scalar lockstep ---------------- *)
+
+(* Every gang lane is paired with a scalar twin engine started from the
+   same snapshot. Each [Gang.step] must produce exactly the cycle
+   records the twins produce, lanes must fork exactly when their twin
+   forks, and snapshots extracted from the gang — mid-cycle at forks,
+   cycle-boundary on retirement — must restore into scalar engines whose
+   full net planes and arch digests match the twin bit for bit. Lanes
+   retire on forks and random evictions and are refilled with freshly
+   diverged warmup states, so load/retire/refill runs against lanes
+   holding dead garbage. *)
+let gang_lockstep ~trial ~k ~forks_seen =
+  let rng = Random.State.make [| 0x9a69; trial; k |] in
+  let nl, ports0 = random_design rng in
+  (* A random net as branch-decision net so lanes fork and retire, and a
+     (sometimes) live write enable so the per-lane memory write path is
+     exercised too. *)
+  let ports =
+    {
+      ports0 with
+      Gatesim.Engine.fork_net =
+        Some ports0.Gatesim.Engine.pc.(Random.State.int rng 4);
+      mem_wen =
+        (if Random.State.bool rng then ports0.Gatesim.Engine.port_in.(1)
+         else ports0.Gatesim.Engine.mem_wen);
+    }
+  in
+  let mk () = Gatesim.Mem.create ~rom:[] ~ram_base:0x1000 ~ram_bytes:64 in
+  let proto = Gatesim.Engine.create nl ~ports ~mem:(mk ()) in
+  let gang = Gatesim.Engine.Gang.create proto ~width:k in
+  let twins = Array.make 32 None in
+  let msg tag l cyc =
+    Printf.sprintf "trial %d k=%d %s lane %d step %d" trial k tag l cyc
+  in
+  (* Run a fresh engine for a random number of cycles under random
+     drives (resolving any forks arbitrarily), freeze its final drive
+     levels, and install the resulting state in both a gang lane and a
+     scalar twin. *)
+  let warmup_and_load () =
+    let e = Gatesim.Engine.create nl ~ports ~mem:(mk ()) in
+    let drives () =
+      Gatesim.Engine.set_reset e (random_trit rng);
+      Gatesim.Engine.set_port_in e (Array.init 8 (fun _ -> random_trit rng))
+    in
+    for _ = 1 to 1 + Random.State.int rng 5 do
+      drives ();
+      (match Gatesim.Engine.begin_cycle e with
+      | `Ok -> ()
+      | `Fork ->
+        Gatesim.Engine.force_fork e
+          (if Random.State.bool rng then Tri.Zero else Tri.One));
+      ignore (Gatesim.Engine.finish_cycle e)
+    done;
+    drives ();
+    let s = Gatesim.Engine.snapshot e in
+    let l = Gatesim.Engine.Gang.load gang s in
+    twins.(l) <- Some (Gatesim.Engine.of_snapshot proto s)
+  in
+  let check_extract tag l step snap =
+    let twin = Option.get twins.(l) in
+    let a = Gatesim.Engine.of_snapshot proto snap in
+    Alcotest.(check (array int))
+      (msg tag l step ^ ": values")
+      (Gatesim.Engine.values_snapshot twin)
+      (Gatesim.Engine.values_snapshot a);
+    Alcotest.(check string)
+      (msg tag l step ^ ": digest")
+      (Gatesim.Engine.arch_digest twin)
+      (Gatesim.Engine.arch_digest a)
+  in
+  for _ = 1 to k do
+    warmup_and_load ()
+  done;
+  for step = 1 to 40 do
+    let outcomes = ref [] in
+    Gatesim.Engine.Gang.step gang (fun l o -> outcomes := (l, o) :: !outcomes);
+    List.iter
+      (fun (l, o) ->
+        let twin = Option.get twins.(l) in
+        match o with
+        | Gatesim.Engine.Gang.Cycle cg ->
+          (match Gatesim.Engine.begin_cycle twin with
+          | `Ok -> ()
+          | `Fork -> Alcotest.fail (msg "twin forked, lane did not" l step));
+          check_cycle (msg "cycle" l step) cg (Gatesim.Engine.finish_cycle twin)
+        | Gatesim.Engine.Gang.Forked snap ->
+          incr forks_seen;
+          (match Gatesim.Engine.begin_cycle twin with
+          | `Fork -> ()
+          | `Ok -> Alcotest.fail (msg "lane forked, twin did not" l step));
+          (* Resolve the fork both ways from the extracted mid-cycle
+             snapshot and from the twin's own mid-cycle state: the
+             continuations must agree bit for bit. *)
+          let st = Gatesim.Engine.snapshot twin in
+          List.iter
+            (fun v ->
+              let a = Gatesim.Engine.of_snapshot proto snap in
+              Gatesim.Engine.restore twin st;
+              Gatesim.Engine.force_fork a v;
+              Gatesim.Engine.force_fork twin v;
+              let ca = Gatesim.Engine.finish_cycle a in
+              let ct = Gatesim.Engine.finish_cycle twin in
+              check_cycle (msg "fork continuation" l step) ca ct;
+              Alcotest.(check string)
+                (msg "fork digest" l step)
+                (Gatesim.Engine.arch_digest twin)
+                (Gatesim.Engine.arch_digest a);
+              Alcotest.(check (array int))
+                (msg "fork values" l step)
+                (Gatesim.Engine.values_snapshot twin)
+                (Gatesim.Engine.values_snapshot a))
+            [ Tri.Zero; Tri.One ];
+          twins.(l) <- None;
+          warmup_and_load ())
+      (List.rev !outcomes);
+    (* Random eviction: extract a live lane at the boundary, check it
+       against its twin, retire it and refill the slot. *)
+    if Random.State.int rng 4 = 0 then begin
+      let live =
+        Array.to_list
+          (Array.mapi (fun l t -> if t = None then -1 else l) twins)
+        |> List.filter (fun l -> l >= 0)
+      in
+      match live with
+      | [] -> ()
+      | _ ->
+        let l = List.nth live (Random.State.int rng (List.length live)) in
+        let snap = Gatesim.Engine.Gang.extract gang l in
+        check_extract "evict" l step snap;
+        Gatesim.Engine.Gang.retire gang l;
+        twins.(l) <- None;
+        warmup_and_load ()
+    end
+  done
+
+let test_gang_lockstep () =
+  let forks_seen = ref 0 in
+  List.iter
+    (fun k ->
+      for trial = 0 to 3 do
+        gang_lockstep ~trial ~k ~forks_seen
+      done)
+    [ 1; 2; 8; 32 ];
+  Alcotest.(check bool)
+    "fork/retire/refill exercised" true (!forks_seen > 10)
+
 (* ---------------- real programs, forks and dedup ---------------- *)
 
 type dual_stats = {
@@ -323,20 +469,39 @@ let test_bench_bounds () =
    incremental digest under real fork/restore traffic). *)
 let test_sym_deterministic () =
   let img = assemble branch_program in
-  let run () =
+  let run ?pool () =
     let e = Tsupport.fresh_engine ~concrete:false img in
     let cfg =
       Gatesim.Sym.default_config
         ~is_end:(Cpu.is_end_cycle ~halt_addr:img.Asm.halt_addr)
     in
-    Gatesim.Sym.run e cfg
+    Gatesim.Sym.run ?pool e cfg
   in
   let t1, s1 = run () in
   let t2, s2 = run () in
   Alcotest.(check int) "same paths" s1.Gatesim.Sym.paths s2.Gatesim.Sym.paths;
   let f1 = Gatesim.Trace.flatten t1 and f2 = Gatesim.Trace.flatten t2 in
   Alcotest.(check int) "same length" (Array.length f1) (Array.length f2);
-  Array.iteri (fun k c1 -> check_cycle (Printf.sprintf "flat %d" k) c1 f2.(k)) f1
+  Array.iteri (fun k c1 -> check_cycle (Printf.sprintf "flat %d" k) c1 f2.(k)) f1;
+  (* CI exports XBOUND_TEST_JOBS (e.g. 2) to also demand that the run on
+     a pool of that size — a worker count the in-tree sweep does not
+     cover — flattens to the identical trace. *)
+  match
+    Option.bind (Sys.getenv_opt "XBOUND_TEST_JOBS") int_of_string_opt
+  with
+  | Some j when j > 0 ->
+    let tj, sj = run ~pool:(Parallel.Pool.create ~jobs:j) () in
+    Alcotest.(check int)
+      (Printf.sprintf "-j%d: same paths" j)
+      s1.Gatesim.Sym.paths sj.Gatesim.Sym.paths;
+    let fj = Gatesim.Trace.flatten tj in
+    Alcotest.(check int)
+      (Printf.sprintf "-j%d: same length" j)
+      (Array.length f1) (Array.length fj);
+    Array.iteri
+      (fun k c1 -> check_cycle (Printf.sprintf "-j%d flat %d" j k) c1 fj.(k))
+      f1
+  | _ -> ()
 
 (* ---------------- netlist levelization ---------------- *)
 
@@ -464,6 +629,40 @@ let test_seen_overlay () =
       (Gatesim.Seen.visits t (string_of_int k))
   done
 
+(* Compaction happens on the parent's side of a fork; children forked
+   earlier keep reading through the shared frozen layers. This pins the
+   share-safety contract: compacting (and further writing) the parent
+   must never change what any previously-forked child reads — layers
+   are frozen when shared, replaced, never mutated. *)
+let test_seen_share_safety () =
+  let module Seen = Gatesim.Seen in
+  let parent = Seen.create () in
+  (* retain a child per generation across > max_chain forks, so several
+     compactions run while old children are still alive *)
+  let children = ref [] in
+  for k = 0 to 59 do
+    Seen.set parent (Printf.sprintf "d%d" k) (k + 1);
+    children := (k, Seen.fork parent) :: !children
+  done;
+  Alcotest.(check bool) "parent chain compacted" true (Seen.depth parent <= 27);
+  (* every child sees exactly the digests written before its fork, and
+     none written after *)
+  List.iter
+    (fun (gen, child) ->
+      for k = 0 to 59 do
+        let expect = if k <= gen then k + 1 else 0 in
+        Alcotest.(check int)
+          (Printf.sprintf "child %d reads d%d" gen k)
+          expect
+          (Seen.visits child (Printf.sprintf "d%d" k))
+      done)
+    !children;
+  (* children forked before a compaction can still write privately *)
+  let _, oldest = List.nth !children (List.length !children - 1) in
+  Seen.set oldest "d59" 1000;
+  Alcotest.(check int) "old child private write" 1000 (Seen.visits oldest "d59");
+  Alcotest.(check int) "parent unaffected" 60 (Seen.visits parent "d59")
+
 (* ---------------- telemetry hooks ---------------- *)
 
 let test_instrumentation () =
@@ -496,7 +695,13 @@ let test_instrumentation () =
     (hist_count "engine.snapshot_ns" > snap0);
   Alcotest.(check bool)
     "sym.digest_ns observed" true
-    (hist_count "sym.digest_ns" > dig0)
+    (hist_count "sym.digest_ns" > dig0);
+  (* no pool was passed, so the taken arm was kept local, not spawned *)
+  Alcotest.(check bool)
+    "sym.forks_inlined counted" true
+    (count "sym.forks_inlined" > 0);
+  Alcotest.(check int) "sym.forks_spawned zero without pool" 0
+    (count "sym.forks_spawned")
 
 let () =
   Alcotest.run "differential"
@@ -504,6 +709,7 @@ let () =
       ( "kernel-vs-reference",
         [
           Alcotest.test_case "random netlists" `Quick test_random_netlists;
+          Alcotest.test_case "gang lockstep" `Quick test_gang_lockstep;
           Alcotest.test_case "branch fork" `Quick test_branch_dual;
           Alcotest.test_case "polling dedup" `Quick test_polling_dual;
           Alcotest.test_case "bench bounds" `Slow test_bench_bounds;
@@ -518,6 +724,7 @@ let () =
         [
           Alcotest.test_case "mem cow" `Quick test_mem_cow;
           Alcotest.test_case "seen overlay" `Quick test_seen_overlay;
+          Alcotest.test_case "seen share safety" `Quick test_seen_share_safety;
           Alcotest.test_case "instrumentation" `Quick test_instrumentation;
         ] );
     ]

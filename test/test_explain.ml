@@ -243,6 +243,8 @@ let base_record =
     cache_cold_s = Some 1.0;
     cache_warm_s = Some 0.1;
     cache_speedup = Some 10.0;
+    parallel_jobs = Some 4;
+    parallel_speedup = Some 2.0;
   }
 
 let test_regress_detects_injection () =
@@ -284,6 +286,7 @@ let test_regress_direction () =
       Explain.Regress.label = "cur";
       results = [ ("a", 50.); ("b", 50.) ];
       cache_speedup = Some 5.0;
+      parallel_speedup = Some 1.0;
     }
   in
   let deltas =
@@ -297,7 +300,20 @@ let test_regress_direction () =
     ((find "ns_per_run:a").pct < 0.);
   let sp = find "cache.speedup" in
   Alcotest.(check bool) "halved speedup is positive pct" true (sp.pct > 0.);
-  Alcotest.(check bool) "and flagged" true sp.regression
+  Alcotest.(check bool) "and flagged" true sp.regression;
+  let ps = find "parallel.speedup" in
+  Alcotest.(check bool) "halved parallel speedup flagged" true ps.regression;
+  (* a record measured at a different -jN is not comparable *)
+  let other_jobs =
+    Explain.Regress.compare_records ~tolerance_pct:25. ~base:base_record
+      ~cur:{ cur with Explain.Regress.parallel_jobs = Some 8 }
+      ()
+  in
+  Alcotest.(check bool) "different parallel_jobs: not compared" true
+    (not
+       (List.exists
+          (fun (d : Explain.Regress.delta) -> d.metric = "parallel.speedup")
+          other_jobs))
 
 let test_regress_gated () =
   (* two regressions: one on a gated benchmark row, one elsewhere — only
@@ -354,7 +370,13 @@ let test_regress_history_roundtrip () =
       base_record.Explain.Regress.phases r.Explain.Regress.phases;
     Alcotest.(check (option (float 1e-9))) "speedup survives"
       base_record.Explain.Regress.cache_speedup
-      r.Explain.Regress.cache_speedup
+      r.Explain.Regress.cache_speedup;
+    Alcotest.(check (option int)) "parallel_jobs survives"
+      base_record.Explain.Regress.parallel_jobs
+      r.Explain.Regress.parallel_jobs;
+    Alcotest.(check (option (float 1e-9))) "parallel speedup survives"
+      base_record.Explain.Regress.parallel_speedup
+      r.Explain.Regress.parallel_speedup
 
 let () =
   Alcotest.run "explain"

@@ -188,6 +188,61 @@ let test_parallel_sym_deterministic name () =
     (stats_equal stats_s stats_p);
   Alcotest.(check bool) (name ^ ": tree identical") true (tree_equal tree_s tree_p)
 
+(* The full job-count sweep: the committed tree (every cycle record,
+   every dedup digest, the registry) and the stats must be identical at
+   -j1, -j4 and -j8, and independent of the gang width — including
+   gang_width 1, which disables gang simulation entirely. *)
+let pool8 = lazy (Parallel.Pool.create ~jobs:8)
+
+(* CI exports XBOUND_TEST_JOBS (e.g. 2) to extend the sweep with a
+   worker count the fixed -j1/-j4/-j8 grid does not cover. One pool per
+   distinct count, shared across kernels. *)
+let extra_pools : (int, Parallel.Pool.t) Hashtbl.t = Hashtbl.create 4
+
+let extra_jobs () =
+  match
+    Option.bind (Sys.getenv_opt "XBOUND_TEST_JOBS") int_of_string_opt
+  with
+  | Some j when j > 0 ->
+    let p =
+      match Hashtbl.find_opt extra_pools j with
+      | Some p -> p
+      | None ->
+        let p = Parallel.Pool.create ~jobs:j in
+        Hashtbl.add extra_pools j p;
+        p
+    in
+    Some (j, p)
+  | _ -> None
+
+let test_jobs_sweep name () =
+  let b = Benchprogs.Bench.find name in
+  let img = Benchprogs.Bench.assemble b in
+  let cfg = sym_config b img in
+  let run ?pool cfg =
+    let e = Tsupport.fresh_engine ~concrete:false img in
+    Sym.run ?pool e cfg
+  in
+  let tree_ref, stats_ref = run cfg in
+  Alcotest.(check bool) (name ^ ": forks explored") true (stats_ref.Sym.forks > 0);
+  let check label (tree, stats) =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: stats identical (%s)" name label)
+      true (stats_equal stats_ref stats);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: tree identical (%s)" name label)
+      true (tree_equal tree_ref tree)
+  in
+  check "-j1" (run ~pool:(Parallel.Pool.create ~jobs:1) cfg);
+  check "-j4" (run ~pool:(Lazy.force pool4) cfg);
+  check "-j8" (run ~pool:(Lazy.force pool8) cfg);
+  check "-j4 gang_width=1" (run ~pool:(Lazy.force pool4) { cfg with Sym.gang_width = 1 });
+  check "-j8 gang_width=32" (run ~pool:(Lazy.force pool8) { cfg with Sym.gang_width = 32 });
+  match extra_jobs () with
+  | Some (j, p) ->
+    check (Printf.sprintf "-j%d (XBOUND_TEST_JOBS)" j) (run ~pool:p cfg)
+  | None -> ()
+
 let test_parallel_analyze_deterministic () =
   let cpu = Tsupport.the_cpu () in
   let pa = Core.Analyze.poweran_for cpu in
@@ -244,6 +299,12 @@ let () =
               `Slow
               (test_parallel_sym_deterministic k))
           kernels
+        @ List.map
+            (fun k ->
+              Alcotest.test_case
+                ("jobs/gang sweep bit-identical: " ^ k)
+                `Slow (test_jobs_sweep k))
+            [ "binSearch"; "tHold"; "div" ]
         @ [
             Alcotest.test_case "parallel Analyze.run == sequential" `Slow
               test_parallel_analyze_deterministic;
