@@ -29,6 +29,7 @@ let list_experiments () =
     (fun (id, title, _) -> Printf.printf "  %-10s %s\n" id title)
     Report.Experiments.all;
   print_endline "  micro      bechamel micro-benchmarks (--smoke: tiny quota)";
+  print_endline "  serve      daemon throughput/latency (--smoke: tiny quota)";
   print_endline "  compare    diff two bench records with --tolerance";
   print_endline "  ablate     ablation studies"
 
@@ -278,6 +279,145 @@ let micro ~smoke () =
       parallel_speedup;
     }
 
+(* ---------------- serve throughput ---------------- *)
+
+(* Throughput and latency of the xbound serve daemon, measured in
+   process: a server on a temp unix socket, N concurrent clients each
+   firing repeated `analyze tea8` requests. After the first request
+   warms the shared cache, every further one is an LRU hit — the number
+   this records is the service overhead (framing, scheduling, cache
+   lookup), which is exactly what the daemon exists to make cheap. The
+   cold single-shot time is the CLI baseline the daemon is compared
+   to. *)
+let bench_serve ~smoke () =
+  let clients = if smoke then 2 else 4 in
+  let per_client = if smoke then 10 else 50 in
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xbound-bench-serve-%d.sock" (Unix.getpid ()))
+  in
+  let cache_dir = Filename.temp_file "xbound-bench-serve" "" in
+  Sys.remove cache_dir;
+  (* Cold single-shot baseline: what one CLI invocation pays, including
+     the analysis itself (fresh cache, nothing warm). *)
+  let cold_ctx = Xbound.Ctx.create ~cache:(Cache.create ~dir:cache_dir ()) () in
+  let t0 = Unix.gettimeofday () in
+  (match Serve.Exec.exec ~ctx:cold_ctx (Wire.Request.Analyze { bench = "tea8" }) with
+  | Ok _ -> ()
+  | Error e -> failwith (Xbound.Error.to_string e));
+  let cold_s = Unix.gettimeofday () -. t0 in
+  let tel = Telemetry.create () in
+  let h_rtt = Telemetry.Histogram.make "bench.serve.rtt_ns" in
+  let reqs_per_s, p50_ms, p99_ms =
+    Telemetry.with_ambient tel @@ fun () ->
+    let server =
+      match
+        Serve.Server.start
+          {
+            Serve.Server.listen = Serve.Addr.Unix_sock sock;
+            workers = 2;
+            queue_capacity = 64;
+            ctx = Xbound.Ctx.create ~cache:(Cache.create ~dir:cache_dir ()) ();
+          }
+      with
+      | Ok s -> s
+      | Error m -> failwith ("bench serve: " ^ m)
+    in
+    Fun.protect ~finally:(fun () -> Serve.Server.stop server) @@ fun () ->
+    let drive () =
+      match Serve.Client.connect (Serve.Addr.Unix_sock sock) with
+      | Error m -> failwith ("bench serve: " ^ m)
+      | Ok client ->
+        Fun.protect ~finally:(fun () -> Serve.Client.close client)
+        @@ fun () ->
+        for _ = 1 to per_client do
+          let r0 = Telemetry.now_ns () in
+          (match
+             Serve.Client.rpc client (Wire.Request.Analyze { bench = "tea8" })
+           with
+          | Ok _ -> ()
+          | Error e -> failwith (Xbound.Error.to_string e));
+          Telemetry.Histogram.observe h_rtt
+            (Int64.sub (Telemetry.now_ns ()) r0)
+        done
+    in
+    (* One warming request so the measured window is steady-state. *)
+    (match Serve.Client.connect (Serve.Addr.Unix_sock sock) with
+    | Error m -> failwith ("bench serve: " ^ m)
+    | Ok client ->
+      ignore (Serve.Client.rpc client (Wire.Request.Analyze { bench = "tea8" }));
+      Serve.Client.close client);
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init clients (fun _ -> Thread.create drive ()) in
+    List.iter Thread.join threads;
+    let dt = Unix.gettimeofday () -. t0 in
+    let total = clients * per_client in
+    let ms q =
+      Int64.to_float (Telemetry.Histogram.percentile h_rtt q) /. 1e6
+    in
+    (float_of_int total /. dt, ms 0.5, ms 0.99)
+  in
+  let speedup = reqs_per_s *. cold_s in
+  Printf.printf
+    "%-28s %.1f req/s (%d clients), rtt p50 %.2f ms, p99 %.2f ms\n"
+    "serve-analyze-tea8" reqs_per_s clients p50_ms p99_ms;
+  Printf.printf
+    "%-28s %.3f s cold single-shot -> %.0fx warm daemon rate\n"
+    "serve-vs-cold" cold_s speedup;
+  (* Merge the serve row into BENCH_micro.json without disturbing the
+     micro rows (bench compare ignores unknown members). *)
+  let serve_json =
+    Explain.Ejson.Obj
+      [
+        ("clients", Explain.Ejson.Num (float_of_int clients));
+        ("requests", Explain.Ejson.Num (float_of_int (clients * per_client)));
+        ("requests_per_s", Explain.Ejson.Num reqs_per_s);
+        ("rtt_p50_ms", Explain.Ejson.Num p50_ms);
+        ("rtt_p99_ms", Explain.Ejson.Num p99_ms);
+        ("cold_single_shot_s", Explain.Ejson.Num cold_s);
+        ("speedup_vs_cold", Explain.Ejson.Num speedup);
+      ]
+  in
+  let doc =
+    match
+      if Sys.file_exists "BENCH_micro.json" then
+        Explain.Ejson.parse_opt
+          (In_channel.with_open_text "BENCH_micro.json" In_channel.input_all)
+      else None
+    with
+    | Some (Explain.Ejson.Obj members) ->
+      Explain.Ejson.Obj
+        (List.remove_assoc "serve" members @ [ ("serve", serve_json) ])
+    | _ -> Explain.Ejson.Obj [ ("serve", serve_json) ]
+  in
+  Out_channel.with_open_text "BENCH_micro.json" (fun oc ->
+      output_string oc (Explain.Ejson.to_string ~indent:2 doc);
+      output_char oc '\n');
+  prerr_endline "merged serve row into BENCH_micro.json";
+  append_history
+    {
+      Explain.Regress.label = "serve";
+      timestamp = Some (iso8601_now ());
+      jobs = Some (Parallel.default_jobs ());
+      results =
+        [
+          ("serve-analyze-tea8-warm", 1e9 /. reqs_per_s);
+          ("serve-rtt-p50", p50_ms *. 1e6);
+          ("serve-rtt-p99", p99_ms *. 1e6);
+        ];
+      phases = [];
+      cache_cold_s = Some cold_s;
+      cache_warm_s = None;
+      cache_speedup = Some speedup;
+      parallel_jobs = None;
+      parallel_speedup = None;
+    };
+  (* Leave no temp state behind. *)
+  let cache = Cache.create ~dir:cache_dir () in
+  Cache.clear cache;
+  (try Sys.rmdir cache_dir with Sys_error _ -> ());
+  try Sys.remove sock with Sys_error _ -> ()
+
 (* ---------------- ablations (DESIGN.md §5) ---------------- *)
 
 let ablate () =
@@ -410,8 +550,8 @@ let () =
   let ids_arg =
     let doc =
       "Experiment ids to run (default: every table/figure). Special ids: \
-       $(b,micro), $(b,compare) $(i,BASE) $(i,CURRENT), $(b,ablate), \
-       $(b,list)."
+       $(b,micro), $(b,serve), $(b,compare) $(i,BASE) $(i,CURRENT), \
+       $(b,ablate), $(b,list)."
     in
     Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
   in
@@ -452,6 +592,7 @@ let () =
         (fun id ->
           match id with
           | "micro" -> micro ~smoke ()
+          | "serve" -> bench_serve ~smoke ()
           | "ablate" -> ablate ()
           | "list" -> list_experiments ()
           | id ->

@@ -2,7 +2,15 @@
    requirements for the bundled ULP processor.
 
    Subcommands: list, netlist, analyze, analyze-file, profile, coi,
-   explain, optimize, disasm, trace, wcec, stressmark, cache, export-*.
+   explain, optimize, disasm, trace, wcec, stressmark, cache, serve,
+   export-*.
+
+   The request-oriented subcommands (list, analyze, explain, trace,
+   optimize, cache stats) are thin builders of [Wire.Request.t]
+   values: each builds a request, dispatches it — in-process through
+   [Serve.Exec], or to a running [xbound serve] daemon with
+   [--connect ADDR] — and prints the decoded response through
+   [Serve.Render]. Output is byte-identical on both paths.
 
    All heavy subcommands share one set of knobs, defined once in
    [Cliterm]: -j/--jobs, --cache-dir, --no-cache, --trace, --stats
@@ -51,6 +59,38 @@ let ( let* ) = Result.bind
 
 let report_ctx c = Report.Context.create ?cache:(Cliterm.cache c) ()
 
+(* ---------------- request dispatch ---------------- *)
+
+(* The one --connect flag: dispatch the request to a daemon instead of
+   executing in-process. *)
+let connect_term =
+  let doc =
+    "Send the request to a running $(b,xbound serve) daemon at $(docv) \
+     (a unix socket path, or HOST:PORT for --tcp daemons) instead of \
+     executing in-process. Output is byte-identical either way."
+  in
+  Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"ADDR" ~doc)
+
+let dispatch ~ctx connect req =
+  match connect with
+  | None -> Serve.Exec.exec ~ctx req
+  | Some addr -> (
+    match Serve.Client.connect (Serve.Addr.of_string addr) with
+    | Error m -> Error (Xbound.Error.Protocol m)
+    | Ok client ->
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close client)
+        (fun () -> Serve.Client.rpc client req))
+
+(* Build, dispatch, render: the whole life of a request-oriented
+   subcommand. *)
+let run_request ~ctx connect req =
+  handle
+    (let* resp = dispatch ~ctx connect req in
+     Telemetry.span "render" @@ fun () ->
+     print_string (Serve.Render.to_string resp);
+     Ok ())
+
 let find_bench name =
   match
     List.find_opt
@@ -66,22 +106,11 @@ let find_bench name =
 (* ---------------- light subcommands ---------------- *)
 
 let list_cmd =
-  let run () =
-    print_endline "paper suite (Table 4.1):";
-    List.iter
-      (fun b ->
-        Printf.printf "  %-10s %s\n" b.Benchprogs.Bench.name
-          b.Benchprogs.Bench.description)
-      Benchprogs.Bench.all;
-    print_endline "extended kernels:";
-    List.iter
-      (fun b ->
-        Printf.printf "  %-10s %s\n" b.Benchprogs.Bench.name
-          b.Benchprogs.Bench.description)
-      Benchprogs.Extended.all
+  let run connect =
+    run_request ~ctx:Xbound.Ctx.default connect Wire.Request.Bench_list
   in
   Cmd.v (Cmd.info "list" ~doc:"List the bundled benchmark applications")
-    Term.(const run $ const ())
+    Term.(const run $ connect_term)
 
 let netlist_cmd =
   let run c =
@@ -100,38 +129,14 @@ let netlist_cmd =
 (* ---------------- analysis subcommands (via the Xbound facade) ------- *)
 
 let analyze_cmd =
-  let run c name =
-    handle
-      (let* program = Xbound.bench name in
-       let* a = Xbound.analyze ~ctx:(Cliterm.ctx c) program in
-       Telemetry.span "render" @@ fun () ->
-       Printf.printf "%s:\n" name;
-       Printf.printf
-         "symbolic execution: %d paths, %d forks, %d dedup hits, %d cycles\n"
-         a.Xbound.paths a.Xbound.forks a.Xbound.dedup_hits a.Xbound.total_cycles;
-       Printf.printf
-         "peak power bound:  %s mW (cycle %d of the flattened trace)\n"
-         (Report.Render.mw a.Xbound.peak_power_w)
-         a.Xbound.peak_index;
-       Printf.printf "peak energy bound: %.3f nJ over %d cycles (%s pJ/cycle)\n"
-         (a.Xbound.peak_energy_j *. 1e9)
-         a.Xbound.peak_energy_cycles
-         (Report.Render.npe_pj a.Xbound.npe_j_per_cycle);
-       Printf.printf "trace: %s\n" (Report.Render.series a.Xbound.power_trace_w);
-       (* Per-phase timings land on stderr with --stats, never stdout. *)
-       if c.Cliterm.stats && a.Xbound.phase_timings <> [] then begin
-         Printf.eprintf "phases (s):";
-         List.iter
-           (fun (p, s) -> Printf.eprintf " %s=%.4f" p s)
-           a.Xbound.phase_timings;
-         prerr_newline ()
-       end;
-       Ok ())
+  let run c connect name =
+    run_request ~ctx:(Cliterm.ctx c) connect
+      (Wire.Request.Analyze { bench = name })
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"X-based peak power and energy bounds for a benchmark")
-    Term.(const run $ Cliterm.term $ bench_term)
+    Term.(const run $ Cliterm.term $ connect_term $ bench_term)
 
 let analyze_file_cmd =
   let file_arg =
@@ -198,18 +203,19 @@ let explain_cmd =
     let doc = "Minimum cycle distance between reported COIs." in
     Arg.(value & opt int 5 & info [ "min-gap" ] ~docv:"N" ~doc)
   in
-  let run c name fmt out top min_gap =
+  let run c connect name fmt out top min_gap =
+    let fmt =
+      match fmt with
+      | `Table -> Wire.Request.Table
+      | `Json -> Wire.Request.Json
+      | `Csv -> Wire.Request.Csv
+    in
     handle
-      (let* program = Xbound.bench name in
-       let* a = Xbound.analyze ~ctx:(Cliterm.ctx c) program in
-       let ex = Xbound.explain ~ctx:(Cliterm.ctx c) ~top ~min_gap a in
-       let text =
-         Telemetry.span "render" @@ fun () ->
-         match fmt with
-         | `Table -> Explain.Report.to_table ex
-         | `Json -> Explain.Report.to_json_string ex ^ "\n"
-         | `Csv -> Explain.Report.to_csv ex
+      (let* resp =
+         dispatch ~ctx:(Cliterm.ctx c) connect
+           (Wire.Request.Explain { bench = name; fmt; top; min_gap })
        in
+       let text = Serve.Render.to_string resp in
        (match out with
        | None -> print_string text
        | Some file ->
@@ -224,54 +230,27 @@ let explain_cmd =
           execution-tree observability (X-density, fork/merge and seen-set \
           statistics)")
     Term.(
-      const run $ Cliterm.term $ bench_term $ format_arg $ out_arg $ top_arg
-      $ min_gap_arg)
+      const run $ Cliterm.term $ connect_term $ bench_term $ format_arg
+      $ out_arg $ top_arg $ min_gap_arg)
 
 let optimize_cmd =
-  let run c name =
-    handle
-      (let* o = Xbound.optimize ~ctx:(Cliterm.ctx c) name in
-       Printf.printf "%s: applied %s\n" name
-         (match o.Xbound.chosen with
-         | [] -> "(no transform reduced the bound)"
-         | opts -> String.concat ", " opts);
-       Printf.printf "  peak power: %s -> %s mW (%.1f%% reduction)\n"
-         (Report.Render.mw o.Xbound.base_peak_w)
-         (Report.Render.mw o.Xbound.opt_peak_w)
-         o.Xbound.peak_reduction_pct;
-       Printf.printf "  dynamic range reduction: %.1f%%\n"
-         o.Xbound.range_reduction_pct;
-       Printf.printf "  performance cost: %.2f%%, energy cost: %.2f%%\n"
-         o.Xbound.perf_degradation_pct o.Xbound.energy_overhead_pct;
-       Ok ())
+  let run c connect name =
+    run_request ~ctx:(Cliterm.ctx c) connect
+      (Wire.Request.Optimize { bench = name })
   in
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Apply the peak-power software optimizations to a benchmark")
-    Term.(const run $ Cliterm.term $ bench_term)
+    Term.(const run $ Cliterm.term $ connect_term $ bench_term)
 
 let trace_cmd =
-  let run c name seed =
-    handle
-      (let* b = find_bench name in
-       let* program = Xbound.bench name in
-       let* t =
-         Xbound.run_concrete ~ctx:(Cliterm.ctx c) program
-           ~inputs:
-             [
-               (Benchprogs.Bench.input_base, b.Benchprogs.Bench.gen_inputs ~seed);
-             ]
-       in
-       Printf.printf "%s seed %d: %d cycles, peak %s mW at cycle %d\n" name seed
-         t.Xbound.cycles
-         (Report.Render.mw t.Xbound.peak_w)
-         t.Xbound.peak_cycle;
-       print_endline (Report.Render.series t.Xbound.trace_w);
-       Ok ())
+  let run c connect name seed =
+    run_request ~ctx:(Cliterm.ctx c) connect
+      (Wire.Request.Run_concrete { bench = name; seed })
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Concrete power trace of a benchmark run")
-    Term.(const run $ Cliterm.term $ bench_term $ seed_term)
+    Term.(const run $ Cliterm.term $ connect_term $ bench_term $ seed_term)
 
 (* ---------------- report-layer subcommands ---------------- *)
 
@@ -354,20 +333,15 @@ let stressmark_cmd =
 (* ---------------- cache management ---------------- *)
 
 let cache_stats_cmd =
-  let run c =
-    match Cliterm.cache c with
-    | None -> handle (Error (Xbound.Error.Cache "cache disabled (--no-cache)"))
-    | Some cache ->
-      let dir = Option.value (Cache.dir cache) ~default:"(memory only)" in
-      let entries, bytes = Cache.disk_stats cache in
-      Printf.printf "cache directory: %s\n" dir;
-      Printf.printf "entries: %d\n" entries;
-      Printf.printf "size: %.1f KiB\n" (float_of_int bytes /. 1024.)
+  let run c connect =
+    run_request ~ctx:(Cliterm.ctx c) connect Wire.Request.Cache_stats
   in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"Show persistent cache location, entry count and size")
-    Term.(const run $ Cliterm.term)
+       ~doc:
+         "Show persistent cache location, entry count and size (the \
+          daemon's cache with --connect)")
+    Term.(const run $ Cliterm.term $ connect_term)
 
 let cache_clear_cmd =
   let run c =
@@ -384,10 +358,115 @@ let cache_clear_cmd =
     (Cmd.info "clear" ~doc:"Delete every persistent cache entry")
     Term.(const run $ Cliterm.term)
 
+let cache_migrate_cmd =
+  let run c =
+    match Cliterm.cache c with
+    | None -> handle (Error (Xbound.Error.Cache "cache disabled (--no-cache)"))
+    | Some cache ->
+      let moved = Cache.migrate cache in
+      Printf.printf "migrated %d entr%s into shard subdirectories\n" moved
+        (if moved = 1 then "y" else "ies")
+  in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:
+         "Move flat legacy cache entries into the sharded on-disk layout \
+          (entries are also adopted lazily on first access; this migrates \
+          everything at once)")
+    Term.(const run $ Cliterm.term)
+
 let cache_cmd =
   Cmd.group
-    (Cmd.info "cache" ~doc:"Inspect or clear the persistent analysis cache")
-    [ cache_stats_cmd; cache_clear_cmd ]
+    (Cmd.info "cache" ~doc:"Inspect, migrate or clear the persistent analysis cache")
+    [ cache_stats_cmd; cache_clear_cmd; cache_migrate_cmd ]
+
+(* ---------------- the daemon ---------------- *)
+
+let serve_cmd =
+  let socket_arg =
+    let doc =
+      "Unix-domain socket path to listen on (default: xbound.sock in the \
+       system temporary directory)."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let tcp_arg =
+    let doc = "Listen on TCP $(docv) instead of a unix socket." in
+    Arg.(
+      value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let workers_arg =
+    let doc =
+      "Executor threads: how many requests run concurrently (each still \
+       parallelizes internally across the -j worker domains)."
+    in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Admission bound: requests beyond $(docv) queued are rejected with a \
+       typed overloaded error instead of queuing without limit."
+    in
+    Arg.(value & opt int 64 & info [ "queue-capacity" ] ~docv:"N" ~doc)
+  in
+  let run c socket tcp workers queue_capacity =
+    let listen =
+      match (tcp, socket) with
+      | Some hp, _ -> (
+        match Serve.Addr.of_string hp with
+        | Serve.Addr.Tcp _ as a -> Ok a
+        | Serve.Addr.Unix_sock _ ->
+          Error (Printf.sprintf "--tcp expects HOST:PORT, got %s" hp))
+      | None, Some path -> Ok (Serve.Addr.Unix_sock path)
+      | None, None ->
+        Ok
+          (Serve.Addr.Unix_sock
+             (Filename.concat (Filename.get_temp_dir_name ()) "xbound.sock"))
+    in
+    match listen with
+    | Error m ->
+      Printf.eprintf "xbound: %s\n" m;
+      exit 1
+    | Ok listen -> (
+      let config =
+        {
+          Serve.Server.listen;
+          workers;
+          queue_capacity;
+          ctx = Cliterm.ctx c;
+        }
+      in
+      match Serve.Server.start config with
+      | Error m ->
+        Printf.eprintf "xbound: %s\n" m;
+        exit 1
+      | Ok server ->
+        Printf.eprintf "xbound serve: listening on %s (%d worker(s), queue %d)\n%!"
+          (Serve.Addr.to_string listen) (max 1 workers) (max 1 queue_capacity);
+        (* Run until SIGINT/SIGTERM, then stop gracefully — through a
+           normal exit, so Cliterm's at_exit trace/stats export runs. *)
+        let stop = Atomic.make false in
+        let on_signal _ = Atomic.set stop true in
+        List.iter
+          (fun s ->
+            try Sys.set_signal s (Sys.Signal_handle on_signal)
+            with Invalid_argument _ | Sys_error _ -> ())
+          [ Sys.sigint; Sys.sigterm ];
+        while not (Atomic.get stop) do
+          Unix.sleepf 0.2
+        done;
+        prerr_endline "xbound serve: shutting down";
+        Serve.Server.stop server)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived analysis daemon: a socket server scheduling \
+          requests across shared worker domains with one shared cache, so \
+          repeated and concurrent analyses cost one execution")
+    Term.(
+      const run $ Cliterm.term $ socket_arg $ tcp_arg $ workers_arg
+      $ queue_arg)
 
 (* ---------------- export subcommands ---------------- *)
 
@@ -432,6 +511,6 @@ let () =
           [
             list_cmd; netlist_cmd; analyze_cmd; analyze_file_cmd; profile_cmd;
             coi_cmd; explain_cmd; optimize_cmd; disasm_cmd; trace_cmd;
-            wcec_cmd; stressmark_cmd; cache_cmd; export_verilog_cmd;
-            export_liberty_cmd;
+            wcec_cmd; stressmark_cmd; cache_cmd; serve_cmd;
+            export_verilog_cmd; export_liberty_cmd;
           ]))

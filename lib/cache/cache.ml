@@ -155,8 +155,20 @@ let rec mkdir_p d =
     try Sys.mkdir d 0o755 with Sys_error _ -> ()
   end
 
+(* Entries are sharded by the first two hex digits of the key
+   (dir/ab/<ns>.abcd....v1), so 256 concurrent writers rename into 256
+   directories instead of contending on one. Entries written by older
+   versions live flat in [dir]; they are still found on load (and moved
+   into their shard as a side effect), and [migrate] relocates them in
+   bulk. *)
+let shard_of key = if String.length key >= 2 then String.sub key 0 2 else "00"
+
+let entry_name ~ns ~key = Printf.sprintf "%s.%s.v%d" ns key format_version
+
 let entry_file dir ~ns ~key =
-  Filename.concat dir (Printf.sprintf "%s.%s.v%d" ns key format_version)
+  Filename.concat (Filename.concat dir (shard_of key)) (entry_name ~ns ~key)
+
+let legacy_entry_file dir ~ns ~key = Filename.concat dir (entry_name ~ns ~key)
 
 (* An on-disk entry is: magic, namespace (length-prefixed), the MD5 of
    the payload, then the marshaled payload. Anything that fails to read
@@ -166,9 +178,27 @@ let disk_load t ~ns ~key =
   match t.dir_ with
   | None -> None
   | Some dir -> (
-    let file = entry_file dir ~ns ~key in
-    if not (Sys.file_exists file) then None
-    else
+    let sharded = entry_file dir ~ns ~key in
+    let legacy = legacy_entry_file dir ~ns ~key in
+    let file =
+      if Sys.file_exists sharded then Some sharded
+      else if Sys.file_exists legacy then begin
+        (* Found where a pre-shard version wrote it: adopt it into its
+           shard (atomic rename; best-effort) and read from wherever it
+           now is. *)
+        (try
+           mkdir_p (Filename.dirname sharded);
+           Sys.rename legacy sharded
+         with Sys_error _ -> ());
+        if Sys.file_exists sharded then Some sharded
+        else if Sys.file_exists legacy then Some legacy
+        else None
+      end
+      else None
+    in
+    match file with
+    | None -> None
+    | Some file ->
       let parse ic =
         let len = in_channel_length ic in
         let m = really_input_string ic (String.length magic) in
@@ -206,10 +236,11 @@ let disk_store t ~ns ~key v =
   | Some dir -> (
     try
       Telemetry.span ~cat:"cache" "cache.disk_store" (fun () ->
-          mkdir_p dir;
-          let payload = Marshal.to_string v [] in
           let file = entry_file dir ~ns ~key in
-          let tmp = Filename.temp_file ~temp_dir:dir "xbcache" ".tmp" in
+          let shard_dir = Filename.dirname file in
+          mkdir_p shard_dir;
+          let payload = Marshal.to_string v [] in
+          let tmp = Filename.temp_file ~temp_dir:shard_dir "xbcache" ".tmp" in
           Out_channel.with_open_bin tmp (fun oc ->
               output_string oc magic;
               output_binary_int oc (String.length ns);
@@ -223,45 +254,95 @@ let disk_store t ~ns ~key v =
       Telemetry.Counter.incr c_stores
     with Sys_error _ | Sys_blocked_io -> ())
 
+let is_hex s =
+  String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+
 let is_entry_name name =
   (* <ns>.<32-hex>.v<version> for the current format version *)
   match String.split_on_char '.' name with
   | [ _ns; digest; v ] ->
     v = Printf.sprintf "v%d" format_version
     && String.length digest = 32
-    && String.for_all
-         (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
-         digest
+    && is_hex digest
   | _ -> false
+
+let is_shard_name name = String.length name = 2 && is_hex name
+
+(* Every entry directory this cache format owns: the root (legacy flat
+   entries) plus each two-hex-digit shard subdirectory. *)
+let entry_dirs dir =
+  if not (Sys.file_exists dir) then []
+  else
+    dir
+    :: (Sys.readdir dir |> Array.to_list
+       |> List.filter_map (fun name ->
+              let sub = Filename.concat dir name in
+              if
+                is_shard_name name
+                && (try Sys.is_directory sub with Sys_error _ -> false)
+              then Some sub
+              else None))
 
 let disk_stats t =
   match t.dir_ with
   | None -> (0, 0)
   | Some dir ->
-    if not (Sys.file_exists dir) then (0, 0)
+    List.fold_left
+      (fun acc d ->
+        Array.fold_left
+          (fun (n, bytes) name ->
+            if is_entry_name name then
+              let sz =
+                try
+                  In_channel.with_open_bin (Filename.concat d name)
+                    in_channel_length
+                with Sys_error _ -> 0
+              in
+              (n + 1, bytes + sz)
+            else (n, bytes))
+          acc (Sys.readdir d))
+      (0, 0) (entry_dirs dir)
+
+(* Relocate legacy flat entries into their shard subdirectories (atomic
+   renames); returns how many moved. Safe to run concurrently with
+   readers — they look in both places. *)
+let migrate t =
+  match t.dir_ with
+  | None -> 0
+  | Some dir ->
+    if not (Sys.file_exists dir) then 0
     else
       Array.fold_left
-        (fun (n, bytes) name ->
-          if is_entry_name name then
-            let sz =
-              try
-                In_channel.with_open_bin (Filename.concat dir name)
-                  in_channel_length
-              with Sys_error _ -> 0
-            in
-            (n + 1, bytes + sz)
-          else (n, bytes))
-        (0, 0) (Sys.readdir dir)
+        (fun moved name ->
+          if not (is_entry_name name) then moved
+          else
+            match String.split_on_char '.' name with
+            | [ _ns; digest; _v ] -> (
+              let shard = Filename.concat dir (shard_of digest) in
+              (try mkdir_p shard with Sys_error _ -> ());
+              match
+                Sys.rename (Filename.concat dir name)
+                  (Filename.concat shard name)
+              with
+              | () -> moved + 1
+              | exception Sys_error _ -> moved)
+            | _ -> moved)
+        0 (Sys.readdir dir)
 
 let clear t =
   (match t.dir_ with
-  | Some dir when Sys.file_exists dir ->
-    Array.iter
-      (fun name ->
-        if is_entry_name name then
-          try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
-      (Sys.readdir dir)
-  | _ -> ());
+  | Some dir ->
+    List.iter
+      (fun d ->
+        Array.iter
+          (fun name ->
+            if is_entry_name name then
+              try Sys.remove (Filename.concat d name) with Sys_error _ -> ())
+          (Sys.readdir d);
+        (* drop shard directories once empty; the root stays *)
+        if d <> dir then try Sys.rmdir d with Sys_error _ -> ())
+      (entry_dirs dir)
+  | None -> ());
   Mutex.lock t.m;
   Hashtbl.reset t.table;
   t.head <- None;

@@ -11,7 +11,12 @@
     - an optional {e persistent disk layer}: entries are written
       atomically (write-to-temp then rename) in a versioned container
       format with an embedded payload digest, and any unreadable, stale
-      or corrupted entry is treated as a miss — never a crash.
+      or corrupted entry is treated as a miss — never a crash. Entries
+      are {e sharded} by the first two hex digits of their key
+      ([dir/ab/<ns>.abcd….v1]) so concurrent writers spread over 256
+      subdirectories; flat entries written by pre-shard versions are
+      still found (and adopted into their shard) on load, or relocated
+      in bulk with {!migrate}.
 
     Typing discipline: {!memo} stores values via [Marshal], so the
     [ns] (namespace) string given to [memo] must uniquely determine the
@@ -81,9 +86,17 @@ val reset_counters : t -> unit
 (** Counters as a JSON object (for [BENCH_micro.json]). *)
 val counters_json : t -> string
 
-(** [(entries, bytes)] currently in the disk layer (0 when memory-only). *)
+(** [(entries, bytes)] currently in the disk layer, summed across the
+    shard subdirectories and any remaining flat legacy entries (0 when
+    memory-only). *)
 val disk_stats : t -> int * int
 
+(** Move flat legacy entries into their shard subdirectories (atomic
+    renames, safe under concurrent readers); returns the number moved.
+    The [xbound cache migrate] subcommand calls this. *)
+val migrate : t -> int
+
 (** Drop every in-memory entry and delete every disk entry this cache
-    format owns (files named [<ns>.<digest>.v<version>]). *)
+    format owns (files named [<ns>.<digest>.v<version>], flat or
+    sharded; emptied shard subdirectories are removed). *)
 val clear : t -> unit

@@ -96,6 +96,7 @@ module Pool = struct
     m : Mutex.t;
     cv : Condition.t;
     pending : int Atomic.t;  (* queued (not yet dequeued) tasks *)
+    running : int Atomic.t;  (* dequeued tasks currently executing *)
     stop : bool Atomic.t;
   }
 
@@ -118,6 +119,14 @@ module Pool = struct
 
   let size t = t.size
   let queued t = Atomic.get t.pending
+  let busy t = Atomic.get t.running
+
+  (* Every dequeued task runs through here, whether a worker took it or
+     an [await] helped with it, so [busy] counts them all. *)
+  let run_counted pool run_task t =
+    Atomic.incr pool.running;
+    Fun.protect ~finally:(fun () -> Atomic.decr pool.running) (fun () ->
+        run_task t)
 
   (* Own deque first (LIFO), then sweep the others (FIFO steal). *)
   let find_task pool me =
@@ -145,7 +154,7 @@ module Pool = struct
     let rec loop () =
       match find_task pool idx with
       | Some t ->
-        (try run_task t with _ -> ());
+        (try run_counted pool run_task t with _ -> ());
         loop ()
       | None ->
         if not (Atomic.get pool.stop) then begin
@@ -180,6 +189,7 @@ module Pool = struct
         m = Mutex.create ();
         cv = Condition.create ();
         pending = Atomic.make 0;
+        running = Atomic.make 0;
         stop = Atomic.make false;
       }
     in
@@ -239,7 +249,7 @@ module Pool = struct
     | Pending -> (
       match find_task pool (worker_index pool) with
       | Some t ->
-        run_task t;
+        run_counted pool run_task t;
         await_loop pool fut
       | None ->
         (* Nothing to help with. The future's own task is necessarily

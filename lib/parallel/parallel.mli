@@ -32,6 +32,11 @@ module Pool : sig
       spawn heuristics ("is the pool hungry?"), not synchronization. *)
   val queued : t -> int
 
+  (** Number of dequeued tasks currently executing (on workers or inside
+      a helping [await]). Same racy-gauge caveat as {!queued}; the serve
+      layer samples it per request for utilization telemetry. *)
+  val busy : t -> int
+
   (** Signals workers to stop (after draining their deques) and joins
       them. Idempotent. *)
   val shutdown : t -> unit

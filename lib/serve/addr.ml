@@ -1,0 +1,68 @@
+type t = Unix_sock of string | Tcp of string * int
+
+let of_string s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when host <> "" && not (String.contains host '/') -> Tcp (host, p)
+    | _ -> Unix_sock s)
+  | None -> Unix_sock s
+
+let to_string = function
+  | Unix_sock path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let sockaddr_of = function
+  | Unix_sock path -> Ok (Unix.ADDR_UNIX path)
+  | Tcp (host, port) -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } -> Error ("no address for host " ^ host)
+    | { Unix.h_addr_list; _ } -> Ok (Unix.ADDR_INET (h_addr_list.(0), port))
+    | exception Not_found -> Error ("unknown host " ^ host))
+
+let domain_of = function Unix_sock _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+
+let connect addr =
+  match sockaddr_of addr with
+  | Error m -> Error m
+  | Ok sa -> (
+    let fd = Unix.socket (domain_of addr) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sa with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" (to_string addr)
+           (Unix.error_message e)))
+
+let listen ?(backlog = 64) addr =
+  (* A unix socket file survives its daemon; if nothing answers on it,
+     it is stale and safe to unlink. If something does answer, refuse to
+     hijack the address. *)
+  (match addr with
+  | Unix_sock path when Sys.file_exists path -> (
+    match connect addr with
+    | Ok fd ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      ()
+    | Error _ -> ( try Sys.remove path with Sys_error _ -> ()))
+  | _ -> ());
+  match sockaddr_of addr with
+  | Error m -> Error m
+  | Ok sa -> (
+    let fd = Unix.socket (domain_of addr) Unix.SOCK_STREAM 0 in
+    (match addr with
+    | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+    | Unix_sock _ -> ());
+    match
+      Unix.bind fd sa;
+      Unix.listen fd backlog
+    with
+    | () -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot listen on %s: %s" (to_string addr)
+           (Unix.error_message e)))

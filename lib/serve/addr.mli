@@ -1,0 +1,19 @@
+(** Service addresses: a unix-domain socket path (the default) or
+    [HOST:PORT] for TCP, with one string syntax shared by
+    [xbound serve] and every [--connect] flag. *)
+
+type t = Unix_sock of string | Tcp of string * int
+
+(** ["HOST:PORT"] (rightmost colon, numeric port) parses as {!Tcp};
+    anything else is a unix socket path. *)
+val of_string : string -> t
+
+val to_string : t -> string
+
+(** Create + connect a blocking client socket. *)
+val connect : t -> (Unix.file_descr, string) Stdlib.result
+
+(** Create, bind and listen. For a unix address, a leftover socket file
+    that nothing accepts on (a previous daemon died hard) is removed and
+    rebound; a live one is an error. *)
+val listen : ?backlog:int -> t -> (Unix.file_descr, string) Stdlib.result

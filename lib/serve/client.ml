@@ -1,0 +1,42 @@
+(* Blocking RPC stub. See client.mli. *)
+
+type t = { fd : Unix.file_descr; m : Mutex.t; mutable next_id : int }
+
+let connect addr =
+  match Addr.connect addr with
+  | Error _ as e -> e
+  | Ok fd -> Ok { fd; m = Mutex.create (); next_id = 1 }
+
+let proto msg = Error (Xbound.Error.Protocol msg)
+
+let rpc_locked c priority request =
+  let id = c.next_id in
+  c.next_id <- id + 1;
+  let payload = Wire.encode_request { Wire.id; priority; request } in
+  match Frame.write c.fd payload with
+  | exception Unix.Unix_error (e, _, _) ->
+    proto ("send failed: " ^ Unix.error_message e)
+  | () -> (
+    match Frame.read c.fd with
+    | exception Unix.Unix_error (e, _, _) ->
+      proto ("receive failed: " ^ Unix.error_message e)
+    | Error e -> proto ("receive failed: " ^ Frame.read_error_to_string e)
+    | Ok reply -> (
+      match Wire.decode_response reply with
+      | Error e -> Error e
+      | Ok frame ->
+        if frame.Wire.rid <> id && frame.Wire.rid <> 0 then
+          proto
+            (Printf.sprintf "response id mismatch: sent %d, got %d" id
+               frame.Wire.rid)
+        else frame.Wire.result))
+
+let rpc ?(priority = Wire.Interactive) c request =
+  Mutex.lock c.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock c.m)
+    (fun () -> rpc_locked c priority request)
+
+let close c =
+  (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close c.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,22 @@
+(** Blocking RPC stub for the serve protocol.
+
+    One request in flight per call; the connection itself is reusable
+    (and a mutex makes concurrent {!rpc} calls from multiple threads
+    safe — they serialize on the socket). Transport and protocol
+    failures come back as [Xbound.Error.Protocol]; typed errors from
+    the server (unknown benchmark, overloaded, ...) come back as the
+    same {!Xbound.Error.t} value the server produced. *)
+
+type t
+
+val connect : Addr.t -> (t, string) Stdlib.result
+
+(** [rpc ?priority c req] — send, wait, decode. [priority] defaults to
+    [Wire.Interactive]. *)
+val rpc :
+  ?priority:Wire.priority ->
+  t ->
+  Wire.Request.t ->
+  (Wire.Response.t, Xbound.Error.t) Stdlib.result
+
+val close : t -> unit

@@ -1,0 +1,118 @@
+(* Request execution against the Xbound facade. See exec.mli. *)
+
+let ( let* ) = Result.bind
+
+let op_name = function
+  | Wire.Request.Analyze _ -> "analyze"
+  | Wire.Request.Explain _ -> "explain"
+  | Wire.Request.Run_concrete _ -> "run_concrete"
+  | Wire.Request.Optimize _ -> "optimize"
+  | Wire.Request.Bench_list -> "bench_list"
+  | Wire.Request.Cache_stats -> "cache_stats"
+
+let all_benches = Benchprogs.Bench.all @ Benchprogs.Extended.all
+
+let find_bench name =
+  match
+    List.find_opt
+      (fun b -> String.equal b.Benchprogs.Bench.name name)
+      all_benches
+  with
+  | Some b -> Ok b
+  | None ->
+    Error
+      (Xbound.Error.Unknown_benchmark
+         {
+           name;
+           available = List.map (fun b -> b.Benchprogs.Bench.name) all_benches;
+         })
+
+let analyze ~ctx bench =
+  let* program = Xbound.bench bench in
+  let* a = Xbound.analyze ~ctx program in
+  Ok
+    (Wire.Response.Analysis
+       {
+         name = bench;
+         paths = a.Xbound.paths;
+         forks = a.Xbound.forks;
+         dedup_hits = a.Xbound.dedup_hits;
+         total_cycles = a.Xbound.total_cycles;
+         peak_power_w = a.Xbound.peak_power_w;
+         peak_index = a.Xbound.peak_index;
+         peak_energy_j = a.Xbound.peak_energy_j;
+         peak_energy_cycles = a.Xbound.peak_energy_cycles;
+         npe_j_per_cycle = a.Xbound.npe_j_per_cycle;
+         power_trace_w = a.Xbound.power_trace_w;
+       })
+
+let explain ~ctx bench fmt top min_gap =
+  let* program = Xbound.bench bench in
+  let* a = Xbound.analyze ~ctx program in
+  let ex = Xbound.explain ~ctx ~top ~min_gap a in
+  let text =
+    Telemetry.span "render" @@ fun () ->
+    match fmt with
+    | Wire.Request.Table -> Explain.Report.to_table ex
+    | Wire.Request.Json -> Explain.Report.to_json_string ex ^ "\n"
+    | Wire.Request.Csv -> Explain.Report.to_csv ex
+  in
+  Ok (Wire.Response.Explanation { name = bench; fmt; text })
+
+let run_concrete ~ctx bench seed =
+  let* b = find_bench bench in
+  let* program = Xbound.bench bench in
+  let* t =
+    Xbound.run_concrete ~ctx program
+      ~inputs:[ (Benchprogs.Bench.input_base, b.Benchprogs.Bench.gen_inputs ~seed) ]
+  in
+  Ok
+    (Wire.Response.Concrete
+       {
+         name = bench;
+         seed;
+         cycles = t.Xbound.cycles;
+         peak_w = t.Xbound.peak_w;
+         peak_cycle = t.Xbound.peak_cycle;
+         trace_w = t.Xbound.trace_w;
+       })
+
+let optimize ~ctx bench =
+  let* o = Xbound.optimize ~ctx bench in
+  Ok
+    (Wire.Response.Optimization
+       {
+         name = bench;
+         chosen = o.Xbound.chosen;
+         base_peak_w = o.Xbound.base_peak_w;
+         opt_peak_w = o.Xbound.opt_peak_w;
+         peak_reduction_pct = o.Xbound.peak_reduction_pct;
+         range_reduction_pct = o.Xbound.range_reduction_pct;
+         perf_degradation_pct = o.Xbound.perf_degradation_pct;
+         energy_overhead_pct = o.Xbound.energy_overhead_pct;
+       })
+
+let bench_list () =
+  let entry extended b =
+    (b.Benchprogs.Bench.name, b.Benchprogs.Bench.description, extended)
+  in
+  Ok
+    (Wire.Response.Benchmarks
+       (List.map (entry false) Benchprogs.Bench.all
+       @ List.map (entry true) Benchprogs.Extended.all))
+
+let cache_stats ~ctx () =
+  match ctx.Xbound.Ctx.cache with
+  | None -> Error (Xbound.Error.Cache "cache disabled (--no-cache)")
+  | Some cache ->
+    let entries, bytes = Cache.disk_stats cache in
+    Ok (Wire.Response.Cache_stats { dir = Cache.dir cache; entries; bytes })
+
+let exec ~ctx = function
+  | Wire.Request.Analyze { bench } -> analyze ~ctx bench
+  | Wire.Request.Explain { bench; fmt; top; min_gap } ->
+    explain ~ctx bench fmt top min_gap
+  | Wire.Request.Run_concrete { bench; seed } -> run_concrete ~ctx bench seed
+  | Wire.Request.Optimize { bench } -> optimize ~ctx bench
+  | Wire.Request.Bench_list -> bench_list ()
+  | Wire.Request.Cache_stats -> cache_stats ~ctx ()

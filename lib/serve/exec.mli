@@ -1,0 +1,14 @@
+(** The one executor behind every dispatch path: a {!Wire.Request.t} in,
+    a {!Wire.Response.t} (or typed error) out, against an execution
+    context. The CLI calls this directly for in-process runs; the daemon
+    calls it from its executor threads with the shared context — which
+    is exactly why CLI and daemon output are byte-identical. *)
+
+val exec :
+  ctx:Xbound.Ctx.t ->
+  Wire.Request.t ->
+  (Wire.Response.t, Xbound.Error.t) Stdlib.result
+
+(** Short span/metric label for a request (["analyze"], ["explain"],
+    ...). *)
+val op_name : Wire.Request.t -> string

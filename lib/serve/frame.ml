@@ -1,0 +1,52 @@
+(* 4-byte big-endian length prefix + payload. See frame.mli. *)
+
+let max_payload = 16 * 1024 * 1024
+
+type read_error = Eof | Truncated | Oversized of int
+
+let read_error_to_string = function
+  | Eof -> "end of stream"
+  | Truncated -> "truncated frame"
+  | Oversized n -> Printf.sprintf "oversized frame length %d (max %d)" n max_payload
+
+(* [read_exactly fd buf] — [`Ok] for a full buffer, [`Eof] for zero
+   bytes before the first one, [`Short] for a close partway through. *)
+let read_exactly fd buf =
+  let len = Bytes.length buf in
+  let rec go off =
+    if off = len then `Ok
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> if off = 0 then `Eof else `Short
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let read fd =
+  let prefix = Bytes.create 4 in
+  match read_exactly fd prefix with
+  | `Eof -> Error Eof
+  | `Short -> Error Truncated
+  | `Ok ->
+    let len = Int32.to_int (Bytes.get_int32_be prefix 0) in
+    if len < 0 || len > max_payload then Error (Oversized len)
+    else begin
+      let payload = Bytes.create len in
+      match read_exactly fd payload with
+      | `Ok -> Ok (Bytes.unsafe_to_string payload)
+      | `Eof | `Short -> Error Truncated
+    end
+
+let write fd payload =
+  let len = String.length payload in
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 buf 4 len;
+  let rec go off =
+    if off < 4 + len then
+      match Unix.write fd buf off (4 + len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0

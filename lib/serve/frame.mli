@@ -1,0 +1,24 @@
+(** Length-prefixed framing: every protocol message is a 4-byte
+    big-endian payload length followed by that many bytes of JSON.
+    Framing errors are values — a malicious or broken peer can produce
+    {!read_error}s, never an exception, and a payload-level problem
+    (bad JSON) leaves the stream in sync for the next frame. *)
+
+(** Refuse frames above this payload size (16 MiB): a nonsense length
+    prefix must not make the server allocate gigabytes. *)
+val max_payload : int
+
+type read_error =
+  | Eof  (** clean close between frames *)
+  | Truncated  (** peer closed mid-frame (inside the prefix or payload) *)
+  | Oversized of int  (** length prefix negative or above {!max_payload} *)
+
+val read_error_to_string : read_error -> string
+
+(** Blocking read of one complete frame's payload. *)
+val read : Unix.file_descr -> (string, read_error) Stdlib.result
+
+(** Blocking write of one complete frame (prefix + payload). Raises
+    [Unix.Unix_error] (e.g. [EPIPE]) if the peer is gone — callers
+    decide whether that is fatal. *)
+val write : Unix.file_descr -> string -> unit

@@ -1,0 +1,101 @@
+(* Response rendering. See render.mli. *)
+
+let analysis ~name ~paths ~forks ~dedup_hits ~total_cycles ~peak_power_w
+    ~peak_index ~peak_energy_j ~peak_energy_cycles ~npe_j_per_cycle
+    ~power_trace_w =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "%s:\n" name;
+  Printf.bprintf b
+    "symbolic execution: %d paths, %d forks, %d dedup hits, %d cycles\n" paths
+    forks dedup_hits total_cycles;
+  Printf.bprintf b "peak power bound:  %s mW (cycle %d of the flattened trace)\n"
+    (Report.Render.mw peak_power_w)
+    peak_index;
+  Printf.bprintf b "peak energy bound: %.3f nJ over %d cycles (%s pJ/cycle)\n"
+    (peak_energy_j *. 1e9)
+    peak_energy_cycles
+    (Report.Render.npe_pj npe_j_per_cycle);
+  Printf.bprintf b "trace: %s\n" (Report.Render.series power_trace_w);
+  Buffer.contents b
+
+let concrete ~name ~seed ~cycles ~peak_w ~peak_cycle ~trace_w =
+  Printf.sprintf "%s seed %d: %d cycles, peak %s mW at cycle %d\n%s\n" name seed
+    cycles
+    (Report.Render.mw peak_w)
+    peak_cycle
+    (Report.Render.series trace_w)
+
+let optimization ~name ~chosen ~base_peak_w ~opt_peak_w ~peak_reduction_pct
+    ~range_reduction_pct ~perf_degradation_pct ~energy_overhead_pct =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "%s: applied %s\n" name
+    (match chosen with
+    | [] -> "(no transform reduced the bound)"
+    | opts -> String.concat ", " opts);
+  Printf.bprintf b "  peak power: %s -> %s mW (%.1f%% reduction)\n"
+    (Report.Render.mw base_peak_w)
+    (Report.Render.mw opt_peak_w)
+    peak_reduction_pct;
+  Printf.bprintf b "  dynamic range reduction: %.1f%%\n" range_reduction_pct;
+  Printf.bprintf b "  performance cost: %.2f%%, energy cost: %.2f%%\n"
+    perf_degradation_pct energy_overhead_pct;
+  Buffer.contents b
+
+let benchmarks entries =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "paper suite (Table 4.1):\n";
+  List.iter
+    (fun (name, descr, extended) ->
+      if not extended then Printf.bprintf b "  %-10s %s\n" name descr)
+    entries;
+  Buffer.add_string b "extended kernels:\n";
+  List.iter
+    (fun (name, descr, extended) ->
+      if extended then Printf.bprintf b "  %-10s %s\n" name descr)
+    entries;
+  Buffer.contents b
+
+let cache_stats ~dir ~entries ~bytes =
+  Printf.sprintf "cache directory: %s\nentries: %d\nsize: %.1f KiB\n"
+    (Option.value dir ~default:"(memory only)")
+    entries
+    (float_of_int bytes /. 1024.)
+
+let to_string = function
+  | Wire.Response.Analysis
+      {
+        name;
+        paths;
+        forks;
+        dedup_hits;
+        total_cycles;
+        peak_power_w;
+        peak_index;
+        peak_energy_j;
+        peak_energy_cycles;
+        npe_j_per_cycle;
+        power_trace_w;
+      } ->
+    analysis ~name ~paths ~forks ~dedup_hits ~total_cycles ~peak_power_w
+      ~peak_index ~peak_energy_j ~peak_energy_cycles ~npe_j_per_cycle
+      ~power_trace_w
+  | Wire.Response.Explanation { text; _ } -> text
+  | Wire.Response.Concrete { name; seed; cycles; peak_w; peak_cycle; trace_w }
+    ->
+    concrete ~name ~seed ~cycles ~peak_w ~peak_cycle ~trace_w
+  | Wire.Response.Optimization
+      {
+        name;
+        chosen;
+        base_peak_w;
+        opt_peak_w;
+        peak_reduction_pct;
+        range_reduction_pct;
+        perf_degradation_pct;
+        energy_overhead_pct;
+      } ->
+    optimization ~name ~chosen ~base_peak_w ~opt_peak_w ~peak_reduction_pct
+      ~range_reduction_pct ~perf_degradation_pct ~energy_overhead_pct
+  | Wire.Response.Benchmarks entries -> benchmarks entries
+  | Wire.Response.Cache_stats { dir; entries; bytes } ->
+    cache_stats ~dir ~entries ~bytes

@@ -1,0 +1,10 @@
+(** The one stdout renderer for {!Wire.Response.t} values.
+
+    Both dispatch paths — in-process execution and the daemon RPC —
+    print through this module, from the same decoded response value.
+    Combined with {!Explain.Ejson}'s shortest round-tripping float
+    printing this is what makes CLI and daemon output byte-identical:
+    there is exactly one piece of code that turns a response into
+    text. *)
+
+val to_string : Wire.Response.t -> string

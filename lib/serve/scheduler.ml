@@ -1,0 +1,71 @@
+(* Bounded two-priority FIFO under one mutex. See scheduler.mli. *)
+
+type job = { priority : Wire.priority; run : unit -> unit }
+
+type t = {
+  cap : int;
+  interactive : job Queue.t;
+  batch : job Queue.t;
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable stopped : bool;
+}
+
+let create ~capacity =
+  {
+    cap = max 1 capacity;
+    interactive = Queue.create ();
+    batch = Queue.create ();
+    m = Mutex.create ();
+    cv = Condition.create ();
+    stopped = false;
+  }
+
+let depth_unlocked t = Queue.length t.interactive + Queue.length t.batch
+
+let depth t =
+  Mutex.lock t.m;
+  let d = depth_unlocked t in
+  Mutex.unlock t.m;
+  d
+
+let capacity t = t.cap
+
+let submit t job =
+  Mutex.lock t.m;
+  let d = depth_unlocked t in
+  let r =
+    if t.stopped || d >= t.cap then Error d
+    else begin
+      Queue.push job
+        (match job.priority with
+        | Wire.Interactive -> t.interactive
+        | Wire.Batch -> t.batch);
+      Condition.signal t.cv;
+      Ok ()
+    end
+  in
+  Mutex.unlock t.m;
+  r
+
+let next t =
+  Mutex.lock t.m;
+  while (not t.stopped) && depth_unlocked t = 0 do
+    Condition.wait t.cv t.m
+  done;
+  let job =
+    if t.stopped then None
+    else if not (Queue.is_empty t.interactive) then
+      Some (Queue.pop t.interactive)
+    else Some (Queue.pop t.batch)
+  in
+  Mutex.unlock t.m;
+  job
+
+let stop t =
+  Mutex.lock t.m;
+  t.stopped <- true;
+  Queue.clear t.interactive;
+  Queue.clear t.batch;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m

@@ -1,0 +1,257 @@
+(* The serve daemon loop. See server.mli. *)
+
+type config = {
+  listen : Addr.t;
+  workers : int;
+  queue_capacity : int;
+  ctx : Xbound.Ctx.t;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  wm : Mutex.t;  (* serializes response frames on the socket *)
+  cm : Mutex.t;  (* guards the three fields below *)
+  mutable inflight : int;
+  mutable eof : bool;
+  mutable closed : bool;
+}
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  sched : Scheduler.t;
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  conns_m : Mutex.t;
+  mutable accept_thread : Thread.t option;
+  mutable executors : Thread.t list;
+  mutable readers : Thread.t list;
+  stopping : bool Atomic.t;
+}
+
+let c_requests = Telemetry.Counter.make "serve.requests"
+let c_rejected = Telemetry.Counter.make "serve.rejected"
+let c_connections = Telemetry.Counter.make "serve.connections"
+let c_protocol_errors = Telemetry.Counter.make "serve.protocol_errors"
+let h_queue_depth = Telemetry.Histogram.make "serve.queue_depth"
+let h_latency = Telemetry.Histogram.make "serve.latency_ns"
+
+let addr t = t.config.listen
+
+(* ---------------- connection lifecycle ---------------- *)
+
+let close_conn t c =
+  Mutex.lock c.cm;
+  let was_closed = c.closed in
+  c.closed <- true;
+  Mutex.unlock c.cm;
+  if not was_closed then begin
+    (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    Mutex.lock t.conns_m;
+    Hashtbl.remove t.conns c.fd;
+    Mutex.unlock t.conns_m
+  end
+
+(* A write failure means the client is gone: drop the connection. *)
+let send t c frame =
+  let payload = Wire.encode_response frame in
+  Mutex.lock c.wm;
+  let ok =
+    try
+      Frame.write c.fd payload;
+      true
+    with Unix.Unix_error _ | Sys_error _ -> false
+  in
+  Mutex.unlock c.wm;
+  if not ok then close_conn t c
+
+(* Called when a request finishes (or is rejected) — once the reader
+   has hit EOF and nothing is in flight, the connection is done. *)
+let finish t c =
+  Mutex.lock c.cm;
+  c.inflight <- c.inflight - 1;
+  let done_ = c.eof && c.inflight = 0 in
+  Mutex.unlock c.cm;
+  if done_ then close_conn t c
+
+let execute t c (frame : Wire.request_frame) ~admitted_ns =
+  let result =
+    try
+      Telemetry.span ~cat:"serve" (Exec.op_name frame.request) @@ fun () ->
+      Exec.exec ~ctx:t.config.ctx frame.request
+    with e ->
+      Error
+        (Xbound.Error.Analysis
+           { program = "(serve)"; message = Printexc.to_string e })
+  in
+  if Telemetry.enabled () then
+    Telemetry.Histogram.observe h_latency
+      (Int64.sub (Telemetry.now_ns ()) admitted_ns);
+  send t c { Wire.rid = frame.id; result };
+  finish t c
+
+(* ---------------- reader thread ---------------- *)
+
+let handle_payload t c payload =
+  match Wire.decode_request payload with
+  | Error (id, err) ->
+    Telemetry.Counter.incr c_protocol_errors;
+    send t c { Wire.rid = Option.value id ~default:0; result = Error err };
+    `Continue
+  | Ok frame ->
+    Telemetry.Counter.incr c_requests;
+    if Telemetry.enabled () then
+      Telemetry.Histogram.observe h_queue_depth
+        (Int64.of_int (Scheduler.depth t.sched));
+    let admitted_ns =
+      if Telemetry.enabled () then Telemetry.now_ns () else 0L
+    in
+    Mutex.lock c.cm;
+    c.inflight <- c.inflight + 1;
+    Mutex.unlock c.cm;
+    let job =
+      {
+        Scheduler.priority = frame.priority;
+        run = (fun () -> execute t c frame ~admitted_ns);
+      }
+    in
+    (match Scheduler.submit t.sched job with
+    | Ok () -> ()
+    | Error queued ->
+      Telemetry.Counter.incr c_rejected;
+      send t c
+        {
+          Wire.rid = frame.id;
+          result =
+            Error
+              (Xbound.Error.Overloaded
+                 { queued; capacity = Scheduler.capacity t.sched });
+        };
+      finish t c);
+    `Continue
+
+let reader t c =
+  let rec loop () =
+    match Frame.read c.fd with
+    | exception (Unix.Unix_error _ | Sys_error _) -> `Eof
+    | Error Frame.Eof -> `Eof
+    | Error e ->
+      (* Framing is lost: answer once, then drop the connection. *)
+      Telemetry.Counter.incr c_protocol_errors;
+      send t c
+        {
+          Wire.rid = 0;
+          result =
+            Error (Xbound.Error.Protocol (Frame.read_error_to_string e));
+        };
+      `Close
+    | Ok payload -> (
+      match handle_payload t c payload with `Continue -> loop ())
+  in
+  match loop () with
+  | `Close -> close_conn t c
+  | `Eof ->
+    (* Keep the connection open for responses still in flight. *)
+    Mutex.lock c.cm;
+    c.eof <- true;
+    let idle = c.inflight = 0 in
+    Mutex.unlock c.cm;
+    if idle then close_conn t c
+
+(* ---------------- accept / executor threads ---------------- *)
+
+let rec accept_loop t =
+  match Unix.accept t.listen_fd with
+  | fd, _ when Atomic.get t.stopping ->
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | fd, _ ->
+    Telemetry.Counter.incr c_connections;
+    let c =
+      {
+        fd;
+        wm = Mutex.create ();
+        cm = Mutex.create ();
+        inflight = 0;
+        eof = false;
+        closed = false;
+      }
+    in
+    Mutex.lock t.conns_m;
+    Hashtbl.replace t.conns fd c;
+    t.readers <- Thread.create (fun () -> reader t c) () :: t.readers;
+    Mutex.unlock t.conns_m;
+    accept_loop t
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+    accept_loop t
+  | exception (Unix.Unix_error _ | Sys_error _) ->
+    (* stop closed the listening socket — or it broke; either way the
+       accept loop is over. *)
+    ()
+
+let rec executor_loop sched =
+  match Scheduler.next sched with
+  | None -> ()
+  | Some job ->
+    (try job.Scheduler.run () with _ -> ());
+    executor_loop sched
+
+(* ---------------- start / stop ---------------- *)
+
+let start config =
+  (* A client vanishing mid-write must not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  match Addr.listen config.listen with
+  | Error _ as e -> e
+  | Ok listen_fd ->
+    let t =
+      {
+        config;
+        listen_fd;
+        sched = Scheduler.create ~capacity:(max 1 config.queue_capacity);
+        conns = Hashtbl.create 16;
+        conns_m = Mutex.create ();
+        accept_thread = None;
+        executors = [];
+        readers = [];
+        stopping = Atomic.make false;
+      }
+    in
+    t.executors <-
+      List.init (max 1 config.workers) (fun _ ->
+          Thread.create (fun () -> executor_loop t.sched) ());
+    t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+    Ok t
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* Wake the accept thread. Closing a listening fd does not wake a
+       thread blocked in accept(2) on Linux; shutdown does on most
+       setups, and the self-connect covers the rest (the accept loop
+       re-checks [stopping] on every wakeup). *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (match Addr.connect t.config.listen with
+    | Ok fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | Error _ -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.config.listen with
+    | Addr.Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
+    | Addr.Tcp _ -> ());
+    (* Wake the executors; queued jobs are dropped. *)
+    Scheduler.stop t.sched;
+    (* Wake every blocked reader. *)
+    Mutex.lock t.conns_m;
+    let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+    Mutex.unlock t.conns_m;
+    List.iter (fun c -> close_conn t c) conns;
+    Option.iter Thread.join t.accept_thread;
+    List.iter Thread.join t.executors;
+    (* The readers list is only ever appended under conns_m and accept
+       has joined, so this snapshot is complete. *)
+    Mutex.lock t.conns_m;
+    let readers = t.readers in
+    t.readers <- [];
+    Mutex.unlock t.conns_m;
+    List.iter Thread.join readers
+  end

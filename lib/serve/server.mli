@@ -1,0 +1,47 @@
+(** The [xbound serve] daemon loop.
+
+    One accept thread hands each connection to a dedicated reader
+    thread; decoded requests are admitted into the bounded two-class
+    {!Scheduler} and executed by a fixed pool of executor threads, all
+    sharing the server's one {!Xbound.Ctx.t} — so the in-memory LRU,
+    the single-flight table and the disk cache are shared across every
+    connection (two clients asking the same question cost one
+    analysis), and analyses still parallelize internally on the shared
+    domain pool.
+
+    Protocol behaviour on a connection:
+    - a malformed payload that leaves framing intact (bad JSON, bad
+      version, unknown op) gets a typed [Protocol] error response and
+      the connection stays up;
+    - a broken frame (truncated, oversized length prefix) gets a final
+      [Protocol] error response with id 0 and the connection is closed
+      — the byte stream can no longer be trusted;
+    - a full admission queue gets the 429-style [Overloaded] rejection
+      immediately, without blocking the reader.
+
+    Telemetry (ambient sink): counters [serve.requests],
+    [serve.rejected], [serve.connections], [serve.protocol_errors];
+    histograms [serve.queue_depth] (depth seen at admission) and
+    [serve.latency_ns] (admission to response written); one
+    [cat:"serve"] span per executed request. *)
+
+type config = {
+  listen : Addr.t;
+  workers : int;  (** executor threads (clamped to >= 1) *)
+  queue_capacity : int;  (** admission bound (clamped to >= 1) *)
+  ctx : Xbound.Ctx.t;  (** shared by every request *)
+}
+
+type t
+
+(** Bind, listen and spawn the accept/executor threads. [Error] is a
+    human-readable reason (address in use, permission...). *)
+val start : config -> (t, string) Stdlib.result
+
+(** The bound address (as configured). *)
+val addr : t -> Addr.t
+
+(** Graceful shutdown: stop accepting, reject queued work, wake every
+    blocked reader, join all threads, unlink the unix socket file.
+    Idempotent. *)
+val stop : t -> unit

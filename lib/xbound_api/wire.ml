@@ -1,0 +1,381 @@
+(* Typed request/response surface of the analysis service, with JSON
+   codecs. See wire.mli for the envelope grammar. *)
+
+module J = Explain.Ejson
+
+let proto_version = 1
+
+type priority = Interactive | Batch
+
+let priority_to_string = function
+  | Interactive -> "interactive"
+  | Batch -> "batch"
+
+let priority_of_string = function
+  | "interactive" -> Some Interactive
+  | "batch" -> Some Batch
+  | _ -> None
+
+(* Shared codec helpers: every of_json path is total — a shape mismatch
+   is an [Error reason], never an exception. *)
+let num i = J.Num (float_of_int i)
+let int_member k j = Option.map int_of_float (J.float_member k j)
+
+let float_array_member k j =
+  match Option.bind (J.member k j) J.to_list with
+  | None -> None
+  | Some items ->
+    let floats = List.filter_map J.to_float items in
+    if List.length floats = List.length items then
+      Some (Array.of_list floats)
+    else None
+
+let require what = function Some v -> Ok v | None -> Error ("missing or ill-typed " ^ what)
+
+let ( let* ) = Result.bind
+
+module Request = struct
+  type fmt = Table | Json | Csv
+
+  let fmt_to_string = function Table -> "table" | Json -> "json" | Csv -> "csv"
+
+  let fmt_of_string = function
+    | "table" -> Some Table
+    | "json" -> Some Json
+    | "csv" -> Some Csv
+    | _ -> None
+
+  type t =
+    | Analyze of { bench : string }
+    | Explain of { bench : string; fmt : fmt; top : int; min_gap : int }
+    | Run_concrete of { bench : string; seed : int }
+    | Optimize of { bench : string }
+    | Bench_list
+    | Cache_stats
+
+  let to_json = function
+    | Analyze { bench } ->
+      J.Obj [ ("op", J.Str "analyze"); ("bench", J.Str bench) ]
+    | Explain { bench; fmt; top; min_gap } ->
+      J.Obj
+        [
+          ("op", J.Str "explain"); ("bench", J.Str bench);
+          ("fmt", J.Str (fmt_to_string fmt)); ("top", num top);
+          ("min_gap", num min_gap);
+        ]
+    | Run_concrete { bench; seed } ->
+      J.Obj
+        [ ("op", J.Str "run_concrete"); ("bench", J.Str bench);
+          ("seed", num seed) ]
+    | Optimize { bench } ->
+      J.Obj [ ("op", J.Str "optimize"); ("bench", J.Str bench) ]
+    | Bench_list -> J.Obj [ ("op", J.Str "bench_list") ]
+    | Cache_stats -> J.Obj [ ("op", J.Str "cache_stats") ]
+
+  let of_json j =
+    let str k = require k (J.string_member k j) in
+    let int k = require k (int_member k j) in
+    match J.string_member "op" j with
+    | Some "analyze" ->
+      let* bench = str "bench" in
+      Ok (Analyze { bench })
+    | Some "explain" ->
+      let* bench = str "bench" in
+      let* fmt_s = str "fmt" in
+      let* fmt = require "fmt" (fmt_of_string fmt_s) in
+      let* top = int "top" in
+      let* min_gap = int "min_gap" in
+      Ok (Explain { bench; fmt; top; min_gap })
+    | Some "run_concrete" ->
+      let* bench = str "bench" in
+      let* seed = int "seed" in
+      Ok (Run_concrete { bench; seed })
+    | Some "optimize" ->
+      let* bench = str "bench" in
+      Ok (Optimize { bench })
+    | Some "bench_list" -> Ok Bench_list
+    | Some "cache_stats" -> Ok Cache_stats
+    | Some op -> Error ("unknown request op " ^ op)
+    | None -> Error "missing request op"
+end
+
+module Response = struct
+  type t =
+    | Analysis of {
+        name : string;
+        paths : int;
+        forks : int;
+        dedup_hits : int;
+        total_cycles : int;
+        peak_power_w : float;
+        peak_index : int;
+        peak_energy_j : float;
+        peak_energy_cycles : int;
+        npe_j_per_cycle : float;
+        power_trace_w : float array;
+      }
+    | Explanation of { name : string; fmt : Request.fmt; text : string }
+    | Concrete of {
+        name : string;
+        seed : int;
+        cycles : int;
+        peak_w : float;
+        peak_cycle : int;
+        trace_w : float array;
+      }
+    | Optimization of {
+        name : string;
+        chosen : string list;
+        base_peak_w : float;
+        opt_peak_w : float;
+        peak_reduction_pct : float;
+        range_reduction_pct : float;
+        perf_degradation_pct : float;
+        energy_overhead_pct : float;
+      }
+    | Benchmarks of (string * string * bool) list
+    | Cache_stats of { dir : string option; entries : int; bytes : int }
+
+  let to_json = function
+    | Analysis a ->
+      J.Obj
+        [
+          ("op", J.Str "analysis"); ("name", J.Str a.name);
+          ("paths", num a.paths); ("forks", num a.forks);
+          ("dedup_hits", num a.dedup_hits);
+          ("total_cycles", num a.total_cycles);
+          ("peak_power_w", J.Num a.peak_power_w);
+          ("peak_index", num a.peak_index);
+          ("peak_energy_j", J.Num a.peak_energy_j);
+          ("peak_energy_cycles", num a.peak_energy_cycles);
+          ("npe_j_per_cycle", J.Num a.npe_j_per_cycle);
+          ( "power_trace_w",
+            J.Arr
+              (Array.to_list (Array.map (fun w -> J.Num w) a.power_trace_w)) );
+        ]
+    | Explanation { name; fmt; text } ->
+      J.Obj
+        [
+          ("op", J.Str "explanation"); ("name", J.Str name);
+          ("fmt", J.Str (Request.fmt_to_string fmt)); ("text", J.Str text);
+        ]
+    | Concrete c ->
+      J.Obj
+        [
+          ("op", J.Str "concrete"); ("name", J.Str c.name);
+          ("seed", num c.seed); ("cycles", num c.cycles);
+          ("peak_w", J.Num c.peak_w); ("peak_cycle", num c.peak_cycle);
+          ( "trace_w",
+            J.Arr (Array.to_list (Array.map (fun w -> J.Num w) c.trace_w)) );
+        ]
+    | Optimization o ->
+      J.Obj
+        [
+          ("op", J.Str "optimization"); ("name", J.Str o.name);
+          ("chosen", J.Arr (List.map (fun s -> J.Str s) o.chosen));
+          ("base_peak_w", J.Num o.base_peak_w);
+          ("opt_peak_w", J.Num o.opt_peak_w);
+          ("peak_reduction_pct", J.Num o.peak_reduction_pct);
+          ("range_reduction_pct", J.Num o.range_reduction_pct);
+          ("perf_degradation_pct", J.Num o.perf_degradation_pct);
+          ("energy_overhead_pct", J.Num o.energy_overhead_pct);
+        ]
+    | Benchmarks bs ->
+      J.Obj
+        [
+          ("op", J.Str "benchmarks");
+          ( "benchmarks",
+            J.Arr
+              (List.map
+                 (fun (name, description, extended) ->
+                   J.Obj
+                     [
+                       ("name", J.Str name);
+                       ("description", J.Str description);
+                       ("extended", J.Bool extended);
+                     ])
+                 bs) );
+        ]
+    | Cache_stats { dir; entries; bytes } ->
+      J.Obj
+        [
+          ("op", J.Str "cache_stats");
+          ("dir", match dir with Some d -> J.Str d | None -> J.Null);
+          ("entries", num entries); ("bytes", num bytes);
+        ]
+
+  let of_json j =
+    let str k = require k (J.string_member k j) in
+    let int k = require k (int_member k j) in
+    let flt k = require k (J.float_member k j) in
+    let arr k = require k (float_array_member k j) in
+    match J.string_member "op" j with
+    | Some "analysis" ->
+      let* name = str "name" in
+      let* paths = int "paths" in
+      let* forks = int "forks" in
+      let* dedup_hits = int "dedup_hits" in
+      let* total_cycles = int "total_cycles" in
+      let* peak_power_w = flt "peak_power_w" in
+      let* peak_index = int "peak_index" in
+      let* peak_energy_j = flt "peak_energy_j" in
+      let* peak_energy_cycles = int "peak_energy_cycles" in
+      let* npe_j_per_cycle = flt "npe_j_per_cycle" in
+      let* power_trace_w = arr "power_trace_w" in
+      Ok
+        (Analysis
+           {
+             name; paths; forks; dedup_hits; total_cycles; peak_power_w;
+             peak_index; peak_energy_j; peak_energy_cycles; npe_j_per_cycle;
+             power_trace_w;
+           })
+    | Some "explanation" ->
+      let* name = str "name" in
+      let* fmt_s = str "fmt" in
+      let* fmt = require "fmt" (Request.fmt_of_string fmt_s) in
+      let* text = str "text" in
+      Ok (Explanation { name; fmt; text })
+    | Some "concrete" ->
+      let* name = str "name" in
+      let* seed = int "seed" in
+      let* cycles = int "cycles" in
+      let* peak_w = flt "peak_w" in
+      let* peak_cycle = int "peak_cycle" in
+      let* trace_w = arr "trace_w" in
+      Ok (Concrete { name; seed; cycles; peak_w; peak_cycle; trace_w })
+    | Some "optimization" ->
+      let* name = str "name" in
+      let* chosen =
+        match Option.bind (J.member "chosen" j) J.to_list with
+        | None -> Error "missing or ill-typed chosen"
+        | Some items ->
+          let ss = List.filter_map J.to_str items in
+          if List.length ss = List.length items then Ok ss
+          else Error "missing or ill-typed chosen"
+      in
+      let* base_peak_w = flt "base_peak_w" in
+      let* opt_peak_w = flt "opt_peak_w" in
+      let* peak_reduction_pct = flt "peak_reduction_pct" in
+      let* range_reduction_pct = flt "range_reduction_pct" in
+      let* perf_degradation_pct = flt "perf_degradation_pct" in
+      let* energy_overhead_pct = flt "energy_overhead_pct" in
+      Ok
+        (Optimization
+           {
+             name; chosen; base_peak_w; opt_peak_w; peak_reduction_pct;
+             range_reduction_pct; perf_degradation_pct; energy_overhead_pct;
+           })
+    | Some "benchmarks" ->
+      let* items =
+        require "benchmarks" (Option.bind (J.member "benchmarks" j) J.to_list)
+      in
+      let parsed =
+        List.filter_map
+          (fun b ->
+            match
+              ( J.string_member "name" b,
+                J.string_member "description" b,
+                J.member "extended" b )
+            with
+            | Some n, Some d, Some (J.Bool e) -> Some (n, d, e)
+            | _ -> None)
+          items
+      in
+      if List.length parsed = List.length items then Ok (Benchmarks parsed)
+      else Error "ill-typed benchmarks entry"
+    | Some "cache_stats" ->
+      let dir =
+        match J.member "dir" j with Some (J.Str d) -> Some d | _ -> None
+      in
+      let* entries = int "entries" in
+      let* bytes = int "bytes" in
+      Ok (Cache_stats { dir; entries; bytes })
+    | Some op -> Error ("unknown response op " ^ op)
+    | None -> Error "missing response op"
+end
+
+(* ---------------- envelopes ---------------- *)
+
+type request_frame = { id : int; priority : priority; request : Request.t }
+
+type response_frame = {
+  rid : int;
+  result : (Response.t, Xbound.Error.t) Stdlib.result;
+}
+
+let encode_request { id; priority; request } =
+  J.to_string
+    (J.Obj
+       [
+         ("proto_version", num proto_version); ("id", num id);
+         ("priority", J.Str (priority_to_string priority));
+         ("request", Request.to_json request);
+       ])
+
+let decode_request text =
+  match J.parse_opt text with
+  | None -> Error (None, Xbound.Error.Protocol "request is not valid JSON")
+  | Some j -> (
+    let id = int_member "id" j in
+    let fail m = Error (id, Xbound.Error.Protocol m) in
+    match int_member "proto_version" j with
+    | None -> fail "missing proto_version"
+    | Some v when v <> proto_version ->
+      fail
+        (Printf.sprintf "unsupported proto_version %d (server speaks %d)" v
+           proto_version)
+    | Some _ -> (
+      match id with
+      | None -> fail "missing request id"
+      | Some id -> (
+        let priority =
+          (* absent priority defaults to interactive; an unknown string
+             is a malformed request *)
+          match J.string_member "priority" j with
+          | None -> Some Interactive
+          | Some s -> priority_of_string s
+        in
+        match priority with
+        | None -> fail "unknown priority"
+        | Some priority -> (
+          match J.member "request" j with
+          | None -> fail "missing request body"
+          | Some body -> (
+            match Request.of_json body with
+            | Ok request -> Ok { id; priority; request }
+            | Error m -> fail m)))))
+
+let encode_response { rid; result } =
+  let payload =
+    match result with
+    | Ok r -> ("result", Response.to_json r)
+    | Error e -> ("error", Xbound.Error.to_wire e)
+  in
+  J.to_string (J.Obj [ ("id", num rid); payload ])
+
+let decode_response text =
+  match J.parse_opt text with
+  | None -> Error (Xbound.Error.Protocol "response is not valid JSON")
+  | Some j -> (
+    match int_member "id" j with
+    | None -> Error (Xbound.Error.Protocol "missing response id")
+    | Some rid -> (
+      match (J.member "result" j, J.member "error" j) with
+      | Some r, _ -> (
+        match Response.of_json r with
+        | Ok resp -> Ok { rid; result = Ok resp }
+        | Error m -> Error (Xbound.Error.Protocol m))
+      | None, Some e -> (
+        match Xbound.Error.of_wire e with
+        | Some err -> Ok { rid; result = Error err }
+        | None ->
+          Ok
+            {
+              rid;
+              result =
+                Error
+                  (Xbound.Error.Protocol
+                     ("unrecognized error payload " ^ J.to_string e));
+            })
+      | None, None ->
+        Error (Xbound.Error.Protocol "response has neither result nor error")))

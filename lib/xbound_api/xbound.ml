@@ -8,6 +8,8 @@ module Error = struct
     | Analysis of { program : string; message : string }
     | Cache of string
     | Unknown_benchmark of { name : string; available : string list }
+    | Overloaded of { queued : int; capacity : int }
+    | Protocol of string
 
   (* Standard Levenshtein distance, case-insensitive: typing "TEA8" or
      "tae8" should still land on "tea8". *)
@@ -54,8 +56,81 @@ module Error = struct
       | _ ->
         Printf.sprintf "unknown benchmark %S (available: %s)" name
           (String.concat ", " available))
+    | Overloaded { queued; capacity } ->
+      Printf.sprintf
+        "server overloaded: %d request(s) queued (capacity %d), retry later"
+        queued capacity
+    | Protocol m -> Printf.sprintf "protocol error: %s" m
 
   let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+  (* One stable code string per constructor: the wire discriminant the
+     serve protocol ships, so a server-side error reconstructs as the
+     same typed value client-side. Never rename these. *)
+  let code = function
+    | Parse _ -> "parse"
+    | Assembly _ -> "assembly"
+    | Netlist _ -> "netlist"
+    | Analysis _ -> "analysis"
+    | Cache _ -> "cache"
+    | Unknown_benchmark _ -> "unknown-benchmark"
+    | Overloaded _ -> "overloaded"
+    | Protocol _ -> "protocol"
+
+  let to_wire t =
+    let open Explain.Ejson in
+    let fields =
+      match t with
+      | Parse { file; line; message } ->
+        [ ("file", Str file); ("line", Num (float_of_int line));
+          ("message", Str message) ]
+      | Assembly { program; message } ->
+        [ ("program", Str program); ("message", Str message) ]
+      | Netlist m | Cache m | Protocol m -> [ ("message", Str m) ]
+      | Analysis { program; message } ->
+        [ ("program", Str program); ("message", Str message) ]
+      | Unknown_benchmark { name; available } ->
+        [ ("name", Str name);
+          ("available", Arr (List.map (fun n -> Str n) available)) ]
+      | Overloaded { queued; capacity } ->
+        [ ("queued", Num (float_of_int queued));
+          ("capacity", Num (float_of_int capacity)) ]
+    in
+    Obj (("code", Str (code t)) :: fields)
+
+  let of_wire j =
+    let open Explain.Ejson in
+    let str k = string_member k j in
+    let int k = Option.map int_of_float (float_member k j) in
+    match string_member "code" j with
+    | Some "parse" -> (
+      match (str "file", int "line", str "message") with
+      | Some file, Some line, Some message -> Some (Parse { file; line; message })
+      | _ -> None)
+    | Some "assembly" -> (
+      match (str "program", str "message") with
+      | Some program, Some message -> Some (Assembly { program; message })
+      | _ -> None)
+    | Some "netlist" -> Option.map (fun m -> Netlist m) (str "message")
+    | Some "analysis" -> (
+      match (str "program", str "message") with
+      | Some program, Some message -> Some (Analysis { program; message })
+      | _ -> None)
+    | Some "cache" -> Option.map (fun m -> Cache m) (str "message")
+    | Some "unknown-benchmark" -> (
+      match (str "name", Option.bind (member "available" j) to_list) with
+      | Some name, Some items ->
+        let available = List.filter_map to_str items in
+        if List.length available = List.length items then
+          Some (Unknown_benchmark { name; available })
+        else None
+      | _ -> None)
+    | Some "overloaded" -> (
+      match (int "queued", int "capacity") with
+      | Some queued, Some capacity -> Some (Overloaded { queued; capacity })
+      | _ -> None)
+    | Some "protocol" -> Option.map (fun m -> Protocol m) (str "message")
+    | _ -> None
 end
 
 module Ctx = struct
@@ -140,16 +215,6 @@ let with_env f =
 
 let set_jobs jobs = Option.iter Parallel.set_default_jobs jobs
 
-(* The deprecated per-call optionals override the corresponding [ctx]
-   fields, so pre-Ctx call sites behave exactly as before. *)
-let resolve ?cache ?jobs ?ctx () =
-  let base = Option.value ctx ~default:Ctx.default in
-  {
-    Ctx.cache = (match cache with Some _ -> cache | None -> base.Ctx.cache);
-    jobs = (match jobs with Some _ -> jobs | None -> base.Ctx.jobs);
-    telemetry = base.Ctx.telemetry;
-  }
-
 (* Fix the job count and install the context's telemetry sink (if any)
    for the duration of [f]. *)
 let in_ctx (ctx : Ctx.t) f =
@@ -192,8 +257,7 @@ let config_of p =
     max_paths = p.max_paths;
   }
 
-let analyze ?cache ?jobs ?ctx p =
-  let ctx = resolve ?cache ?jobs ?ctx () in
+let analyze ?(ctx = Ctx.default) p =
   in_ctx ctx @@ fun () ->
   let sink = Telemetry.ambient () in
   let phases0 =
@@ -251,8 +315,7 @@ type concrete = {
   trace_w : float array;
 }
 
-let run_concrete ?jobs ?ctx p ~inputs =
-  let ctx = resolve ?jobs ?ctx () in
+let run_concrete ?(ctx = Ctx.default) p ~inputs =
   in_ctx ctx @@ fun () ->
   with_env (fun cpu pa ->
       match Core.Analyze.run_concrete pa cpu p.p_image ~inputs with
@@ -293,8 +356,7 @@ type optimization = {
   raw_opt : Report.Optrun.t;
 }
 
-let optimize ?cache ?jobs ?ctx bname =
-  let ctx = resolve ?cache ?jobs ?ctx () in
+let optimize ?(ctx = Ctx.default) bname =
   in_ctx ctx @@ fun () ->
   let cache = ctx.Ctx.cache in
   match find_bench bname with

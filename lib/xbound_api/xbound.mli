@@ -25,6 +25,12 @@ module Error : sig
         (** symbolic analysis failed (path limit, unbounded loop...) *)
     | Cache of string  (** cache directory unusable *)
     | Unknown_benchmark of { name : string; available : string list }
+    | Overloaded of { queued : int; capacity : int }
+        (** the serve scheduler's admission queue was full — the
+            429-style typed rejection; retry later or as batch *)
+    | Protocol of string
+        (** malformed wire traffic: bad frame, bad JSON, unsupported
+            protocol version *)
 
   (** One-line diagnostic, suitable for stderr. For
       [Unknown_benchmark] with more than ~10 bundled benchmarks the
@@ -33,15 +39,26 @@ module Error : sig
   val to_string : t -> string
 
   val pp : Format.formatter -> t -> unit
+
+  (** The stable wire discriminant for this constructor (["parse"],
+      ["overloaded"], ...). Part of the serve protocol: never renamed. *)
+  val code : t -> string
+
+  (** JSON image shipped by the serve protocol: a [code] member plus the
+      constructor's fields. [of_wire (to_wire e) = Some e] for every
+      error value. *)
+  val to_wire : t -> Explain.Ejson.t
+
+  (** [None] on an unknown code or missing fields (the caller degrades
+      to {!Protocol}). *)
+  val of_wire : Explain.Ejson.t -> t option
 end
 
 (** {1 Execution context}
 
-    Every heavy entry point used to take repeated [?cache ?jobs]
-    (and now [?telemetry]) optionals; {!Ctx.t} consolidates them. The
-    per-call optionals remain as thin deprecated wrappers — an explicit
-    [?cache]/[?jobs] overrides the corresponding [ctx] field — so
-    existing callers keep compiling. *)
+    Every heavy entry point takes one consolidated {!Ctx.t}. (The
+    pre-[Ctx] per-call [?cache]/[?jobs] optionals are gone: [Ctx.t] is
+    the only way to pass options.) *)
 
 module Ctx : sig
   type t = {
@@ -130,18 +147,11 @@ type analysis = {
   raw : Core.Analyze.t;  (** escape hatch to the full result *)
 }
 
-(** [analyze ?cache ?jobs ?ctx program] — the paper's flow end to end:
-    Algorithm 1 symbolic exploration, then the peak power / peak energy
-    computations. [ctx] carries the standard knobs ({!Ctx.t}); the
-    [cache]/[jobs] optionals are the deprecated pre-[Ctx] spelling and
-    override the corresponding [ctx] fields. Results are bit-identical
-    at any job count and with telemetry on or off. *)
-val analyze :
-  ?cache:Cache.t ->
-  ?jobs:int ->
-  ?ctx:Ctx.t ->
-  program ->
-  (analysis, Error.t) Stdlib.result
+(** [analyze ?ctx program] — the paper's flow end to end: Algorithm 1
+    symbolic exploration, then the peak power / peak energy
+    computations. [ctx] carries the standard knobs ({!Ctx.t}). Results
+    are bit-identical at any job count and with telemetry on or off. *)
+val analyze : ?ctx:Ctx.t -> program -> (analysis, Error.t) Stdlib.result
 
 (** A concrete (input-based) execution, for profiling and for validating
     the bound. *)
@@ -152,11 +162,9 @@ type concrete = {
   trace_w : float array;
 }
 
-(** [run_concrete ?jobs ?ctx program ~inputs] — simulate with concrete
-    input words poked into RAM ([(address, words)] pairs). [jobs] is the
-    deprecated pre-{!Ctx} spelling. *)
+(** [run_concrete ?ctx program ~inputs] — simulate with concrete input
+    words poked into RAM ([(address, words)] pairs). *)
 val run_concrete :
-  ?jobs:int ->
   ?ctx:Ctx.t ->
   program ->
   inputs:(int * int list) list ->
@@ -201,14 +209,7 @@ type optimization = {
   raw_opt : Report.Optrun.t;  (** escape hatch *)
 }
 
-(** [optimize ?cache ?jobs ?ctx name] — greedy guided peak-power
-    optimization of a bundled benchmark (Section 5.1): apply each
-    transform, keep it only if it provably lowers the bound at
-    acceptable cost. [cache]/[jobs] are the deprecated pre-{!Ctx}
-    spelling and override the corresponding [ctx] fields. *)
-val optimize :
-  ?cache:Cache.t ->
-  ?jobs:int ->
-  ?ctx:Ctx.t ->
-  string ->
-  (optimization, Error.t) Stdlib.result
+(** [optimize ?ctx name] — greedy guided peak-power optimization of a
+    bundled benchmark (Section 5.1): apply each transform, keep it only
+    if it provably lowers the bound at acceptable cost. *)
+val optimize : ?ctx:Ctx.t -> string -> (optimization, Error.t) Stdlib.result

@@ -8,11 +8,22 @@ let tmpdir () =
   Sys.remove d;
   d
 
-let rm_rf d =
+let rec rm_rf d =
   if Sys.file_exists d then begin
-    Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+    Array.iter
+      (fun f ->
+        let p = Filename.concat d f in
+        if Sys.is_directory p then rm_rf p else Sys.remove p)
+      (Sys.readdir d);
     Sys.rmdir d
   end
+
+(* entry containers live under two-hex-digit shard subdirectories *)
+let rec entry_files d =
+  Sys.readdir d |> Array.to_list
+  |> List.concat_map (fun f ->
+         let p = Filename.concat d f in
+         if Sys.is_directory p then entry_files p else [ p ])
 
 let env =
   lazy
@@ -152,10 +163,10 @@ let test_corrupted_entry_is_a_miss () =
   let c1 = Cache.create ~dir () in
   Alcotest.(check (list int)) "stored" [ 1; 2; 3 ]
     (Cache.memo c1 ~ns:"t" ~key:k (fun () -> [ 1; 2; 3 ]));
-  let files = Sys.readdir dir in
-  Alcotest.(check int) "one entry on disk" 1 (Array.length files);
+  let files = entry_files dir in
+  Alcotest.(check int) "one entry on disk" 1 (List.length files);
   (* garble the container in place *)
-  let path = Filename.concat dir files.(0) in
+  let path = List.hd files in
   let oc = open_out_gen [ Open_wronly; Open_binary ] 0o644 path in
   output_string oc "garbage-garbage-garbage";
   close_out oc;

@@ -87,7 +87,7 @@ let analysis =
        | Ok p -> p
        | Error e -> Alcotest.fail (Xbound.Error.to_string e)
      in
-     match Xbound.analyze ~jobs:1 program with
+     match Xbound.analyze ~ctx:(Xbound.Ctx.create ~jobs:1 ()) program with
      | Ok a -> a
      | Error e -> Alcotest.fail (Xbound.Error.to_string e))
 

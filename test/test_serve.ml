@@ -1,0 +1,597 @@
+(* The serve stack: error wire codes, request/response codecs, framing,
+   the admission scheduler, and an end-to-end daemon over a unix socket
+   (protocol robustness, cross-client single-flight, admission
+   rejection, CLI-vs-daemon byte identity). *)
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* ---------------- error wire codes ---------------- *)
+
+(* One value per constructor. Adding a constructor without extending
+   this list fails the exhaustiveness check below. *)
+let error_samples =
+  [
+    ( "parse",
+      Xbound.Error.Parse { file = "f.s"; line = 3; message = "bad operand" } );
+    ( "assembly",
+      Xbound.Error.Assembly { program = "p"; message = "undefined symbol" } );
+    ("netlist", Xbound.Error.Netlist "elaboration failed");
+    ( "analysis",
+      Xbound.Error.Analysis { program = "p"; message = "path limit" } );
+    ("cache", Xbound.Error.Cache "cache dir unusable");
+    ( "unknown-benchmark",
+      Xbound.Error.Unknown_benchmark
+        { name = "tee8"; available = [ "tea8"; "div" ] } );
+    ("overloaded", Xbound.Error.Overloaded { queued = 64; capacity = 64 });
+    ("protocol", Xbound.Error.Protocol "bad frame");
+  ]
+
+let test_error_codes () =
+  List.iter
+    (fun (code, e) ->
+      checks ("code " ^ code) code (Xbound.Error.code e);
+      match Xbound.Error.of_wire (Xbound.Error.to_wire e) with
+      | Some e' -> checkb ("round-trip " ^ code) true (e = e')
+      | None -> Alcotest.failf "of_wire failed for %s" code)
+    error_samples;
+  (* Exhaustive: every constructor appears in the samples. *)
+  let covered e =
+    List.exists (fun (_, s) -> Xbound.Error.code s = Xbound.Error.code e)
+      error_samples
+  in
+  List.iter
+    (fun (_, e) -> checkb "covered" true (covered e))
+    error_samples;
+  (* Garbage degrades to None, not an exception. *)
+  checkb "unknown code" true
+    (Xbound.Error.of_wire
+       (Explain.Ejson.Obj [ ("code", Explain.Ejson.Str "nonsense") ])
+    = None);
+  checkb "missing fields" true
+    (Xbound.Error.of_wire
+       (Explain.Ejson.Obj [ ("code", Explain.Ejson.Str "parse") ])
+    = None);
+  checkb "not an object" true (Xbound.Error.of_wire (Explain.Ejson.Num 3.) = None)
+
+(* ---------------- request/response codecs ---------------- *)
+
+let request_samples =
+  [
+    Wire.Request.Analyze { bench = "tea8" };
+    Wire.Request.Explain
+      { bench = "div"; fmt = Wire.Request.Json; top = 4; min_gap = 5 };
+    Wire.Request.Explain
+      { bench = "div"; fmt = Wire.Request.Csv; top = 1; min_gap = 0 };
+    Wire.Request.Run_concrete { bench = "mult"; seed = 42 };
+    Wire.Request.Optimize { bench = "tea8" };
+    Wire.Request.Bench_list;
+    Wire.Request.Cache_stats;
+  ]
+
+let response_samples =
+  [
+    Wire.Response.Analysis
+      {
+        name = "tea8";
+        paths = 1;
+        forks = 0;
+        dedup_hits = 2;
+        total_cycles = 1234;
+        peak_power_w = 2.6375e-3;
+        peak_index = 17;
+        peak_energy_j = 1.25e-9;
+        peak_energy_cycles = 16;
+        npe_j_per_cycle = 0.81e-12;
+        power_trace_w = [| 1.0e-3; 2.5e-3; 0.3e-3 |];
+      };
+    Wire.Response.Explanation
+      { name = "tea8"; fmt = Wire.Request.Table; text = "line1\nline2\n" };
+    Wire.Response.Concrete
+      {
+        name = "div";
+        seed = 8;
+        cycles = 100;
+        peak_w = 2.2e-3;
+        peak_cycle = 31;
+        trace_w = [| 0.5e-3; 2.2e-3 |];
+      };
+    Wire.Response.Optimization
+      {
+        name = "tea8";
+        chosen = [ "strength-reduce"; "nop-pad" ];
+        base_peak_w = 2.6e-3;
+        opt_peak_w = 2.1e-3;
+        peak_reduction_pct = 19.2;
+        range_reduction_pct = 7.5;
+        perf_degradation_pct = 0.8;
+        energy_overhead_pct = 1.1;
+      };
+    Wire.Response.Optimization
+      {
+        name = "x";
+        chosen = [];
+        base_peak_w = 1.;
+        opt_peak_w = 1.;
+        peak_reduction_pct = 0.;
+        range_reduction_pct = 0.;
+        perf_degradation_pct = 0.;
+        energy_overhead_pct = 0.;
+      };
+    Wire.Response.Benchmarks
+      [ ("tea8", "TEA cipher", false); ("fancy", "extended", true) ];
+    Wire.Response.Cache_stats { dir = Some "/tmp/c"; entries = 12; bytes = 4096 };
+    Wire.Response.Cache_stats { dir = None; entries = 0; bytes = 0 };
+  ]
+
+let test_request_codec () =
+  List.iter
+    (fun r ->
+      match Wire.Request.of_json (Wire.Request.to_json r) with
+      | Ok r' -> checkb "request round-trip" true (r = r')
+      | Error m -> Alcotest.failf "request codec: %s" m)
+    request_samples;
+  checkb "bad op" true
+    (Result.is_error
+       (Wire.Request.of_json
+          (Explain.Ejson.Obj [ ("op", Explain.Ejson.Str "nonsense") ])))
+
+let test_response_codec () =
+  List.iter
+    (fun r ->
+      match Wire.Response.of_json (Wire.Response.to_json r) with
+      | Ok r' -> checkb "response round-trip" true (r = r')
+      | Error m -> Alcotest.failf "response codec: %s" m)
+    response_samples
+
+let test_envelopes () =
+  let rf =
+    {
+      Wire.id = 7;
+      priority = Wire.Batch;
+      request = Wire.Request.Analyze { bench = "tea8" };
+    }
+  in
+  (match Wire.decode_request (Wire.encode_request rf) with
+  | Ok rf' ->
+    checki "id" 7 rf'.Wire.id;
+    checkb "priority" true (rf'.Wire.priority = Wire.Batch);
+    checkb "request" true (rf'.Wire.request = rf.Wire.request)
+  | Error (_, e) -> Alcotest.fail (Xbound.Error.to_string e));
+  (* Version mismatch is a typed protocol error that still reports the
+     envelope id, so the server can address its reply. *)
+  (match
+     Wire.decode_request
+       {|{"proto_version": 999, "id": 3, "request": {"op": "bench_list"}}|}
+   with
+  | Error (Some 3, Xbound.Error.Protocol _) -> ()
+  | Error (id, e) ->
+    Alcotest.failf "unexpected: id=%s %s"
+      (match id with Some i -> string_of_int i | None -> "none")
+      (Xbound.Error.to_string e)
+  | Ok _ -> Alcotest.fail "bad version accepted");
+  (* Unparsable JSON: protocol error, no id. *)
+  (match Wire.decode_request "{nope" with
+  | Error (None, Xbound.Error.Protocol _) -> ()
+  | _ -> Alcotest.fail "garbage accepted");
+  List.iter
+    (fun result ->
+      let f = { Wire.rid = 9; result } in
+      match Wire.decode_response (Wire.encode_response f) with
+      | Ok f' ->
+        checki "rid" 9 f'.Wire.rid;
+        checkb "result" true (f'.Wire.result = result)
+      | Error e -> Alcotest.fail (Xbound.Error.to_string e))
+    [
+      Ok (Wire.Response.Benchmarks [ ("a", "b", false) ]);
+      Error (Xbound.Error.Overloaded { queued = 1; capacity = 1 });
+    ]
+
+(* ---------------- framing ---------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_frame_roundtrip () =
+  with_socketpair @@ fun a b ->
+  let payload = String.init 1000 (fun i -> Char.chr (i mod 256)) in
+  Serve.Frame.write a payload;
+  Serve.Frame.write a "";
+  (match Serve.Frame.read b with
+  | Ok p -> checks "payload" payload p
+  | Error e -> Alcotest.fail (Serve.Frame.read_error_to_string e));
+  (match Serve.Frame.read b with
+  | Ok p -> checks "empty payload" "" p
+  | Error e -> Alcotest.fail (Serve.Frame.read_error_to_string e));
+  Unix.close a;
+  match Serve.Frame.read b with
+  | Error Serve.Frame.Eof -> ()
+  | _ -> Alcotest.fail "expected Eof after close"
+
+let test_frame_truncated () =
+  with_socketpair @@ fun a b ->
+  (* A length prefix promising 100 bytes, then only 10, then close. *)
+  let buf = Bytes.create 4 in
+  Bytes.set_int32_be buf 0 100l;
+  ignore (Unix.write a buf 0 4);
+  ignore (Unix.write_substring a "0123456789" 0 10);
+  Unix.close a;
+  (match Serve.Frame.read b with
+  | Error Serve.Frame.Truncated -> ()
+  | _ -> Alcotest.fail "expected Truncated");
+  (* A partial prefix alone is also a truncation, not an Eof. *)
+  with_socketpair @@ fun a b ->
+  ignore (Unix.write_substring a "\x00\x00" 0 2);
+  Unix.close a;
+  match Serve.Frame.read b with
+  | Error Serve.Frame.Truncated -> ()
+  | _ -> Alcotest.fail "expected Truncated on partial prefix"
+
+let test_frame_oversized () =
+  with_socketpair @@ fun a b ->
+  let buf = Bytes.create 4 in
+  Bytes.set_int32_be buf 0 0x7fff_ffffl;
+  ignore (Unix.write a buf 0 4);
+  match Serve.Frame.read b with
+  | Error (Serve.Frame.Oversized n) ->
+    checkb "reported length" true (n > Serve.Frame.max_payload)
+  | _ -> Alcotest.fail "expected Oversized"
+
+(* ---------------- scheduler ---------------- *)
+
+let test_scheduler_admission () =
+  let s = Serve.Scheduler.create ~capacity:2 in
+  let submit p = Serve.Scheduler.submit s { Serve.Scheduler.priority = p; run = ignore } in
+  checkb "1st admitted" true (submit Wire.Batch = Ok ());
+  checkb "2nd admitted" true (submit Wire.Interactive = Ok ());
+  (match submit Wire.Interactive with
+  | Error depth -> checki "rejection reports depth" 2 depth
+  | Ok () -> Alcotest.fail "over-capacity submit admitted");
+  checki "depth" 2 (Serve.Scheduler.depth s);
+  checki "capacity" 2 (Serve.Scheduler.capacity s);
+  (* Interactive drains before the earlier-submitted batch job. *)
+  (match Serve.Scheduler.next s with
+  | Some j -> checkb "interactive first" true (j.Serve.Scheduler.priority = Wire.Interactive)
+  | None -> Alcotest.fail "empty");
+  (match Serve.Scheduler.next s with
+  | Some j -> checkb "then batch" true (j.Serve.Scheduler.priority = Wire.Batch)
+  | None -> Alcotest.fail "empty");
+  Serve.Scheduler.stop s;
+  checkb "stopped next" true (Serve.Scheduler.next s = None);
+  checkb "stopped submit" true (Result.is_error (submit Wire.Interactive))
+
+(* ---------------- end-to-end daemon ---------------- *)
+
+let fresh_sock () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "xbound-test-serve-%d-%d.sock" (Unix.getpid ())
+       (Random.int 100000))
+
+let with_server ?(workers = 2) ?(queue_capacity = 64) ?ctx f =
+  let ctx = match ctx with Some c -> c | None -> Xbound.Ctx.default in
+  let sock = fresh_sock () in
+  let server =
+    match
+      Serve.Server.start
+        { Serve.Server.listen = Serve.Addr.Unix_sock sock; workers;
+          queue_capacity; ctx }
+    with
+    | Ok s -> s
+    | Error m -> Alcotest.fail m
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop server;
+      try Sys.remove sock with Sys_error _ -> ())
+    (fun () -> f (Serve.Addr.Unix_sock sock))
+
+let with_client addr f =
+  match Serve.Client.connect addr with
+  | Error m -> Alcotest.fail m
+  | Ok c -> Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
+
+let test_serve_basic () =
+  with_server @@ fun addr ->
+  with_client addr @@ fun c ->
+  (match Serve.Client.rpc c Wire.Request.Bench_list with
+  | Ok (Wire.Response.Benchmarks bs) ->
+    checkb "has tea8" true (List.exists (fun (n, _, _) -> n = "tea8") bs)
+  | Ok _ -> Alcotest.fail "wrong response shape"
+  | Error e -> Alcotest.fail (Xbound.Error.to_string e));
+  (* A typed error crosses the wire as the same typed value. *)
+  match Serve.Client.rpc c (Wire.Request.Analyze { bench = "no-such" }) with
+  | Error (Xbound.Error.Unknown_benchmark { name; _ }) ->
+    checks "error name" "no-such" name
+  | Error e -> Alcotest.fail ("wrong error: " ^ Xbound.Error.to_string e)
+  | Ok _ -> Alcotest.fail "bogus benchmark analyzed"
+
+let test_serve_protocol_errors () =
+  with_server @@ fun addr ->
+  match Serve.Addr.connect addr with
+  | Error m -> Alcotest.fail m
+  | Ok fd ->
+    Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    (* Bad JSON in a well-formed frame: typed error, connection lives. *)
+    Serve.Frame.write fd "{this is not json";
+    (match Serve.Frame.read fd with
+    | Ok reply -> (
+      match Wire.decode_response reply with
+      | Ok { Wire.result = Error (Xbound.Error.Protocol _); _ } -> ()
+      | Ok _ -> Alcotest.fail "expected a protocol error"
+      | Error e -> Alcotest.fail (Xbound.Error.to_string e))
+    | Error e -> Alcotest.fail (Serve.Frame.read_error_to_string e));
+    (* Valid JSON, wrong shape: same story, and the id is echoed. *)
+    Serve.Frame.write fd
+      {|{"proto_version": 1, "id": 41, "request": {"op": "launch_missiles"}}|};
+    (match Serve.Frame.read fd with
+    | Ok reply -> (
+      match Wire.decode_response reply with
+      | Ok { Wire.rid = 41; result = Error (Xbound.Error.Protocol _) } -> ()
+      | Ok _ -> Alcotest.fail "expected protocol error with id 41"
+      | Error e -> Alcotest.fail (Xbound.Error.to_string e))
+    | Error e -> Alcotest.fail (Serve.Frame.read_error_to_string e));
+    (* The connection survived both: a real request still works. *)
+    Serve.Frame.write fd
+      (Wire.encode_request
+         { Wire.id = 42; priority = Wire.Interactive;
+           request = Wire.Request.Bench_list });
+    (match Serve.Frame.read fd with
+    | Ok reply -> (
+      match Wire.decode_response reply with
+      | Ok { Wire.rid = 42; result = Ok (Wire.Response.Benchmarks _) } -> ()
+      | Ok _ -> Alcotest.fail "expected benchmarks after protocol errors"
+      | Error e -> Alcotest.fail (Xbound.Error.to_string e))
+    | Error e -> Alcotest.fail (Serve.Frame.read_error_to_string e))
+
+let test_serve_oversized_closes () =
+  with_server @@ fun addr ->
+  match Serve.Addr.connect addr with
+  | Error m -> Alcotest.fail m
+  | Ok fd ->
+    Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    (* A nonsense length prefix breaks framing: one final protocol
+       error, then the server closes the connection. *)
+    let buf = Bytes.create 4 in
+    Bytes.set_int32_be buf 0 0x7fff_ffffl;
+    ignore (Unix.write fd buf 0 4);
+    (match Serve.Frame.read fd with
+    | Ok reply -> (
+      match Wire.decode_response reply with
+      | Ok { Wire.result = Error (Xbound.Error.Protocol _); _ } -> ()
+      | _ -> Alcotest.fail "expected protocol error")
+    | Error e -> Alcotest.fail (Serve.Frame.read_error_to_string e));
+    match Serve.Frame.read fd with
+    | Error Serve.Frame.Eof -> ()
+    | Ok _ -> Alcotest.fail "server kept a broken connection open"
+    | Error _ -> ()
+
+(* Two clients ask the identical question concurrently: the shared
+   cache's single-flight table must compute it once. One analysis is
+   several memo calls (analysis, symtree, peak-power, peak-energy), so
+   "computed once" means the concurrent pair produces exactly as many
+   misses as one solo analysis — not twice as many. *)
+let test_serve_single_flight () =
+  let solo_misses =
+    let cache = Cache.create () in
+    (match
+       Serve.Exec.exec
+         ~ctx:(Xbound.Ctx.create ~cache ~jobs:2 ())
+         (Wire.Request.Analyze { bench = "tea8" })
+     with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail (Xbound.Error.to_string e));
+    (Cache.counters cache).Cache.misses
+  in
+  checkb "solo analysis misses" true (solo_misses >= 1);
+  let cache = Cache.create () in
+  let ctx = Xbound.Ctx.create ~cache ~jobs:2 () in
+  with_server ~ctx @@ fun addr ->
+  let results = Array.make 2 None in
+  let drive i =
+    with_client addr @@ fun c ->
+    results.(i) <- Some (Serve.Client.rpc c (Wire.Request.Analyze { bench = "tea8" }))
+  in
+  let ths = List.init 2 (fun i -> Thread.create drive i) in
+  List.iter Thread.join ths;
+  let texts =
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok r) -> Serve.Render.to_string r
+         | Some (Error e) -> Alcotest.fail (Xbound.Error.to_string e)
+         | None -> Alcotest.fail "client did not run")
+  in
+  (match texts with
+  | [ a; b ] -> checks "identical results" a b
+  | _ -> assert false);
+  let c = Cache.counters cache in
+  checki "computed once across clients" solo_misses c.Cache.misses;
+  checkb "second request joined or hit" true
+    (c.Cache.joined + c.Cache.mem_hits >= 1)
+
+(* workers=1 and capacity=1: with one request running and one queued,
+   the third is rejected with the typed 429. *)
+let test_serve_admission_reject () =
+  let cache = Cache.create () in
+  let ctx = Xbound.Ctx.create ~cache ~jobs:2 () in
+  with_server ~workers:1 ~queue_capacity:1 ~ctx @@ fun addr ->
+  match Serve.Addr.connect addr with
+  | Error m -> Alcotest.fail m
+  | Ok fd ->
+    Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    (* Three different analyses so single-flight cannot collapse them.
+       The first (div, the slow fork-heavy one) gets a head start so it
+       is dequeued and occupying the one worker; then the second fills
+       the one queue slot and the third must be rejected. *)
+    let send i bench =
+      Serve.Frame.write fd
+        (Wire.encode_request
+           { Wire.id = i; priority = Wire.Batch;
+             request = Wire.Request.Analyze { bench } })
+    in
+    send 1 "div";
+    Unix.sleepf 0.3;
+    send 2 "tea8";
+    send 3 "mult";
+    let replies = List.init 3 (fun _ ->
+        match Serve.Frame.read fd with
+        | Ok r -> (
+          match Wire.decode_response r with
+          | Ok f -> f
+          | Error e -> Alcotest.fail (Xbound.Error.to_string e))
+        | Error e -> Alcotest.fail (Serve.Frame.read_error_to_string e))
+    in
+    let rejected =
+      List.filter
+        (fun f ->
+          match f.Wire.result with
+          | Error (Xbound.Error.Overloaded { capacity; _ }) ->
+            checki "capacity reported" 1 capacity;
+            true
+          | _ -> false)
+        replies
+    in
+    let succeeded =
+      List.filter (fun f -> Result.is_ok f.Wire.result) replies
+    in
+    checki "one rejection" 1 (List.length rejected);
+    checki "two successes" 2 (List.length succeeded);
+    (* The rejected one is the last-submitted request. *)
+    match rejected with
+    | [ f ] -> checki "rejected id" 3 f.Wire.rid
+    | _ -> assert false
+
+(* The acceptance criterion in one test: render(exec(req)) in-process
+   and render(rpc(req)) through the daemon are the same bytes. *)
+let test_serve_byte_identical () =
+  let cache = Cache.create () in
+  let ctx = Xbound.Ctx.create ~cache ~jobs:2 () in
+  let requests =
+    [
+      Wire.Request.Analyze { bench = "tea8" };
+      Wire.Request.Explain
+        { bench = "tea8"; fmt = Wire.Request.Csv; top = 4; min_gap = 5 };
+      Wire.Request.Explain
+        { bench = "tea8"; fmt = Wire.Request.Table; top = 4; min_gap = 5 };
+      Wire.Request.Run_concrete { bench = "mult"; seed = 8 };
+      Wire.Request.Bench_list;
+    ]
+  in
+  let local =
+    List.map
+      (fun r ->
+        match Serve.Exec.exec ~ctx r with
+        | Ok resp -> Serve.Render.to_string resp
+        | Error e -> Alcotest.fail (Xbound.Error.to_string e))
+      requests
+  in
+  with_server ~ctx @@ fun addr ->
+  with_client addr @@ fun c ->
+  List.iter2
+    (fun r expected ->
+      match Serve.Client.rpc c r with
+      | Ok resp -> checks "byte-identical" expected (Serve.Render.to_string resp)
+      | Error e -> Alcotest.fail (Xbound.Error.to_string e))
+    requests local
+
+(* ---------------- cache sharding / migration ---------------- *)
+
+let temp_dir () =
+  let d = Filename.temp_file "xbound-test-shard" "" in
+  Sys.remove d;
+  d
+
+let test_cache_migrate () =
+  let dir = temp_dir () in
+  let cache = Cache.create ~dir () in
+  let keys =
+    List.init 8 (fun i -> Cache.Key.of_string (Printf.sprintf "entry-%d" i))
+  in
+  List.iter
+    (fun key -> ignore (Cache.memo cache ~ns:"t" ~key (fun () -> key)))
+    keys;
+  let entries, _ = Cache.disk_stats cache in
+  checki "stored sharded" 8 entries;
+  (* Flatten everything back into the legacy layout by hand. *)
+  Array.iter
+    (fun shard ->
+      let sdir = Filename.concat dir shard in
+      if Sys.file_exists sdir && Sys.is_directory sdir then begin
+        Array.iter
+          (fun f ->
+            Sys.rename (Filename.concat sdir f) (Filename.concat dir f))
+          (Sys.readdir sdir);
+        Sys.rmdir sdir
+      end)
+    (Sys.readdir dir);
+  let flat = Cache.create ~dir () in
+  let entries, _ = Cache.disk_stats flat in
+  checki "flat entries still counted" 8 entries;
+  (* A fresh cache finds (and adopts) a legacy flat entry on load. *)
+  let hit =
+    Cache.memo flat ~ns:"t" ~key:(List.hd keys) (fun () ->
+        Alcotest.fail "legacy entry not found")
+  in
+  checks "adopted value" (List.hd keys) hit;
+  (* Bulk migration moves the rest; nothing is lost. *)
+  let moved = Cache.migrate flat in
+  checki "migrated the remaining flat entries" 7 moved;
+  checkb "no flat entries left" true
+    (Array.for_all
+       (fun f -> Sys.is_directory (Filename.concat dir f))
+       (Sys.readdir dir));
+  let entries, _ = Cache.disk_stats flat in
+  checki "all entries after migrate" 8 entries;
+  let again = Cache.create ~dir () in
+  List.iter
+    (fun key ->
+      let v =
+        Cache.memo again ~ns:"t" ~key (fun () ->
+            Alcotest.fail "entry lost by migration")
+      in
+      checks "value after migration" key v)
+    keys;
+  checki "second migrate is a no-op" 0 (Cache.migrate again);
+  Cache.clear again;
+  (try Sys.rmdir dir with Sys_error _ -> ());
+  check Alcotest.bool "dir removed" false (Sys.file_exists dir)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "error codes" `Quick test_error_codes;
+          Alcotest.test_case "request codec" `Quick test_request_codec;
+          Alcotest.test_case "response codec" `Quick test_response_codec;
+          Alcotest.test_case "envelopes" `Quick test_envelopes;
+        ] );
+      ( "frame",
+        [
+          Alcotest.test_case "round-trip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "truncated" `Quick test_frame_truncated;
+          Alcotest.test_case "oversized" `Quick test_frame_oversized;
+        ] );
+      ( "scheduler",
+        [ Alcotest.test_case "admission" `Quick test_scheduler_admission ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "basic rpc" `Quick test_serve_basic;
+          Alcotest.test_case "protocol errors" `Quick test_serve_protocol_errors;
+          Alcotest.test_case "oversized closes" `Quick test_serve_oversized_closes;
+          Alcotest.test_case "single flight" `Quick test_serve_single_flight;
+          Alcotest.test_case "admission reject" `Quick test_serve_admission_reject;
+          Alcotest.test_case "byte identical" `Quick test_serve_byte_identical;
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "shard migrate" `Quick test_cache_migrate ] );
+    ]

@@ -266,7 +266,7 @@ let tiny_program () =
 let test_analyze_bit_identical () =
   let p = tiny_program () in
   let plain =
-    match Xbound.analyze ~jobs:2 p with
+    match Xbound.analyze ~ctx:(Xbound.Ctx.create ~jobs:2 ()) p with
     | Ok a -> a
     | Error e -> Alcotest.fail (Xbound.Error.to_string e)
   in
