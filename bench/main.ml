@@ -39,7 +39,7 @@ let list_experiments () =
    is trackable across commits: run with -j 1 and -j N and compare the
    two files. *)
 let write_bench_json entries cycles_per_run ~cache_json ~phases_json
-    ~parallel_jobs ~parallel_speedup =
+    ~static_json ~gaps_json ~parallel_jobs ~parallel_speedup =
   let oc = open_out "BENCH_micro.json" in
   Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"results\": [\n"
     (Parallel.default_jobs ());
@@ -61,10 +61,12 @@ let write_bench_json entries cycles_per_run ~cache_json ~phases_json
     "  ],\n\
     \  \"phases\": %s,\n\
     \  \"cache\": %s,\n\
+    \  \"static\": %s,\n\
+    \  \"static_gap_pct\": %s,\n\
     \  \"parallel_jobs\": %d,\n\
     \  \"parallel_speedup\": %s\n\
      }\n"
-    phases_json cache_json parallel_jobs
+    phases_json cache_json static_json gaps_json parallel_jobs
     (match parallel_speedup with
     | Some s -> Printf.sprintf "%.3f" s
     | None -> "null");
@@ -131,6 +133,78 @@ let bench_cache pa cpu img =
   Cache.clear warm_cache;
   (try Sys.rmdir dir with Sys_error _ -> ());
   (json, cold_s, warm_s, speedup)
+
+(* Cold vs warm static-tier timing through the "block" cache namespace,
+   same two-Cache.t protocol as [bench_cache]. Returns the JSON blob and
+   the warm ns/run for the results row that `bench compare` gates. *)
+let bench_static pa cpu img (b : Benchprogs.Bench.t) =
+  let dir = Filename.temp_file "xbound-bench-static" "" in
+  Sys.remove dir;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let run cache () =
+    match
+      Static.Ipet.analyze ~cache ~name:b.Benchprogs.Bench.name
+        ~loop_bound:b.Benchprogs.Bench.loop_bound pa cpu img
+    with
+    | Ok s -> s
+    | Error e -> failwith ("bench static: " ^ Static.Cfg.error_to_string e)
+  in
+  let cold_cache = Cache.create ~dir () in
+  let _, cold_s = time (run cold_cache) in
+  let warm_cache = Cache.create ~dir () in
+  let s, warm_s = time (run warm_cache) in
+  let speedup = if warm_s > 0. then cold_s /. warm_s else infinity in
+  Printf.printf "%-28s cold %.3f s, warm %.4f s (%.0fx), %d blocks, %d loops\n"
+    ("static-analysis-" ^ b.Benchprogs.Bench.name)
+    cold_s warm_s speedup s.Static.Ipet.s_blocks s.Static.Ipet.s_loops;
+  Cache.clear warm_cache;
+  (try Sys.rmdir dir with Sys_error _ -> ());
+  (cold_s, warm_s, speedup)
+
+(* Static-vs-exact bound gap across the whole paper suite: the measured
+   looseness of the static tier, and (as a side effect) a cross-check
+   that the static bound dominates on every benchmark. *)
+let static_gaps pa cpu =
+  print_endline
+    "static vs exact bound gap (paper suite; + means static is looser):";
+  Printf.printf "  %-10s %12s %12s %8s %8s\n" "benchmark" "exact nJ"
+    "static nJ" "e-gap%" "p-gap%";
+  List.filter_map
+    (fun (b : Benchprogs.Bench.t) ->
+      let img = Benchprogs.Bench.assemble b in
+      let a = Core.Analyze.run pa cpu img in
+      match
+        Static.Ipet.analyze ~name:b.Benchprogs.Bench.name
+          ~loop_bound:b.Benchprogs.Bench.loop_bound pa cpu img
+      with
+      | Error e ->
+        Printf.printf "  %-10s (static tier unavailable: %s)\n"
+          b.Benchprogs.Bench.name
+          (Static.Cfg.error_to_string e);
+        None
+      | Ok s ->
+        let exact_e = a.Core.Analyze.peak_energy.Core.Peak_energy.energy in
+        let exact_p = a.Core.Analyze.peak_power in
+        let gap stat exact =
+          if exact = 0. then 0. else (stat -. exact) /. exact *. 100.
+        in
+        let e_gap = gap s.Static.Ipet.s_peak_energy_j exact_e in
+        let p_gap = gap s.Static.Ipet.s_peak_power_w exact_p in
+        Printf.printf "  %-10s %12.3f %12.3f %+7.1f%% %+7.1f%%\n"
+          b.Benchprogs.Bench.name (exact_e *. 1e9)
+          (s.Static.Ipet.s_peak_energy_j *. 1e9)
+          e_gap p_gap;
+        if e_gap < 0. || p_gap < 0. then
+          failwith
+            (Printf.sprintf
+               "bench static: static bound below exact on %s (soundness bug)"
+               b.Benchprogs.Bench.name);
+        Some (b.Benchprogs.Bench.name, e_gap))
+    Benchprogs.Bench.all
 
 let micro ~smoke () =
   let open Bechamel in
@@ -250,7 +324,32 @@ let micro ~smoke () =
       symbolic_div; peak_power; cpu_build;
     ];
   let cache_json, cold_s, warm_s, speedup = bench_cache pa cpu img in
-  let entries = List.rev !collected in
+  let st_cold_s, st_warm_s, st_speedup = bench_static pa cpu img b in
+  let gaps = static_gaps pa cpu in
+  let entries =
+    List.rev !collected @ [ ("static-analysis-tea8", st_warm_s *. 1e9) ]
+  in
+  (* The headline speedup of the static tier: warm static analysis vs
+     one exact symbolic exploration of the same program. *)
+  let static_vs_exact =
+    match List.assoc_opt "symbolic-analysis-tea8" entries with
+    | Some exact_ns when st_warm_s > 0. -> exact_ns /. 1e9 /. st_warm_s
+    | _ -> 0.
+  in
+  Printf.printf "%-28s %.0fx (warm static vs exact)\n" "static-vs-exact-tea8"
+    static_vs_exact;
+  let static_json =
+    Printf.sprintf
+      "{\"cold_s\": %.4f, \"warm_s\": %.5f, \"speedup\": %.1f, \
+       \"vs_exact_speedup\": %.1f}"
+      st_cold_s st_warm_s st_speedup static_vs_exact
+  in
+  let gaps_json =
+    "{"
+    ^ String.concat ", "
+        (List.map (fun (n, g) -> Printf.sprintf "%S: %.2f" n g) gaps)
+    ^ "}"
+  in
   let parallel_speedup =
     match
       ( List.assoc_opt "symbolic-analysis-tea8-j1" entries,
@@ -264,7 +363,7 @@ let micro ~smoke () =
     Printf.printf "%-28s %.2fx at -j%d\n" "parallel-speedup-tea8" s par_jobs
   | None -> ());
   write_bench_json entries cycles_per_run ~cache_json ~phases_json
-    ~parallel_jobs:par_jobs ~parallel_speedup;
+    ~static_json ~gaps_json ~parallel_jobs:par_jobs ~parallel_speedup;
   append_history
     {
       Explain.Regress.label = "micro";
@@ -277,6 +376,7 @@ let micro ~smoke () =
       cache_speedup = Some speedup;
       parallel_jobs = Some par_jobs;
       parallel_speedup;
+      static_gap_pct = gaps;
     }
 
 (* ---------------- serve throughput ---------------- *)
@@ -302,7 +402,7 @@ let bench_serve ~smoke () =
      the analysis itself (fresh cache, nothing warm). *)
   let cold_ctx = Xbound.Ctx.create ~cache:(Cache.create ~dir:cache_dir ()) () in
   let t0 = Unix.gettimeofday () in
-  (match Serve.Exec.exec ~ctx:cold_ctx (Wire.Request.Analyze { bench = "tea8" }) with
+  (match Serve.Exec.exec ~ctx:cold_ctx (Wire.Request.Analyze { bench = "tea8"; tier = Xbound.Tier.Exact }) with
   | Ok _ -> ()
   | Error e -> failwith (Xbound.Error.to_string e));
   let cold_s = Unix.gettimeofday () -. t0 in
@@ -333,7 +433,7 @@ let bench_serve ~smoke () =
         for _ = 1 to per_client do
           let r0 = Telemetry.now_ns () in
           (match
-             Serve.Client.rpc client (Wire.Request.Analyze { bench = "tea8" })
+             Serve.Client.rpc client (Wire.Request.Analyze { bench = "tea8"; tier = Xbound.Tier.Exact })
            with
           | Ok _ -> ()
           | Error e -> failwith (Xbound.Error.to_string e));
@@ -345,7 +445,7 @@ let bench_serve ~smoke () =
     (match Serve.Client.connect (Serve.Addr.Unix_sock sock) with
     | Error m -> failwith ("bench serve: " ^ m)
     | Ok client ->
-      ignore (Serve.Client.rpc client (Wire.Request.Analyze { bench = "tea8" }));
+      ignore (Serve.Client.rpc client (Wire.Request.Analyze { bench = "tea8"; tier = Xbound.Tier.Exact }));
       Serve.Client.close client);
     let t0 = Unix.gettimeofday () in
     let threads = List.init clients (fun _ -> Thread.create drive ()) in
@@ -411,6 +511,7 @@ let bench_serve ~smoke () =
       cache_speedup = Some speedup;
       parallel_jobs = None;
       parallel_speedup = None;
+      static_gap_pct = [];
     };
   (* Leave no temp state behind. *)
   let cache = Cache.create ~dir:cache_dir () in

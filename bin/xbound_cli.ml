@@ -131,11 +131,13 @@ let netlist_cmd =
 let analyze_cmd =
   let run c connect name =
     run_request ~ctx:(Cliterm.ctx c) connect
-      (Wire.Request.Analyze { bench = name })
+      (Wire.Request.Analyze { bench = name; tier = Cliterm.tier c })
   in
   Cmd.v
     (Cmd.info "analyze"
-       ~doc:"X-based peak power and energy bounds for a benchmark")
+       ~doc:
+         "Peak power and energy bounds for a benchmark (exact symbolic \
+          execution, or the static CFG/IPET tier with --tier)")
     Term.(const run $ Cliterm.term $ connect_term $ bench_term)
 
 let analyze_file_cmd =
@@ -151,12 +153,17 @@ let analyze_file_cmd =
        let* program = Xbound.of_source ~name:path text in
        let* a = Xbound.analyze ~ctx:(Cliterm.ctx c) program in
        Printf.printf "%s:\n" path;
-       Printf.printf "symbolic execution: %d paths, %d forks, %d cycles\n"
-         a.Xbound.paths a.Xbound.forks a.Xbound.total_cycles;
+       (match a.Xbound.tier with
+       | Xbound.Tier.Static ->
+         Printf.printf "static tier: CFG/IPET bound over <=%d cycles\n"
+           a.Xbound.peak_energy_cycles
+       | _ ->
+         Printf.printf "symbolic execution: %d paths, %d forks, %d cycles\n"
+           a.Xbound.paths a.Xbound.forks a.Xbound.total_cycles);
        Printf.printf "peak power bound:  %s mW\n"
-         (Report.Render.mw a.Xbound.peak_power_w);
+         (Report.Render.mw (Xbound.peak_power_w a));
        Printf.printf "peak energy bound: %.3f nJ (%s pJ/cycle)\n"
-         (a.Xbound.peak_energy_j *. 1e9)
+         (Xbound.peak_energy_j a *. 1e9)
          (Report.Render.npe_pj a.Xbound.npe_j_per_cycle);
        Ok ())
   in
@@ -213,7 +220,8 @@ let explain_cmd =
     handle
       (let* resp =
          dispatch ~ctx:(Cliterm.ctx c) connect
-           (Wire.Request.Explain { bench = name; fmt; top; min_gap })
+           (Wire.Request.Explain
+              { bench = name; fmt; top; min_gap; tier = Cliterm.tier c })
        in
        let text = Serve.Render.to_string resp in
        (match out with

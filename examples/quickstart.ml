@@ -62,9 +62,11 @@ let () =
   let a = or_die (Xbound.analyze ~ctx program) in
   Printf.printf "symbolic execution explored %d path(s), %d cycles\n"
     a.Xbound.paths a.Xbound.total_cycles;
-  Printf.printf "guaranteed peak power:  %.4f mW\n" (a.Xbound.peak_power_w *. 1e3);
+  Printf.printf "guaranteed peak power:  %.4f mW [%s tier]\n"
+    (Xbound.peak_power_w a *. 1e3)
+    (Xbound.Tier.to_string a.Xbound.tier);
   Printf.printf "guaranteed peak energy: %.4f nJ (%.3f pJ/cycle)\n"
-    (a.Xbound.peak_energy_j *. 1e9)
+    (Xbound.peak_energy_j a *. 1e9)
     (a.Xbound.npe_j_per_cycle *. 1e12);
   List.iter
     (fun (phase, s) -> Printf.printf "  phase %-12s %.4f s\n" phase s)
@@ -78,4 +80,4 @@ let () =
   in
   Printf.printf "concrete run peak:      %.4f mW (bound holds: %b)\n"
     (c.Xbound.peak_w *. 1e3)
-    (c.Xbound.peak_w <= a.Xbound.peak_power_w)
+    (c.Xbound.peak_w <= Xbound.peak_power_w a)

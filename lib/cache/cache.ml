@@ -303,6 +303,38 @@ let disk_stats t =
           acc (Sys.readdir d))
       (0, 0) (entry_dirs dir)
 
+(* Same walk as [disk_stats], bucketed by the namespace component of
+   the entry name — one row per entry kind ("analysis", "symtree",
+   "block", ...), so `cache stats` can show where the bytes live and
+   namespace-scoped semantics stay auditable. *)
+let disk_stats_by_ns t =
+  match t.dir_ with
+  | None -> []
+  | Some dir ->
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun d ->
+        Array.iter
+          (fun name ->
+            if is_entry_name name then
+              match String.split_on_char '.' name with
+              | ns :: _ ->
+                let sz =
+                  try
+                    In_channel.with_open_bin (Filename.concat d name)
+                      in_channel_length
+                  with Sys_error _ -> 0
+                in
+                let n0, b0 =
+                  Option.value (Hashtbl.find_opt tbl ns) ~default:(0, 0)
+                in
+                Hashtbl.replace tbl ns (n0 + 1, b0 + sz)
+              | [] -> ())
+          (Sys.readdir d))
+      (entry_dirs dir);
+    Hashtbl.fold (fun ns stats acc -> (ns, stats) :: acc) tbl []
+    |> List.sort compare
+
 (* Relocate legacy flat entries into their shard subdirectories (atomic
    renames); returns how many moved. Safe to run concurrently with
    readers — they look in both places. *)

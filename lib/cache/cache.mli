@@ -91,6 +91,13 @@ val counters_json : t -> string
     memory-only). *)
 val disk_stats : t -> int * int
 
+(** Per-namespace [(ns, (entries, bytes))] rows for the disk layer,
+    sorted by namespace — the breakdown behind {!disk_stats}, so the
+    [xbound cache stats] output can attribute entries to their kind
+    (analysis, symtree, block, peak-energy, ...). Empty when
+    memory-only. *)
+val disk_stats_by_ns : t -> (string * (int * int)) list
+
 (** Move flat legacy entries into their shard subdirectories (atomic
     renames, safe under concurrent readers); returns the number moved.
     The [xbound cache migrate] subcommand calls this. *)

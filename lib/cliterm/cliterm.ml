@@ -8,6 +8,7 @@ type t = {
 
 let ctx c = c.ctx
 let cache c = c.ctx.Xbound.Ctx.cache
+let tier c = c.ctx.Xbound.Ctx.tier
 
 let jobs_arg =
   let doc =
@@ -45,7 +46,31 @@ let stats_arg =
   in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
-let make jobs cache_dir no_cache trace_file stats =
+let tier_arg =
+  let doc =
+    "Bound tier: $(b,exact) runs Algorithm 1 whole-program symbolic \
+     exploration (the tight bound), $(b,static) runs the CFG + per-block \
+     characterization + IPET combiner (always terminates, dominates the \
+     exact bound), $(b,auto) tries static first and escalates to exact when \
+     the static cycle bound says exploration is feasible."
+  in
+  let tier_conv =
+    Arg.conv ~docv:"TIER"
+      ( (fun s ->
+          match Xbound.Tier.of_string s with
+          | Some t -> Ok t
+          | None ->
+            Error (`Msg (Printf.sprintf "unknown tier %S (expected %s)" s
+                           (String.concat "|"
+                              (List.map Xbound.Tier.to_string Xbound.Tier.all))))),
+        fun fmt t -> Format.pp_print_string fmt (Xbound.Tier.to_string t) )
+  in
+  Arg.(
+    value
+    & opt tier_conv Xbound.Tier.Exact
+    & info [ "tier" ] ~docv:"TIER" ~doc)
+
+let make jobs cache_dir no_cache trace_file stats tier =
   (match jobs with None -> () | Some j -> Parallel.set_default_jobs j);
   let cache =
     if no_cache then None
@@ -76,9 +101,9 @@ let make jobs cache_dir no_cache trace_file stats =
       Some s
     end
   in
-  { ctx = { Xbound.Ctx.cache; jobs; telemetry }; trace_file; stats }
+  { ctx = { Xbound.Ctx.cache; jobs; telemetry; tier }; trace_file; stats }
 
 let term =
   Term.(
     const make $ jobs_arg $ cache_dir_arg $ no_cache_arg $ trace_arg
-    $ stats_arg)
+    $ stats_arg $ tier_arg)

@@ -1,6 +1,7 @@
 (** The one definition of the command-line knobs shared by the xbound
     CLI and the bench harness: [-j]/[--jobs], [--cache-dir],
-    [--no-cache], [--trace] and [--stats].
+    [--no-cache], [--trace], [--stats] and
+    [--tier exact|static|auto].
 
     Evaluating {!term} builds the consolidated {!Xbound.Ctx.t}. When
     [--trace] or [--stats] is given it also creates a {!Telemetry.t}
@@ -23,3 +24,6 @@ val ctx : t -> Xbound.Ctx.t
 
 (** Shorthand for [ (ctx c).cache ]. *)
 val cache : t -> Cache.t option
+
+(** Shorthand for [ (ctx c).tier ] — the [--tier] selection. *)
+val tier : t -> Xbound.Tier.t

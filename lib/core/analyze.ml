@@ -138,6 +138,78 @@ let run ?(config = default_config) ?pool ?cache pa cpu (image : Isa.Asm.image) =
          ~tree_memo:(fun f -> Cache.memo c ~ns:"symtree" ~key:tkey f)
          ~algo_cache:(Some (c, pkey)))
 
+(* Symbolic execution of a program fragment: boot the machine with the
+   reset vector pointed at [entry] and explore until [is_end]. Because
+   every register, SR and RAM word starts X (only the PC has a reset
+   value), booting straight into a basic block is exactly the
+   conservative "entered from any machine state" entry the static tier
+   needs — no prologue, no state surgery. *)
+let run_fragment ?pool ~is_end ~max_cycles_per_path ~max_paths cpu
+    (image : Isa.Asm.image) ~entry =
+  Telemetry.span "fragment" @@ fun () ->
+  let pool = match pool with Some _ as p -> p | None -> Parallel.auto () in
+  (* Boot through a thunk placed past the program's last ROM word: stop
+     the watchdog, then jump to [entry]. Without it the free-running
+     watchdog counter gives every cycle a distinct state digest, so a
+     loop inside the fragment never dedups. Every program in this
+     repository (like any real MSP430 application) stops the watchdog
+     in its prologue and leaves it stopped, so the fragment bound still
+     dominates every reachable entry into the fragment. *)
+  let thunk_base =
+    List.fold_left
+      (fun m (a, _) -> if a < Isa.Memmap.reset_vector then max m (a + 2) else m)
+      Isa.Memmap.rom_base image.Isa.Asm.words
+  in
+  let lookup _ = 0 in
+  let wdt_stop =
+    Isa.Insn.encode ~lookup ~pc:thunk_base
+      (Isa.Insn.I1
+         ( Isa.Insn.MOV,
+           Isa.Insn.S_imm (Isa.Insn.Lit 0x5A80),
+           Isa.Insn.D_abs (Isa.Insn.Lit Isa.Memmap.wdtctl) ))
+  in
+  let br_pc = thunk_base + (2 * List.length wdt_stop) in
+  let br =
+    Isa.Insn.encode ~lookup ~pc:br_pc
+      (Isa.Insn.br (Isa.Insn.S_imm (Isa.Insn.Lit entry)))
+  in
+  let thunk_words =
+    List.mapi (fun k w -> (thunk_base + (2 * k), w)) (wdt_stop @ br)
+  in
+  let thunk_limit = thunk_base + (2 * List.length (wdt_stop @ br)) in
+  assert (thunk_limit <= Isa.Memmap.reset_vector);
+  let image =
+    {
+      image with
+      Isa.Asm.entry_addr = entry;
+      words =
+        List.map
+          (fun (a, w) ->
+            if a = Isa.Memmap.reset_vector then (a, thunk_base) else (a, w))
+          image.Isa.Asm.words
+        @ thunk_words;
+    }
+  in
+  (* Thunk fetches must not trip the caller's end predicate. *)
+  let is_end cy =
+    match
+      (Tri.Word.to_int cy.Gatesim.Trace.state, Tri.Word.to_int cy.Gatesim.Trace.pc)
+    with
+    | Some s, Some p when s = Cpu.st_fetch && p >= thunk_base && p < thunk_limit
+      ->
+      false
+    | _ -> is_end cy
+  in
+  let e = engine_for cpu image ~symbolic:true in
+  let sym_config =
+    {
+      (Gatesim.Sym.default_config ~is_end) with
+      Gatesim.Sym.max_cycles_per_path;
+      max_paths;
+    }
+  in
+  Gatesim.Sym.run ?pool e sym_config
+
 (* Concrete (input-based) execution for profiling and validation. *)
 let run_concrete pa cpu (image : Isa.Asm.image) ~inputs =
   Telemetry.span "concrete" @@ fun () ->

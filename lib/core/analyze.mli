@@ -64,6 +64,23 @@ val run :
   Isa.Asm.image ->
   t
 
+(** [run_fragment ~is_end ~entry cpu image] — symbolic execution of a
+    program fragment: the reset vector is re-pointed at [entry] and the
+    machine boots straight into it, so the fragment is explored from the
+    conservative all-X entry state (every register, SR and RAM word is
+    X; only the PC resets). The static tier characterizes each basic
+    block this way; [is_end] decides where the fragment stops (typically
+    the first fetch outside the block). *)
+val run_fragment :
+  ?pool:Parallel.Pool.t ->
+  is_end:(Gatesim.Trace.cycle -> bool) ->
+  max_cycles_per_path:int ->
+  max_paths:int ->
+  Cpu.t ->
+  Isa.Asm.image ->
+  entry:int ->
+  Gatesim.Trace.tree * Gatesim.Sym.stats
+
 (** [run_concrete pa cpu image ~inputs] — a concrete (input-based)
     execution for profiling and validation; [inputs] are
     [(address, words)] pokes into RAM. Returns the cycle records and the

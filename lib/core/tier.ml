@@ -1,0 +1,18 @@
+(* Analysis tier selection. See tier.mli. *)
+
+type t = Exact | Static | Auto
+
+let to_string = function
+  | Exact -> "exact"
+  | Static -> "static"
+  | Auto -> "auto"
+
+let of_string = function
+  | "exact" -> Some Exact
+  | "static" -> Some Static
+  | "auto" -> Some Auto
+  | _ -> None
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let all = [ Exact; Static; Auto ]

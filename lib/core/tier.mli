@@ -1,0 +1,28 @@
+(** Which bounding pipeline produces a result.
+
+    - [Exact]: the paper's gate-level symbolic execution (Algorithm 1 +
+      the Section 3.2/3.3 computations). Tight, but the execution tree
+      must fit in memory and time.
+    - [Static]: CFG extraction + per-basic-block gate-level
+      characterization + an IPET-style longest-path combination. Looser
+      (every block is entered from a conservative all-X state and loop
+      iterations multiply the worst single iteration), but cost is
+      linear in program size, so it handles programs whose execution
+      trees the exact tier cannot hold.
+    - [Auto]: resolve per call — static first, exact when feasible. A
+      returned analysis never carries [Auto]; it reports the tier that
+      actually produced the bound.
+
+    Static bounds dominate exact bounds by construction ([static >=
+    exact] on both peak power and peak energy); the cross-check suite
+    asserts this over every paper benchmark. *)
+
+type t = Exact | Static | Auto
+
+(** ["exact"], ["static"], ["auto"] — the wire and CLI spellings;
+    stable, never renamed. *)
+val to_string : t -> string
+
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+val all : t list

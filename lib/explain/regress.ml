@@ -12,6 +12,7 @@ type record = {
   cache_speedup : float option;
   parallel_jobs : int option;
   parallel_speedup : float option;
+  static_gap_pct : (string * float) list;
 }
 
 let of_json ?(label = "<json>") j =
@@ -41,6 +42,14 @@ let of_json ?(label = "<json>") j =
     let cache k =
       Option.bind (Ejson.member "cache" j) (Ejson.float_member k)
     in
+    let static_gap_pct =
+      match Ejson.member "static_gap_pct" j with
+      | Some (Ejson.Obj kvs) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun g -> (k, g)) (Ejson.to_float v))
+          kvs
+      | _ -> []
+    in
     Ok
       {
         label;
@@ -54,6 +63,7 @@ let of_json ?(label = "<json>") j =
         parallel_jobs =
           Option.map int_of_float (Ejson.float_member "parallel_jobs" j);
         parallel_speedup = Ejson.float_member "parallel_speedup" j;
+        static_gap_pct;
       }
   | _ -> Error (label ^ ": bench record is not a JSON object")
 
@@ -103,6 +113,9 @@ let to_history_json r =
           ] );
       ("parallel_jobs", opt_num (Option.map float_of_int r.parallel_jobs));
       ("parallel_speedup", opt_num r.parallel_speedup);
+      ( "static_gap_pct",
+        Ejson.Obj
+          (List.map (fun (k, g) -> (k, Ejson.Num g)) r.static_gap_pct) );
     ]
 
 (* ---------------- comparison ---------------- *)
@@ -164,9 +177,19 @@ let compare_records ?(min_phase_s = 1e-3) ~tolerance_pct ~base ~cur () =
       [ delta_of ~tolerance_pct ~slow_is_high:false "parallel.speedup" v0 v1 ]
     | _ -> []
   in
+  (* Bound-quality metric: the static tier drifting looser (gap growing)
+     regresses like a slowdown. Deterministic, so same-code runs diff at
+     exactly 0%. *)
+  let gaps =
+    List.map
+      (fun (n, v0, v1) ->
+        delta_of ~tolerance_pct ~slow_is_high:true ("static_gap_pct:" ^ n) v0
+          v1)
+      (paired (fun r -> r.static_gap_pct) base cur.static_gap_pct)
+  in
   List.sort
     (fun a b -> Float.compare b.pct a.pct)
-    (results @ phases @ cache @ par)
+    (results @ phases @ cache @ par @ gaps)
 
 let regressions = List.filter (fun d -> d.regression)
 

@@ -24,6 +24,10 @@ type record = {
   parallel_speedup : float option;
       (** symbolic-analysis ns/run at -j1 divided by -jN (higher is
           better); regresses downward, like [cache_speedup] *)
+  static_gap_pct : (string * float) list;
+      (** benchmark name -> static-tier peak-energy gap over the exact
+          bound, percent; a growing gap (looser static bound) regresses
+          upward *)
 }
 
 val of_json : ?label:string -> Ejson.t -> (record, string) result

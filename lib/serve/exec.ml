@@ -27,35 +27,97 @@ let find_bench name =
            available = List.map (fun b -> b.Benchprogs.Bench.name) all_benches;
          })
 
-let analyze ~ctx bench =
+(* Auto tier under a long-lived server: when the immediate answer came
+   from the static tier (the facade found exact escalation infeasible or
+   failing), still attempt the exact tier on a detached thread so the
+   shared cache warms up for later requests. The attempt self-limits via
+   the benchmark's [max_paths]; its result (or failure) is discarded. *)
+let warm_exact_in_background ~ctx ~requested program (a : Xbound.analysis) =
+  if
+    requested = Xbound.Tier.Auto
+    && a.Xbound.tier = Xbound.Tier.Static
+    && Option.is_some ctx.Xbound.Ctx.cache
+  then
+    ignore
+      (Thread.create
+         (fun () ->
+           try
+             ignore
+               (Xbound.analyze
+                  ~ctx:{ ctx with Xbound.Ctx.tier = Xbound.Tier.Exact }
+                  program)
+           with _ -> ())
+         ())
+
+let analyze ~ctx bench tier =
+  let ctx = { ctx with Xbound.Ctx.tier } in
   let* program = Xbound.bench bench in
   let* a = Xbound.analyze ~ctx program in
+  warm_exact_in_background ~ctx ~requested:tier program a;
   Ok
     (Wire.Response.Analysis
        {
          name = bench;
+         tier = a.Xbound.tier;
          paths = a.Xbound.paths;
          forks = a.Xbound.forks;
          dedup_hits = a.Xbound.dedup_hits;
          total_cycles = a.Xbound.total_cycles;
-         peak_power_w = a.Xbound.peak_power_w;
+         peak_power = a.Xbound.peak_power;
          peak_index = a.Xbound.peak_index;
-         peak_energy_j = a.Xbound.peak_energy_j;
+         peak_energy = a.Xbound.peak_energy;
          peak_energy_cycles = a.Xbound.peak_energy_cycles;
          npe_j_per_cycle = a.Xbound.npe_j_per_cycle;
          power_trace_w = a.Xbound.power_trace_w;
        })
 
-let explain ~ctx bench fmt top min_gap =
+(* A static-tier explanation is the per-block provenance table plus (in
+   table format) the measured gap versus the exact tier. The exact run
+   shares the cache, so on a warmed server this footer is cheap; when
+   exact exploration is infeasible the footer degrades to n/a. *)
+let static_explanation ~ctx s fmt program =
+  match fmt with
+  | Wire.Request.Json -> Static.Ipet.to_json s ^ "\n"
+  | Wire.Request.Csv -> Static.Ipet.to_csv s
+  | Wire.Request.Table ->
+    let footer =
+      match
+        Xbound.analyze
+          ~ctx:{ ctx with Xbound.Ctx.tier = Xbound.Tier.Exact }
+          program
+      with
+      | Ok e ->
+        let gap stat exact =
+          if exact = 0.0 then 0.0 else (stat -. exact) /. exact *. 100.0
+        in
+        Printf.sprintf
+          "vs exact tier: peak power +%.1f%% (%s vs %s mW), peak energy \
+           +%.1f%% (%.3f vs %.3f nJ)\n"
+          (gap s.Static.Ipet.s_peak_power_w (Xbound.peak_power_w e))
+          (Report.Render.mw s.Static.Ipet.s_peak_power_w)
+          (Report.Render.mw (Xbound.peak_power_w e))
+          (gap s.Static.Ipet.s_peak_energy_j (Xbound.peak_energy_j e))
+          (s.Static.Ipet.s_peak_energy_j *. 1e9)
+          (Xbound.peak_energy_j e *. 1e9)
+      | Error err ->
+        Printf.sprintf "vs exact tier: n/a (%s)\n" (Xbound.Error.to_string err)
+    in
+    Static.Ipet.to_table s ^ footer
+
+let explain ~ctx bench fmt top min_gap tier =
+  let ctx = { ctx with Xbound.Ctx.tier } in
   let* program = Xbound.bench bench in
   let* a = Xbound.analyze ~ctx program in
-  let ex = Xbound.explain ~ctx ~top ~min_gap a in
   let text =
     Telemetry.span "render" @@ fun () ->
-    match fmt with
-    | Wire.Request.Table -> Explain.Report.to_table ex
-    | Wire.Request.Json -> Explain.Report.to_json_string ex ^ "\n"
-    | Wire.Request.Csv -> Explain.Report.to_csv ex
+    match Xbound.static_detail a with
+    | Some s -> static_explanation ~ctx s fmt program
+    | None -> (
+      let ex = Xbound.explain ~ctx ~top ~min_gap a in
+      match fmt with
+      | Wire.Request.Table -> Explain.Report.to_table ex
+      | Wire.Request.Json -> Explain.Report.to_json_string ex ^ "\n"
+      | Wire.Request.Csv -> Explain.Report.to_csv ex)
   in
   Ok (Wire.Response.Explanation { name = bench; fmt; text })
 
@@ -106,12 +168,14 @@ let cache_stats ~ctx () =
   | None -> Error (Xbound.Error.Cache "cache disabled (--no-cache)")
   | Some cache ->
     let entries, bytes = Cache.disk_stats cache in
-    Ok (Wire.Response.Cache_stats { dir = Cache.dir cache; entries; bytes })
+    let by_ns = Cache.disk_stats_by_ns cache in
+    Ok
+      (Wire.Response.Cache_stats { dir = Cache.dir cache; entries; bytes; by_ns })
 
 let exec ~ctx = function
-  | Wire.Request.Analyze { bench } -> analyze ~ctx bench
-  | Wire.Request.Explain { bench; fmt; top; min_gap } ->
-    explain ~ctx bench fmt top min_gap
+  | Wire.Request.Analyze { bench; tier } -> analyze ~ctx bench tier
+  | Wire.Request.Explain { bench; fmt; top; min_gap; tier } ->
+    explain ~ctx bench fmt top min_gap tier
   | Wire.Request.Run_concrete { bench; seed } -> run_concrete ~ctx bench seed
   | Wire.Request.Optimize { bench } -> optimize ~ctx bench
   | Wire.Request.Bench_list -> bench_list ()

@@ -1,21 +1,35 @@
 (* Response rendering. See render.mli. *)
 
-let analysis ~name ~paths ~forks ~dedup_hits ~total_cycles ~peak_power_w
-    ~peak_index ~peak_energy_j ~peak_energy_cycles ~npe_j_per_cycle
+(* Exact-tier output is byte-identical to the v1 rendering; the static
+   tier has no flattened trace, so its block reads differently. *)
+let analysis ~name ~tier ~paths ~forks ~dedup_hits ~total_cycles ~peak_power
+    ~peak_index ~peak_energy ~peak_energy_cycles ~npe_j_per_cycle
     ~power_trace_w =
   let b = Buffer.create 512 in
+  let pk_w = peak_power.Xbound.Bound.value in
+  let pe_j = peak_energy.Xbound.Bound.value in
   Printf.bprintf b "%s:\n" name;
-  Printf.bprintf b
-    "symbolic execution: %d paths, %d forks, %d dedup hits, %d cycles\n" paths
-    forks dedup_hits total_cycles;
-  Printf.bprintf b "peak power bound:  %s mW (cycle %d of the flattened trace)\n"
-    (Report.Render.mw peak_power_w)
-    peak_index;
-  Printf.bprintf b "peak energy bound: %.3f nJ over %d cycles (%s pJ/cycle)\n"
-    (peak_energy_j *. 1e9)
-    peak_energy_cycles
-    (Report.Render.npe_pj npe_j_per_cycle);
-  Printf.bprintf b "trace: %s\n" (Report.Render.series power_trace_w);
+  (match tier with
+  | Xbound.Tier.Static ->
+    Printf.bprintf b
+      "static tier: CFG + per-block characterization + IPET combiner\n";
+    Printf.bprintf b "peak power bound:  %s mW [static]\n"
+      (Report.Render.mw pk_w);
+    Printf.bprintf b
+      "peak energy bound: %.3f nJ over <=%d cycles (%s pJ/cycle) [static]\n"
+      (pe_j *. 1e9) peak_energy_cycles
+      (Report.Render.npe_pj npe_j_per_cycle)
+  | _ ->
+    Printf.bprintf b
+      "symbolic execution: %d paths, %d forks, %d dedup hits, %d cycles\n"
+      paths forks dedup_hits total_cycles;
+    Printf.bprintf b
+      "peak power bound:  %s mW (cycle %d of the flattened trace)\n"
+      (Report.Render.mw pk_w) peak_index;
+    Printf.bprintf b "peak energy bound: %.3f nJ over %d cycles (%s pJ/cycle)\n"
+      (pe_j *. 1e9) peak_energy_cycles
+      (Report.Render.npe_pj npe_j_per_cycle);
+    Printf.bprintf b "trace: %s\n" (Report.Render.series power_trace_w));
   Buffer.contents b
 
 let concrete ~name ~seed ~cycles ~peak_w ~peak_cycle ~trace_w =
@@ -55,29 +69,37 @@ let benchmarks entries =
     entries;
   Buffer.contents b
 
-let cache_stats ~dir ~entries ~bytes =
-  Printf.sprintf "cache directory: %s\nentries: %d\nsize: %.1f KiB\n"
+let cache_stats ~dir ~entries ~bytes ~by_ns =
+  let b = Buffer.create 128 in
+  Printf.bprintf b "cache directory: %s\nentries: %d\nsize: %.1f KiB\n"
     (Option.value dir ~default:"(memory only)")
     entries
-    (float_of_int bytes /. 1024.)
+    (float_of_int bytes /. 1024.);
+  List.iter
+    (fun (ns, (e, byt)) ->
+      Printf.bprintf b "  %-12s %6d entries %10.1f KiB\n" ns e
+        (float_of_int byt /. 1024.))
+    by_ns;
+  Buffer.contents b
 
 let to_string = function
   | Wire.Response.Analysis
       {
         name;
+        tier;
         paths;
         forks;
         dedup_hits;
         total_cycles;
-        peak_power_w;
+        peak_power;
         peak_index;
-        peak_energy_j;
+        peak_energy;
         peak_energy_cycles;
         npe_j_per_cycle;
         power_trace_w;
       } ->
-    analysis ~name ~paths ~forks ~dedup_hits ~total_cycles ~peak_power_w
-      ~peak_index ~peak_energy_j ~peak_energy_cycles ~npe_j_per_cycle
+    analysis ~name ~tier ~paths ~forks ~dedup_hits ~total_cycles ~peak_power
+      ~peak_index ~peak_energy ~peak_energy_cycles ~npe_j_per_cycle
       ~power_trace_w
   | Wire.Response.Explanation { text; _ } -> text
   | Wire.Response.Concrete { name; seed; cycles; peak_w; peak_cycle; trace_w }
@@ -97,5 +119,5 @@ let to_string = function
     optimization ~name ~chosen ~base_peak_w ~opt_peak_w ~peak_reduction_pct
       ~range_reduction_pct ~perf_degradation_pct ~energy_overhead_pct
   | Wire.Response.Benchmarks entries -> benchmarks entries
-  | Wire.Response.Cache_stats { dir; entries; bytes } ->
-    cache_stats ~dir ~entries ~bytes
+  | Wire.Response.Cache_stats { dir; entries; bytes; by_ns } ->
+    cache_stats ~dir ~entries ~bytes ~by_ns

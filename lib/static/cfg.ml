@@ -1,0 +1,161 @@
+(* CFG extraction by decode worklist. See cfg.mli. *)
+
+type terminator =
+  | T_jump of int
+  | T_branch of { taken : int; fallthrough : int }
+  | T_call of { callee : int; link : int }
+  | T_ret
+  | T_halt
+  | T_fallthrough of int
+
+type block = {
+  b_start : int;
+  b_limit : int;
+  b_insns : (int * Isa.Insn.instr) list;
+  b_term : terminator;
+}
+
+type t = { c_entry : int; c_blocks : block list }
+
+type error =
+  | Indirect_branch of { addr : int; insn : string }
+  | Bad_decode of { addr : int; word : int }
+  | Recursive_call of { addr : int }
+  | Irreducible of { addr : int }
+
+let error_to_string = function
+  | Indirect_branch { addr; insn } ->
+    Printf.sprintf "indirect branch at 0x%04x (%s): target not statically known"
+      addr insn
+  | Bad_decode { addr; word } ->
+    Printf.sprintf "reachable word 0x%04x at 0x%04x does not decode" word addr
+  | Recursive_call { addr } ->
+    Printf.sprintf "recursive call through function at 0x%04x" addr
+  | Irreducible { addr } ->
+    Printf.sprintf "irreducible control flow around 0x%04x (no natural loop header)"
+      addr
+
+let terminator_to_string = function
+  | T_jump t -> Printf.sprintf "jmp 0x%04x" t
+  | T_branch { taken; fallthrough } ->
+    Printf.sprintf "branch 0x%04x / 0x%04x" taken fallthrough
+  | T_call { callee; link } -> Printf.sprintf "call 0x%04x -> 0x%04x" callee link
+  | T_ret -> "ret"
+  | T_halt -> "halt"
+  | T_fallthrough n -> Printf.sprintf "fall 0x%04x" n
+
+exception Err of error
+
+(* Classification of one decoded instruction: either it falls through,
+   or it ends the block. Decoded instructions carry [Lit] values only,
+   so every well-formed transfer has a literal target. *)
+let classify addr (d : Isa.Insn.decoded) ~next =
+  let indirect () =
+    raise (Err (Indirect_branch { addr; insn = Isa.Insn.to_string d.Isa.Insn.instr }))
+  in
+  match d.Isa.Insn.instr with
+  | Isa.Insn.J (Isa.Insn.JMP, Isa.Insn.Lit t) ->
+    Some (if t = addr then T_halt else T_jump t)
+  | Isa.Insn.J (_, Isa.Insn.Lit t) -> Some (T_branch { taken = t; fallthrough = next })
+  | Isa.Insn.J (_, _) -> indirect ()
+  | Isa.Insn.I1 (Isa.Insn.MOV, Isa.Insn.S_ind_inc r, Isa.Insn.D_reg 0)
+    when r = Isa.Insn.sp ->
+    Some T_ret
+  | Isa.Insn.RETI -> Some T_ret
+  | Isa.Insn.I1 (op, _, Isa.Insn.D_reg 0) when Isa.Insn.op1_writes_dst op ->
+    indirect ()
+  | Isa.Insn.I2 (Isa.Insn.CALL, Isa.Insn.S_imm (Isa.Insn.Lit t)) ->
+    Some (T_call { callee = t; link = next })
+  | Isa.Insn.I2 (Isa.Insn.CALL, _) -> indirect ()
+  | _ -> None
+
+let extract (img : Isa.Asm.image) =
+  let word_at = Hashtbl.create 256 in
+  List.iter (fun (a, w) -> Hashtbl.replace word_at a w) img.Isa.Asm.words;
+  let decode_at a =
+    match Hashtbl.find_opt word_at a with
+    | None -> raise (Err (Bad_decode { addr = a; word = 0 }))
+    | Some w -> (
+      let ext k = Option.value ~default:0 (Hashtbl.find_opt word_at (a + (2 * k))) in
+      match Isa.Insn.decode w ~ext1:(ext 1) ~ext2:(ext 2) ~pc:a with
+      | d ->
+        let have_exts =
+          List.for_all
+            (fun k -> Hashtbl.mem word_at (a + (2 * k)))
+            (List.init d.Isa.Insn.n_ext (fun k -> k + 1))
+        in
+        if have_exts then d else raise (Err (Bad_decode { addr = a; word = w }))
+      | exception Isa.Insn.Decode_error w ->
+        raise (Err (Bad_decode { addr = a; word = w })))
+  in
+  match
+    let insns = Hashtbl.create 256 in
+    let leaders = Hashtbl.create 64 in
+    let work = Queue.create () in
+    let mark_leader a =
+      if not (Hashtbl.mem leaders a) then begin
+        Hashtbl.replace leaders a ();
+        Queue.add a work
+      end
+    in
+    mark_leader img.Isa.Asm.entry_addr;
+    let enqueue a = if not (Hashtbl.mem insns a) then Queue.add a work in
+    while not (Queue.is_empty work) do
+      let a = Queue.pop work in
+      if not (Hashtbl.mem insns a) then begin
+        let d = decode_at a in
+        let next = a + (2 * (d.Isa.Insn.n_ext + 1)) in
+        let cls = classify a d ~next in
+        Hashtbl.replace insns a (d, cls);
+        match cls with
+        | None -> enqueue next
+        | Some T_halt | Some T_ret -> ()
+        | Some (T_jump t) -> mark_leader t
+        | Some (T_branch { taken; fallthrough }) ->
+          mark_leader taken;
+          mark_leader fallthrough
+        | Some (T_call { callee; link }) ->
+          mark_leader callee;
+          mark_leader link
+        | Some (T_fallthrough _) -> assert false
+      end
+    done;
+    (* A block per leader: follow the fall-through chain until a
+       terminator or the next leader. *)
+    let starts =
+      Hashtbl.fold (fun a () acc -> a :: acc) leaders [] |> List.sort compare
+    in
+    let block_of start =
+      let rec go a acc =
+        let d, cls = Hashtbl.find insns a in
+        let next = a + (2 * (d.Isa.Insn.n_ext + 1)) in
+        let acc = (a, d.Isa.Insn.instr) :: acc in
+        match cls with
+        | Some term ->
+          { b_start = start; b_limit = next; b_insns = List.rev acc; b_term = term }
+        | None ->
+          if Hashtbl.mem leaders next then
+            {
+              b_start = start;
+              b_limit = next;
+              b_insns = List.rev acc;
+              b_term = T_fallthrough next;
+            }
+          else go next acc
+      in
+      go start []
+    in
+    { c_entry = img.Isa.Asm.entry_addr; c_blocks = List.map block_of starts }
+  with
+  | cfg -> Ok cfg
+  | exception Err e -> Error e
+
+let block_at t addr = List.find_opt (fun b -> b.b_start = addr) t.c_blocks
+
+let successors b =
+  match b.b_term with
+  | T_jump t -> [ t ]
+  | T_branch { taken; fallthrough } -> [ taken; fallthrough ]
+  | T_call { link; _ } -> [ link ]
+  | T_fallthrough n -> [ n ]
+  | T_ret | T_halt -> []

@@ -1,0 +1,58 @@
+(** Control-flow graph extraction from an assembled binary.
+
+    A decode worklist walks the image from the entry point using the
+    {!Isa.Insn} decoder, splitting code into basic blocks at jumps,
+    conditional branches and calls. Every control transfer in the
+    MSP430 subset carries a literal target after decoding, so the CFG
+    is exact — except for indirect branches (a computed write to the
+    PC, or a CALL through a register), which the static tier rejects
+    with a typed error rather than guessing. *)
+
+type terminator =
+  | T_jump of int  (** unconditional jump to a block start *)
+  | T_branch of { taken : int; fallthrough : int }  (** conditional *)
+  | T_call of { callee : int; link : int }
+      (** CALL #imm; [link] is the return address the matching RET
+          resumes at *)
+  | T_ret  (** MOV @SP+, PC (RET) or RETI *)
+  | T_halt  (** the [_halt] self-jump: end of the application *)
+  | T_fallthrough of int
+      (** the block was split because the next address is a leader *)
+
+type block = {
+  b_start : int;
+  b_limit : int;  (** first address past the block *)
+  b_insns : (int * Isa.Insn.instr) list;  (** (address, instruction) *)
+  b_term : terminator;
+}
+
+type t = {
+  c_entry : int;
+  c_blocks : block list;  (** sorted by [b_start] *)
+}
+
+(** Why the static tier cannot bound a program. [Recursive_call] and
+    [Irreducible] are detected by the IPET combiner ({!Ipet}) but live
+    here so the whole static pipeline shares one error type. *)
+type error =
+  | Indirect_branch of { addr : int; insn : string }
+      (** a computed control transfer: target not statically known *)
+  | Bad_decode of { addr : int; word : int }
+      (** reachable code that does not decode *)
+  | Recursive_call of { addr : int }
+      (** cycle in the call graph through the function at [addr] *)
+  | Irreducible of { addr : int }
+      (** a cycle that is not a natural loop: no unique header to
+          attach the loop bound to *)
+
+val error_to_string : error -> string
+
+val extract : Isa.Asm.image -> (t, error) result
+
+val block_at : t -> int -> block option
+
+(** Intra-procedural successor block starts ([T_call] contributes its
+    link, not the callee; [T_ret]/[T_halt] none). *)
+val successors : block -> int list
+
+val terminator_to_string : terminator -> string

@@ -3,7 +3,14 @@
 
 module J = Explain.Ejson
 
-let proto_version = 1
+(* v2: tiered bounds. Requests gain an optional "tier" member (absent =
+   exact), Analysis responses carry Bound objects and a tier, and
+   Cache_stats gains per-namespace rows. v1 frames still decode: every
+   addition has a v1 default. *)
+let proto_version = 2
+
+(* Lowest request version this server still accepts. *)
+let min_proto_version = 1
 
 type priority = Interactive | Batch
 
@@ -34,6 +41,38 @@ let require what = function Some v -> Ok v | None -> Error ("missing or ill-type
 
 let ( let* ) = Result.bind
 
+(* A Bound.t ships as {value, tier, analysis_version}; a bare number (the
+   v1 shape) decodes as an exact-tier bound. *)
+let bound_to_json (b : Xbound.Bound.t) =
+  J.Obj
+    [
+      ("value", J.Num b.Xbound.Bound.value);
+      ("tier", J.Str (Xbound.Tier.to_string b.Xbound.Bound.tier));
+      ("analysis_version", num b.Xbound.Bound.analysis_version);
+    ]
+
+let bound_member k j =
+  match J.member k j with
+  | Some (J.Num v) -> Some (Xbound.Bound.exact v)
+  | Some (J.Obj _ as o) -> (
+    match
+      ( J.float_member "value" o,
+        J.string_member "tier" o,
+        int_member "analysis_version" o )
+    with
+    | Some value, Some ts, Some analysis_version ->
+      Option.map
+        (fun tier -> { Xbound.Bound.value; tier; analysis_version })
+        (Xbound.Tier.of_string ts)
+    | _ -> None)
+  | _ -> None
+
+(* Optional "tier" member: absent (v1) means exact. *)
+let tier_member j =
+  match J.string_member "tier" j with
+  | None -> Some Xbound.Tier.Exact
+  | Some s -> Xbound.Tier.of_string s
+
 module Request = struct
   type fmt = Table | Json | Csv
 
@@ -46,22 +85,33 @@ module Request = struct
     | _ -> None
 
   type t =
-    | Analyze of { bench : string }
-    | Explain of { bench : string; fmt : fmt; top : int; min_gap : int }
+    | Analyze of { bench : string; tier : Xbound.Tier.t }
+    | Explain of {
+        bench : string;
+        fmt : fmt;
+        top : int;
+        min_gap : int;
+        tier : Xbound.Tier.t;
+      }
     | Run_concrete of { bench : string; seed : int }
     | Optimize of { bench : string }
     | Bench_list
     | Cache_stats
 
   let to_json = function
-    | Analyze { bench } ->
-      J.Obj [ ("op", J.Str "analyze"); ("bench", J.Str bench) ]
-    | Explain { bench; fmt; top; min_gap } ->
+    | Analyze { bench; tier } ->
+      J.Obj
+        [
+          ("op", J.Str "analyze"); ("bench", J.Str bench);
+          ("tier", J.Str (Xbound.Tier.to_string tier));
+        ]
+    | Explain { bench; fmt; top; min_gap; tier } ->
       J.Obj
         [
           ("op", J.Str "explain"); ("bench", J.Str bench);
           ("fmt", J.Str (fmt_to_string fmt)); ("top", num top);
           ("min_gap", num min_gap);
+          ("tier", J.Str (Xbound.Tier.to_string tier));
         ]
     | Run_concrete { bench; seed } ->
       J.Obj
@@ -78,14 +128,16 @@ module Request = struct
     match J.string_member "op" j with
     | Some "analyze" ->
       let* bench = str "bench" in
-      Ok (Analyze { bench })
+      let* tier = require "tier" (tier_member j) in
+      Ok (Analyze { bench; tier })
     | Some "explain" ->
       let* bench = str "bench" in
       let* fmt_s = str "fmt" in
       let* fmt = require "fmt" (fmt_of_string fmt_s) in
       let* top = int "top" in
       let* min_gap = int "min_gap" in
-      Ok (Explain { bench; fmt; top; min_gap })
+      let* tier = require "tier" (tier_member j) in
+      Ok (Explain { bench; fmt; top; min_gap; tier })
     | Some "run_concrete" ->
       let* bench = str "bench" in
       let* seed = int "seed" in
@@ -103,13 +155,14 @@ module Response = struct
   type t =
     | Analysis of {
         name : string;
+        tier : Xbound.Tier.t;
         paths : int;
         forks : int;
         dedup_hits : int;
         total_cycles : int;
-        peak_power_w : float;
+        peak_power : Xbound.Bound.t;
         peak_index : int;
-        peak_energy_j : float;
+        peak_energy : Xbound.Bound.t;
         peak_energy_cycles : int;
         npe_j_per_cycle : float;
         power_trace_w : float array;
@@ -134,19 +187,28 @@ module Response = struct
         energy_overhead_pct : float;
       }
     | Benchmarks of (string * string * bool) list
-    | Cache_stats of { dir : string option; entries : int; bytes : int }
+    | Cache_stats of {
+        dir : string option;
+        entries : int;
+        bytes : int;
+        by_ns : (string * (int * int)) list;
+            (** per-namespace (entries, bytes) rows; [[]] from v1 peers *)
+      }
 
   let to_json = function
     | Analysis a ->
       J.Obj
         [
           ("op", J.Str "analysis"); ("name", J.Str a.name);
+          ("tier", J.Str (Xbound.Tier.to_string a.tier));
           ("paths", num a.paths); ("forks", num a.forks);
           ("dedup_hits", num a.dedup_hits);
           ("total_cycles", num a.total_cycles);
-          ("peak_power_w", J.Num a.peak_power_w);
+          (* the keys keep their v1 names; the values became Bound
+             objects (a plain number still decodes, as exact tier) *)
+          ("peak_power_w", bound_to_json a.peak_power);
           ("peak_index", num a.peak_index);
-          ("peak_energy_j", J.Num a.peak_energy_j);
+          ("peak_energy_j", bound_to_json a.peak_energy);
           ("peak_energy_cycles", num a.peak_energy_cycles);
           ("npe_j_per_cycle", J.Num a.npe_j_per_cycle);
           ( "power_trace_w",
@@ -196,12 +258,19 @@ module Response = struct
                      ])
                  bs) );
         ]
-    | Cache_stats { dir; entries; bytes } ->
+    | Cache_stats { dir; entries; bytes; by_ns } ->
       J.Obj
         [
           ("op", J.Str "cache_stats");
           ("dir", match dir with Some d -> J.Str d | None -> J.Null);
           ("entries", num entries); ("bytes", num bytes);
+          ( "by_ns",
+            J.Arr
+              (List.map
+                 (fun (ns, (e, b)) ->
+                   J.Obj
+                     [ ("ns", J.Str ns); ("entries", num e); ("bytes", num b) ])
+                 by_ns) );
         ]
 
   let of_json j =
@@ -212,21 +281,24 @@ module Response = struct
     match J.string_member "op" j with
     | Some "analysis" ->
       let* name = str "name" in
+      let* tier = require "tier" (tier_member j) in
       let* paths = int "paths" in
       let* forks = int "forks" in
       let* dedup_hits = int "dedup_hits" in
       let* total_cycles = int "total_cycles" in
-      let* peak_power_w = flt "peak_power_w" in
+      let* peak_power = require "peak_power_w" (bound_member "peak_power_w" j) in
       let* peak_index = int "peak_index" in
-      let* peak_energy_j = flt "peak_energy_j" in
+      let* peak_energy =
+        require "peak_energy_j" (bound_member "peak_energy_j" j)
+      in
       let* peak_energy_cycles = int "peak_energy_cycles" in
       let* npe_j_per_cycle = flt "npe_j_per_cycle" in
       let* power_trace_w = arr "power_trace_w" in
       Ok
         (Analysis
            {
-             name; paths; forks; dedup_hits; total_cycles; peak_power_w;
-             peak_index; peak_energy_j; peak_energy_cycles; npe_j_per_cycle;
+             name; tier; paths; forks; dedup_hits; total_cycles; peak_power;
+             peak_index; peak_energy; peak_energy_cycles; npe_j_per_cycle;
              power_trace_w;
            })
     | Some "explanation" ->
@@ -289,7 +361,28 @@ module Response = struct
       in
       let* entries = int "entries" in
       let* bytes = int "bytes" in
-      Ok (Cache_stats { dir; entries; bytes })
+      let* by_ns =
+        (* absent (v1 peer) means no namespace breakdown *)
+        match Option.bind (J.member "by_ns" j) J.to_list with
+        | None when J.member "by_ns" j = None -> Ok []
+        | None -> Error "missing or ill-typed by_ns"
+        | Some items ->
+          let rows =
+            List.filter_map
+              (fun r ->
+                match
+                  ( J.string_member "ns" r,
+                    int_member "entries" r,
+                    int_member "bytes" r )
+                with
+                | Some ns, Some e, Some b -> Some (ns, (e, b))
+                | _ -> None)
+              items
+          in
+          if List.length rows = List.length items then Ok rows
+          else Error "ill-typed by_ns entry"
+      in
+      Ok (Cache_stats { dir; entries; bytes; by_ns })
     | Some op -> Error ("unknown response op " ^ op)
     | None -> Error "missing response op"
 end
@@ -320,10 +413,10 @@ let decode_request text =
     let fail m = Error (id, Xbound.Error.Protocol m) in
     match int_member "proto_version" j with
     | None -> fail "missing proto_version"
-    | Some v when v <> proto_version ->
+    | Some v when v < min_proto_version || v > proto_version ->
       fail
-        (Printf.sprintf "unsupported proto_version %d (server speaks %d)" v
-           proto_version)
+        (Printf.sprintf "unsupported proto_version %d (server speaks %d-%d)" v
+           min_proto_version proto_version)
     | Some _ -> (
       match id with
       | None -> fail "missing request id"

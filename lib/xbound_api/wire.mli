@@ -20,9 +20,20 @@
     round-tripping floats). *)
 
 (** Bumped on any incompatible change to the envelope or the
-    request/response schemas; a server rejects other versions with a
-    typed [Protocol] error. *)
+    request/response schemas; a server rejects versions outside
+    [[min_proto_version, proto_version]] with a typed [Protocol] error.
+
+    v2 (bound tiers): [Analyze]/[Explain] requests gained an optional
+    ["tier"] member (absent means exact — the v1 behaviour);
+    [Analysis] responses carry a ["tier"] member and ship
+    ["peak_power_w"]/["peak_energy_j"] as {!Xbound.Bound.t} objects
+    [{value, tier, analysis_version}] (a bare v1 number still decodes,
+    as an exact-tier bound); [Cache_stats] responses gained a
+    ["by_ns"] per-namespace breakdown (absent means none). *)
 val proto_version : int
+
+(** Lowest request version the server still accepts (currently 1). *)
+val min_proto_version : int
 
 (** The two scheduling classes. The serve scheduler always drains
     [Interactive] requests before [Batch] ones. *)
@@ -36,10 +47,16 @@ module Request : sig
   type fmt = Table | Json | Csv
 
   type t =
-    | Analyze of { bench : string }
-        (** full paper flow on a bundled benchmark *)
-    | Explain of { bench : string; fmt : fmt; top : int; min_gap : int }
-        (** bound provenance report, rendered server-side *)
+    | Analyze of { bench : string; tier : Xbound.Tier.t }
+        (** full paper flow on a bundled benchmark, at the given bound
+            tier *)
+    | Explain of {
+        bench : string;
+        fmt : fmt;
+        top : int;
+        min_gap : int;
+        tier : Xbound.Tier.t;
+      }  (** bound provenance report, rendered server-side *)
     | Run_concrete of { bench : string; seed : int }
         (** concrete simulation with the benchmark's generated inputs *)
     | Optimize of { bench : string }  (** greedy peak-power optimization *)
@@ -57,13 +74,15 @@ module Response : sig
   type t =
     | Analysis of {
         name : string;
+        tier : Xbound.Tier.t;
+            (** the tier that produced the result (never [Auto]) *)
         paths : int;
         forks : int;
         dedup_hits : int;
         total_cycles : int;
-        peak_power_w : float;
+        peak_power : Xbound.Bound.t;
         peak_index : int;
-        peak_energy_j : float;
+        peak_energy : Xbound.Bound.t;
         peak_energy_cycles : int;
         npe_j_per_cycle : float;
         power_trace_w : float array;
@@ -89,7 +108,14 @@ module Response : sig
       }
     | Benchmarks of (string * string * bool) list
         (** (name, description, extended?) — [false] = paper suite *)
-    | Cache_stats of { dir : string option; entries : int; bytes : int }
+    | Cache_stats of {
+        dir : string option;
+        entries : int;
+        bytes : int;
+        by_ns : (string * (int * int)) list;
+            (** per-namespace (entries, bytes) rows; [[]] from v1
+                peers *)
+      }
 
   val to_json : t -> Explain.Ejson.t
   val of_json : Explain.Ejson.t -> (t, string) result

@@ -1,11 +1,28 @@
 (* The stable public facade over the analysis stack. See xbound.mli. *)
 
+module Tier = Core.Tier
+
+module Bound = struct
+  type t = { value : float; tier : Tier.t; analysis_version : int }
+
+  let exact value =
+    { value; tier = Tier.Exact; analysis_version = Core.Analyze.analysis_version }
+
+  let static value =
+    {
+      value;
+      tier = Tier.Static;
+      analysis_version = Core.Analyze.analysis_version;
+    }
+end
+
 module Error = struct
   type t =
     | Parse of { file : string; line : int; message : string }
     | Assembly of { program : string; message : string }
     | Netlist of string
     | Analysis of { program : string; message : string }
+    | Static_cfg of { program : string; message : string }
     | Cache of string
     | Unknown_benchmark of { name : string; available : string list }
     | Overloaded of { queued : int; capacity : int }
@@ -44,6 +61,9 @@ module Error = struct
     | Netlist m -> Printf.sprintf "processor elaboration failed: %s" m
     | Analysis { program; message } ->
       Printf.sprintf "%s: analysis failed: %s" program message
+    | Static_cfg { program; message } ->
+      Printf.sprintf "%s: static tier cannot bound this program: %s" program
+        message
     | Cache m -> Printf.sprintf "cache error: %s" m
     | Unknown_benchmark { name; available } -> (
       (* A short list is worth printing; past ~10 entries, suggest the
@@ -72,6 +92,7 @@ module Error = struct
     | Assembly _ -> "assembly"
     | Netlist _ -> "netlist"
     | Analysis _ -> "analysis"
+    | Static_cfg _ -> "static-cfg"
     | Cache _ -> "cache"
     | Unknown_benchmark _ -> "unknown-benchmark"
     | Overloaded _ -> "overloaded"
@@ -87,7 +108,7 @@ module Error = struct
       | Assembly { program; message } ->
         [ ("program", Str program); ("message", Str message) ]
       | Netlist m | Cache m | Protocol m -> [ ("message", Str m) ]
-      | Analysis { program; message } ->
+      | Analysis { program; message } | Static_cfg { program; message } ->
         [ ("program", Str program); ("message", Str message) ]
       | Unknown_benchmark { name; available } ->
         [ ("name", Str name);
@@ -116,6 +137,10 @@ module Error = struct
       match (str "program", str "message") with
       | Some program, Some message -> Some (Analysis { program; message })
       | _ -> None)
+    | Some "static-cfg" -> (
+      match (str "program", str "message") with
+      | Some program, Some message -> Some (Static_cfg { program; message })
+      | _ -> None)
     | Some "cache" -> Option.map (fun m -> Cache m) (str "message")
     | Some "unknown-benchmark" -> (
       match (str "name", Option.bind (member "available" j) to_list) with
@@ -138,10 +163,13 @@ module Ctx = struct
     cache : Cache.t option;
     jobs : int option;
     telemetry : Telemetry.t option;
+    tier : Tier.t;
   }
 
-  let default = { cache = None; jobs = None; telemetry = None }
-  let create ?cache ?jobs ?telemetry () = { cache; jobs; telemetry }
+  let default = { cache = None; jobs = None; telemetry = None; tier = Tier.Exact }
+
+  let create ?cache ?jobs ?telemetry ?(tier = Tier.Exact) () =
+    { cache; jobs; telemetry; tier }
 end
 
 type program = {
@@ -223,11 +251,16 @@ let in_ctx (ctx : Ctx.t) f =
   | Some s -> Telemetry.with_ambient s f
   | None -> f ()
 
+type detail =
+  | Exact_detail of Core.Analyze.t
+  | Static_detail of Static.Ipet.t
+
 type analysis = {
   program : program;
-  peak_power_w : float;
+  tier : Tier.t;
+  peak_power : Bound.t;
   peak_index : int;
-  peak_energy_j : float;
+  peak_energy : Bound.t;
   peak_energy_cycles : int;
   npe_j_per_cycle : float;
   paths : int;
@@ -237,8 +270,17 @@ type analysis = {
   power_trace_w : float array;
   phase_timings : (string * float) list;
   counter_deltas : (string * int) list;
-  raw : Core.Analyze.t;
+  detail : detail;
 }
+
+let peak_power_w a = a.peak_power.Bound.value
+let peak_energy_j a = a.peak_energy.Bound.value
+
+let exact_detail a =
+  match a.detail with Exact_detail r -> Some r | Static_detail _ -> None
+
+let static_detail a =
+  match a.detail with Static_detail s -> Some s | Exact_detail _ -> None
 
 (* Per-call telemetry scoping: the sink's span totals and the process
    counters are monotonic, so the call's share is the before/after
@@ -257,6 +299,11 @@ let config_of p =
     max_paths = p.max_paths;
   }
 
+(* Auto-tier feasibility guess: the exact tier is attempted when the
+   static cycle bound stays under this (the exact explorer's work grows
+   with the real path lengths, which the static bound dominates). *)
+let auto_exact_threshold = 50_000
+
 let analyze ?(ctx = Ctx.default) p =
   in_ctx ctx @@ fun () ->
   let sink = Telemetry.ambient () in
@@ -264,49 +311,108 @@ let analyze ?(ctx = Ctx.default) p =
     match sink with Some s -> Telemetry.phase_totals s | None -> []
   in
   let counters0 = match sink with Some _ -> Telemetry.counters () | None -> [] in
+  let observed () =
+    match sink with
+    | None -> ([], [])
+    | Some s ->
+      ( phase_diff ~before:phases0 ~after:(Telemetry.phase_totals s),
+        Telemetry.diff ~before:counters0 ~after:(Telemetry.counters ()) )
+  in
   with_env (fun cpu pa ->
-      match
-        Core.Analyze.run ~config:(config_of p) ?cache:ctx.Ctx.cache pa cpu
-          p.p_image
-      with
-      | a ->
-        let pe = a.Core.Analyze.peak_energy in
-        let st = a.Core.Analyze.sym_stats in
-        let phase_timings, counter_deltas =
-          match sink with
-          | None -> ([], [])
-          | Some s ->
-            ( phase_diff ~before:phases0 ~after:(Telemetry.phase_totals s),
-              Telemetry.diff ~before:counters0 ~after:(Telemetry.counters ()) )
-        in
-        Ok
-          {
-            program = p;
-            peak_power_w = a.Core.Analyze.peak_power;
-            peak_index = a.Core.Analyze.peak_index;
-            peak_energy_j = pe.Core.Peak_energy.energy;
-            peak_energy_cycles = pe.Core.Peak_energy.cycles;
-            npe_j_per_cycle = pe.Core.Peak_energy.npe;
-            paths = st.Gatesim.Sym.paths;
-            forks = st.Gatesim.Sym.forks;
-            dedup_hits = st.Gatesim.Sym.dedup_hits;
-            total_cycles = st.Gatesim.Sym.total_cycles;
-            power_trace_w = a.Core.Analyze.power_trace;
-            phase_timings;
-            counter_deltas;
-            raw = a;
-          }
-      | exception Gatesim.Sym.Path_limit m ->
-        Error (Error.Analysis { program = p.p_name; message = "path limit: " ^ m })
-      | exception Core.Peak_energy.Unbounded d ->
-        Error
-          (Error.Analysis
-             {
-               program = p.p_name;
-               message =
-                 "input-dependent loop with loop_bound 0 (state " ^ d
-                 ^ "): peak energy is not computable";
-             }))
+      let exact () =
+        match
+          Core.Analyze.run ~config:(config_of p) ?cache:ctx.Ctx.cache pa cpu
+            p.p_image
+        with
+        | a ->
+          let pe = a.Core.Analyze.peak_energy in
+          let st = a.Core.Analyze.sym_stats in
+          let phase_timings, counter_deltas = observed () in
+          Ok
+            {
+              program = p;
+              tier = Tier.Exact;
+              peak_power = Bound.exact a.Core.Analyze.peak_power;
+              peak_index = a.Core.Analyze.peak_index;
+              peak_energy = Bound.exact pe.Core.Peak_energy.energy;
+              peak_energy_cycles = pe.Core.Peak_energy.cycles;
+              npe_j_per_cycle = pe.Core.Peak_energy.npe;
+              paths = st.Gatesim.Sym.paths;
+              forks = st.Gatesim.Sym.forks;
+              dedup_hits = st.Gatesim.Sym.dedup_hits;
+              total_cycles = st.Gatesim.Sym.total_cycles;
+              power_trace_w = a.Core.Analyze.power_trace;
+              phase_timings;
+              counter_deltas;
+              detail = Exact_detail a;
+            }
+        | exception Gatesim.Sym.Path_limit m ->
+          Error
+            (Error.Analysis { program = p.p_name; message = "path limit: " ^ m })
+        | exception Core.Peak_energy.Unbounded d ->
+          Error
+            (Error.Analysis
+               {
+                 program = p.p_name;
+                 message =
+                   "input-dependent loop with loop_bound 0 (state " ^ d
+                   ^ "): peak energy is not computable";
+               })
+      in
+      let static () =
+        match
+          Static.Ipet.analyze ?cache:ctx.Ctx.cache ~name:p.p_name
+            ~loop_bound:p.loop_bound pa cpu p.p_image
+        with
+        | Error e ->
+          Error
+            (Error.Static_cfg
+               { program = p.p_name; message = Static.Cfg.error_to_string e })
+        | Ok s ->
+          let phase_timings, counter_deltas = observed () in
+          Ok
+            {
+              program = p;
+              tier = Tier.Static;
+              peak_power = Bound.static s.Static.Ipet.s_peak_power_w;
+              peak_index = 0;
+              peak_energy = Bound.static s.Static.Ipet.s_peak_energy_j;
+              peak_energy_cycles = s.Static.Ipet.s_cycle_bound;
+              npe_j_per_cycle =
+                (if s.Static.Ipet.s_cycle_bound > 0 then
+                   s.Static.Ipet.s_peak_energy_j
+                   /. float_of_int s.Static.Ipet.s_cycle_bound
+                 else 0.0);
+              paths = 0;
+              forks = 0;
+              dedup_hits = 0;
+              total_cycles = s.Static.Ipet.s_cycle_bound;
+              power_trace_w = [||];
+              phase_timings;
+              counter_deltas;
+              detail = Static_detail s;
+            }
+        | exception Gatesim.Sym.Path_limit m ->
+          Error
+            (Error.Analysis
+               {
+                 program = p.p_name;
+                 message = "block characterization path limit: " ^ m;
+               })
+      in
+      match ctx.Ctx.tier with
+      | Tier.Exact -> exact ()
+      | Tier.Static -> static ()
+      | Tier.Auto -> (
+        (* Static first — it always terminates. Escalate to the exact
+           tier when the static cycle bound says it is feasible; if the
+           CFG defeats the static tier, exact is the only option. *)
+        match static () with
+        | Error (Error.Static_cfg _) -> exact ()
+        | Error _ as e -> e
+        | Ok s when s.peak_energy_cycles <= auto_exact_threshold -> (
+          match exact () with Ok a -> Ok a | Error _ -> Ok s)
+        | Ok s -> Ok s))
 
 type concrete = {
   cycles : int;
@@ -326,21 +432,30 @@ let run_concrete ?(ctx = Ctx.default) p ~inputs =
         Error (Error.Analysis { program = p.p_name; message = m }))
 
 let cois ?(top = 4) ?(min_gap = 5) a =
-  match Lazy.force env with
-  | _, pa -> Core.Analyze.cois ~top ~min_gap pa a.raw
-  | exception _ -> []
+  match a.detail with
+  | Static_detail _ -> []
+  | Exact_detail raw -> (
+    match Lazy.force env with
+    | _, pa -> Core.Analyze.cois ~top ~min_gap pa raw
+    | exception _ -> [])
 
 let pp_coi = Core.Coi.pp
 
 type explanation = Explain.Report.t
 
 let explain ?ctx ?(top = 4) ?(min_gap = 5) a =
-  let ctx = Option.value ctx ~default:Ctx.default in
-  in_ctx ctx @@ fun () ->
-  (* [a] exists, so the environment was already elaborated. *)
-  let _, pa = Lazy.force env in
-  Explain.Report.build ~top ~min_gap ~phases:a.phase_timings
-    ~counters:a.counter_deltas ~name:(name a.program) pa a.raw
+  match a.detail with
+  | Static_detail _ ->
+    invalid_arg
+      "Xbound.explain: a static-tier analysis has no COI report; render its \
+       Static.Ipet detail instead"
+  | Exact_detail raw ->
+    let ctx = Option.value ctx ~default:Ctx.default in
+    in_ctx ctx @@ fun () ->
+    (* [a] exists, so the environment was already elaborated. *)
+    let _, pa = Lazy.force env in
+    Explain.Report.build ~top ~min_gap ~phases:a.phase_timings
+      ~counters:a.counter_deltas ~name:(name a.program) pa raw
 
 type optimization = {
   bench_name : string;

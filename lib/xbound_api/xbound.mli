@@ -14,6 +14,34 @@
     The processor (netlist + power context) is elaborated once per
     process, lazily, and shared by every call. *)
 
+(** {1 Bound tiers}
+
+    Every bound carries the tier that produced it:
+
+    - [Exact] — Algorithm 1 whole-program symbolic execution; the tight
+      bound, but exploration cost grows with the program's path space.
+    - [Static] — CFG extraction + per-block characterization + an
+      IPET-style loop-nest longest-path combiner ({!Static.Ipet}).
+      Always terminates, always dominates the exact bound for the same
+      [loop_bound], and is typically much looser on energy.
+    - [Auto] — static first; escalate to exact when the static cycle
+      bound says exact exploration is feasible. A returned analysis
+      never carries [Auto] — it resolves to the tier that produced it. *)
+
+module Tier = Core.Tier
+
+(** A bound value with its provenance: the producing tier and the
+    analysis version it was computed under. *)
+module Bound : sig
+  type t = { value : float; tier : Tier.t; analysis_version : int }
+
+  (** Tag a value as exact-tier, at the current analysis version. *)
+  val exact : float -> t
+
+  (** Tag a value as static-tier, at the current analysis version. *)
+  val static : float -> t
+end
+
 module Error : sig
   type t =
     | Parse of { file : string; line : int; message : string }
@@ -23,6 +51,9 @@ module Error : sig
     | Netlist of string  (** processor elaboration failed *)
     | Analysis of { program : string; message : string }
         (** symbolic analysis failed (path limit, unbounded loop...) *)
+    | Static_cfg of { program : string; message : string }
+        (** the static tier cannot bound this program (indirect branch,
+            irreducible loop, recursion...) — see {!Static.Cfg.error} *)
     | Cache of string  (** cache directory unusable *)
     | Unknown_benchmark of { name : string; available : string list }
     | Overloaded of { queued : int; capacity : int }
@@ -71,13 +102,20 @@ module Ctx : sig
         (** when set, installed as the ambient sink for the duration of
             the call: spans, counters and histograms are recorded and
             the call's per-phase timings appear on the result *)
+    tier : Tier.t;
+        (** which bound tier {!analyze} runs (default [Exact]) *)
   }
 
-  (** No cache, inherited job count, no telemetry. *)
+  (** No cache, inherited job count, no telemetry, exact tier. *)
   val default : t
 
   val create :
-    ?cache:Cache.t -> ?jobs:int -> ?telemetry:Telemetry.t -> unit -> t
+    ?cache:Cache.t ->
+    ?jobs:int ->
+    ?telemetry:Telemetry.t ->
+    ?tier:Tier.t ->
+    unit ->
+    t
 end
 
 (** {1 Programs} *)
@@ -123,18 +161,27 @@ val benchmarks : unit -> (string * string) list
 
 (** {1 Analysis} *)
 
+(** Tier-specific escape hatch to the full result. *)
+type detail =
+  | Exact_detail of Core.Analyze.t
+  | Static_detail of Static.Ipet.t
+
 type analysis = {
   program : program;
-  peak_power_w : float;  (** guaranteed peak power bound, W *)
-  peak_index : int;  (** peaking cycle in the flattened trace *)
-  peak_energy_j : float;  (** guaranteed peak energy bound, J *)
-  peak_energy_cycles : int;  (** length of the worst-case path *)
+  tier : Tier.t;  (** the tier that produced this result (never [Auto]) *)
+  peak_power : Bound.t;  (** guaranteed peak power bound, W *)
+  peak_index : int;
+      (** peaking cycle in the flattened trace (0 for static tier) *)
+  peak_energy : Bound.t;  (** guaranteed peak energy bound, J *)
+  peak_energy_cycles : int;
+      (** length of the worst-case path (static tier: the cycle bound) *)
   npe_j_per_cycle : float;  (** normalized peak energy, J/cycle *)
-  paths : int;  (** explored execution paths *)
+  paths : int;  (** explored execution paths (0 for static tier) *)
   forks : int;
   dedup_hits : int;  (** Algorithm 1 line-19 seen-state cuts *)
   total_cycles : int;  (** simulated cycles across all segments *)
-  power_trace_w : float array;  (** per-cycle peak power bound, W *)
+  power_trace_w : float array;
+      (** per-cycle peak power bound, W ([[||]] for static tier) *)
   phase_timings : (string * float) list;
       (** seconds per analysis phase (explore, peak-power, flatten,
           peak-energy, ...) recorded during this call; [[]] when no
@@ -144,13 +191,26 @@ type analysis = {
   counter_deltas : (string * int) list;
       (** pool/cache counter deltas over this call (same caveat);
           [[]] when no telemetry sink was active *)
-  raw : Core.Analyze.t;  (** escape hatch to the full result *)
+  detail : detail;  (** escape hatch to the full tier-specific result *)
 }
 
-(** [analyze ?ctx program] — the paper's flow end to end: Algorithm 1
-    symbolic exploration, then the peak power / peak energy
-    computations. [ctx] carries the standard knobs ({!Ctx.t}). Results
-    are bit-identical at any job count and with telemetry on or off. *)
+(** The bound values, unwrapped. *)
+val peak_power_w : analysis -> float
+
+val peak_energy_j : analysis -> float
+
+(** The tier-specific details, as options. *)
+val exact_detail : analysis -> Core.Analyze.t option
+
+val static_detail : analysis -> Static.Ipet.t option
+
+(** [analyze ?ctx program] — the paper's flow end to end under the
+    context's {!Ctx.t.tier}: Algorithm 1 symbolic exploration (exact),
+    the CFG/IPET pipeline (static), or static-then-exact (auto). [ctx]
+    carries the standard knobs ({!Ctx.t}). Exact results are
+    bit-identical at any job count and with telemetry on or off; the
+    static bound always dominates the exact bound for the same
+    [loop_bound]. *)
 val analyze : ?ctx:Ctx.t -> program -> (analysis, Error.t) Stdlib.result
 
 (** A concrete (input-based) execution, for profiling and for validating
@@ -171,7 +231,8 @@ val run_concrete :
   (concrete, Error.t) Stdlib.result
 
 (** [cois analysis] — the cycles of interest (peak power spikes with
-    instruction and per-module attribution, Section 3.5). *)
+    instruction and per-module attribution, Section 3.5). [[]] for a
+    static-tier analysis, which has no flattened trace. *)
 val cois : ?top:int -> ?min_gap:int -> analysis -> Core.Coi.t list
 
 val pp_coi : Format.formatter -> Core.Coi.t -> unit
@@ -187,9 +248,13 @@ val pp_coi : Format.formatter -> Core.Coi.t -> unit
 type explanation = Explain.Report.t
 
 (** [explain analysis] — assemble the provenance report for an already
-    computed analysis. [top]/[min_gap] select the COIs as in {!cois};
-    the analysis's own [phase_timings]/[counter_deltas] are attached.
-    Pure over the analysis — no re-exploration. *)
+    computed exact-tier analysis. [top]/[min_gap] select the COIs as in
+    {!cois}; the analysis's own [phase_timings]/[counter_deltas] are
+    attached. Pure over the analysis — no re-exploration.
+
+    @raise Invalid_argument on a static-tier analysis — its provenance
+    is the per-block table in {!static_detail} (see
+    {!Static.Ipet.to_table}). *)
 val explain :
   ?ctx:Ctx.t -> ?top:int -> ?min_gap:int -> analysis -> explanation
 

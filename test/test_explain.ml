@@ -95,7 +95,11 @@ let analysis =
 
 let test_treestat_invariants () =
   let a = Lazy.force analysis in
-  let raw = a.Xbound.raw in
+  let raw =
+    match Xbound.exact_detail a with
+    | Some raw -> raw
+    | None -> Alcotest.fail "expected an exact-tier analysis"
+  in
   let ts = Core.Treestat.compute raw.Core.Analyze.tree in
   let st = raw.Core.Analyze.sym_stats in
   Alcotest.(check int) "fork nodes = exploration forks"
@@ -134,7 +138,7 @@ let report =
 let test_attribution_sums () =
   let a = Lazy.force analysis in
   let r = Lazy.force report in
-  Alcotest.(check (float 0.)) "peak carried over" a.Xbound.peak_power_w
+  Alcotest.(check (float 0.)) "peak carried over" (Xbound.peak_power_w a)
     r.Explain.Report.peak_power_w;
   Alcotest.(check bool) "has COIs" true (r.Explain.Report.cois <> []);
   List.iter
@@ -245,6 +249,7 @@ let base_record =
     cache_speedup = Some 10.0;
     parallel_jobs = Some 4;
     parallel_speedup = Some 2.0;
+    static_gap_pct = [ ("a", 40.0) ];
   }
 
 let test_regress_detects_injection () =

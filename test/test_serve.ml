@@ -21,6 +21,9 @@ let error_samples =
     ("netlist", Xbound.Error.Netlist "elaboration failed");
     ( "analysis",
       Xbound.Error.Analysis { program = "p"; message = "path limit" } );
+    ( "static-cfg",
+      Xbound.Error.Static_cfg
+        { program = "p"; message = "indirect branch at e012" } );
     ("cache", Xbound.Error.Cache "cache dir unusable");
     ( "unknown-benchmark",
       Xbound.Error.Unknown_benchmark
@@ -60,11 +63,25 @@ let test_error_codes () =
 
 let request_samples =
   [
-    Wire.Request.Analyze { bench = "tea8" };
+    Wire.Request.Analyze { bench = "tea8"; tier = Xbound.Tier.Exact };
+    Wire.Request.Analyze { bench = "tea8"; tier = Xbound.Tier.Static };
+    Wire.Request.Analyze { bench = "div"; tier = Xbound.Tier.Auto };
     Wire.Request.Explain
-      { bench = "div"; fmt = Wire.Request.Json; top = 4; min_gap = 5 };
+      {
+        bench = "div";
+        fmt = Wire.Request.Json;
+        top = 4;
+        min_gap = 5;
+        tier = Xbound.Tier.Exact;
+      };
     Wire.Request.Explain
-      { bench = "div"; fmt = Wire.Request.Csv; top = 1; min_gap = 0 };
+      {
+        bench = "div";
+        fmt = Wire.Request.Csv;
+        top = 1;
+        min_gap = 0;
+        tier = Xbound.Tier.Static;
+      };
     Wire.Request.Run_concrete { bench = "mult"; seed = 42 };
     Wire.Request.Optimize { bench = "tea8" };
     Wire.Request.Bench_list;
@@ -76,16 +93,32 @@ let response_samples =
     Wire.Response.Analysis
       {
         name = "tea8";
+        tier = Xbound.Tier.Exact;
         paths = 1;
         forks = 0;
         dedup_hits = 2;
         total_cycles = 1234;
-        peak_power_w = 2.6375e-3;
+        peak_power = Xbound.Bound.exact 2.6375e-3;
         peak_index = 17;
-        peak_energy_j = 1.25e-9;
+        peak_energy = Xbound.Bound.exact 1.25e-9;
         peak_energy_cycles = 16;
         npe_j_per_cycle = 0.81e-12;
         power_trace_w = [| 1.0e-3; 2.5e-3; 0.3e-3 |];
+      };
+    Wire.Response.Analysis
+      {
+        name = "tea8";
+        tier = Xbound.Tier.Static;
+        paths = 0;
+        forks = 0;
+        dedup_hits = 0;
+        total_cycles = 4096;
+        peak_power = Xbound.Bound.static 3.1e-3;
+        peak_index = 0;
+        peak_energy = Xbound.Bound.static 2.5e-9;
+        peak_energy_cycles = 4096;
+        npe_j_per_cycle = 0.61e-12;
+        power_trace_w = [||];
       };
     Wire.Response.Explanation
       { name = "tea8"; fmt = Wire.Request.Table; text = "line1\nline2\n" };
@@ -122,8 +155,14 @@ let response_samples =
       };
     Wire.Response.Benchmarks
       [ ("tea8", "TEA cipher", false); ("fancy", "extended", true) ];
-    Wire.Response.Cache_stats { dir = Some "/tmp/c"; entries = 12; bytes = 4096 };
-    Wire.Response.Cache_stats { dir = None; entries = 0; bytes = 0 };
+    Wire.Response.Cache_stats
+      {
+        dir = Some "/tmp/c";
+        entries = 12;
+        bytes = 4096;
+        by_ns = [ ("analysis", (4, 1024)); ("block", (8, 3072)) ];
+      };
+    Wire.Response.Cache_stats { dir = None; entries = 0; bytes = 0; by_ns = [] };
   ]
 
 let test_request_codec () =
@@ -146,12 +185,64 @@ let test_response_codec () =
       | Error m -> Alcotest.failf "response codec: %s" m)
     response_samples
 
+(* v1 peers keep working against a v2 endpoint: absent tier means exact,
+   bare bound numbers mean exact-tier bounds, absent by_ns means no
+   breakdown. *)
+let test_wire_v1_compat () =
+  checkb "v2 > v1" true (Wire.proto_version > 1);
+  checki "still speaks v1" 1 Wire.min_proto_version;
+  (* v1 analyze request: no "tier" member. *)
+  (match
+     Wire.Request.of_json
+       (Explain.Ejson.parse
+          {|{"op": "analyze", "bench": "tea8"}|})
+   with
+  | Ok (Wire.Request.Analyze { bench = "tea8"; tier = Xbound.Tier.Exact }) -> ()
+  | Ok _ -> Alcotest.fail "v1 analyze decoded to the wrong value"
+  | Error m -> Alcotest.failf "v1 analyze rejected: %s" m);
+  (* An unknown tier string is malformed, not silently exact. *)
+  checkb "bad tier rejected" true
+    (Result.is_error
+       (Wire.Request.of_json
+          (Explain.Ejson.parse
+             {|{"op": "analyze", "bench": "tea8", "tier": "psychic"}|})));
+  (* v1 analysis response: bare numbers for the bounds, no tier. *)
+  (match
+     Wire.Response.of_json
+       (Explain.Ejson.parse
+          {|{"op": "analysis", "name": "tea8", "paths": 1, "forks": 0,
+             "dedup_hits": 2, "total_cycles": 10, "peak_power_w": 0.002,
+             "peak_index": 3, "peak_energy_j": 1e-9,
+             "peak_energy_cycles": 8, "npe_j_per_cycle": 1e-13,
+             "power_trace_w": [0.001, 0.002]}|})
+   with
+  | Ok
+      (Wire.Response.Analysis
+         { tier = Xbound.Tier.Exact; peak_power; peak_energy; _ }) ->
+    checkb "bound tier exact" true
+      (peak_power.Xbound.Bound.tier = Xbound.Tier.Exact
+      && peak_energy.Xbound.Bound.tier = Xbound.Tier.Exact);
+    checkb "bound values" true
+      (peak_power.Xbound.Bound.value = 0.002
+      && peak_energy.Xbound.Bound.value = 1e-9)
+  | Ok _ -> Alcotest.fail "v1 analysis decoded to the wrong shape"
+  | Error m -> Alcotest.failf "v1 analysis rejected: %s" m);
+  (* v1 cache_stats response: no by_ns member. *)
+  match
+    Wire.Response.of_json
+      (Explain.Ejson.parse
+         {|{"op": "cache_stats", "dir": "/tmp/c", "entries": 3, "bytes": 99}|})
+  with
+  | Ok (Wire.Response.Cache_stats { by_ns = []; entries = 3; _ }) -> ()
+  | Ok _ -> Alcotest.fail "v1 cache_stats decoded to the wrong shape"
+  | Error m -> Alcotest.failf "v1 cache_stats rejected: %s" m
+
 let test_envelopes () =
   let rf =
     {
       Wire.id = 7;
       priority = Wire.Batch;
-      request = Wire.Request.Analyze { bench = "tea8" };
+      request = Wire.Request.Analyze { bench = "tea8"; tier = Xbound.Tier.Exact };
     }
   in
   (match Wire.decode_request (Wire.encode_request rf) with
@@ -306,7 +397,10 @@ let test_serve_basic () =
   | Ok _ -> Alcotest.fail "wrong response shape"
   | Error e -> Alcotest.fail (Xbound.Error.to_string e));
   (* A typed error crosses the wire as the same typed value. *)
-  match Serve.Client.rpc c (Wire.Request.Analyze { bench = "no-such" }) with
+  match
+    Serve.Client.rpc c
+      (Wire.Request.Analyze { bench = "no-such"; tier = Xbound.Tier.Exact })
+  with
   | Error (Xbound.Error.Unknown_benchmark { name; _ }) ->
     checks "error name" "no-such" name
   | Error e -> Alcotest.fail ("wrong error: " ^ Xbound.Error.to_string e)
@@ -385,7 +479,7 @@ let test_serve_single_flight () =
     (match
        Serve.Exec.exec
          ~ctx:(Xbound.Ctx.create ~cache ~jobs:2 ())
-         (Wire.Request.Analyze { bench = "tea8" })
+         (Wire.Request.Analyze { bench = "tea8"; tier = Xbound.Tier.Exact })
      with
     | Ok _ -> ()
     | Error e -> Alcotest.fail (Xbound.Error.to_string e));
@@ -398,7 +492,7 @@ let test_serve_single_flight () =
   let results = Array.make 2 None in
   let drive i =
     with_client addr @@ fun c ->
-    results.(i) <- Some (Serve.Client.rpc c (Wire.Request.Analyze { bench = "tea8" }))
+    results.(i) <- Some (Serve.Client.rpc c (Wire.Request.Analyze { bench = "tea8"; tier = Xbound.Tier.Exact }))
   in
   let ths = List.init 2 (fun i -> Thread.create drive i) in
   List.iter Thread.join ths;
@@ -436,7 +530,8 @@ let test_serve_admission_reject () =
       Serve.Frame.write fd
         (Wire.encode_request
            { Wire.id = i; priority = Wire.Batch;
-             request = Wire.Request.Analyze { bench } })
+             request =
+               Wire.Request.Analyze { bench; tier = Xbound.Tier.Exact } })
     in
     send 1 "div";
     Unix.sleepf 0.3;
@@ -477,11 +572,24 @@ let test_serve_byte_identical () =
   let ctx = Xbound.Ctx.create ~cache ~jobs:2 () in
   let requests =
     [
-      Wire.Request.Analyze { bench = "tea8" };
+      Wire.Request.Analyze { bench = "tea8"; tier = Xbound.Tier.Exact };
+      Wire.Request.Analyze { bench = "tea8"; tier = Xbound.Tier.Static };
       Wire.Request.Explain
-        { bench = "tea8"; fmt = Wire.Request.Csv; top = 4; min_gap = 5 };
+        {
+          bench = "tea8";
+          fmt = Wire.Request.Csv;
+          top = 4;
+          min_gap = 5;
+          tier = Xbound.Tier.Exact;
+        };
       Wire.Request.Explain
-        { bench = "tea8"; fmt = Wire.Request.Table; top = 4; min_gap = 5 };
+        {
+          bench = "tea8";
+          fmt = Wire.Request.Table;
+          top = 4;
+          min_gap = 5;
+          tier = Xbound.Tier.Static;
+        };
       Wire.Request.Run_concrete { bench = "mult"; seed = 8 };
       Wire.Request.Bench_list;
     ]
@@ -573,6 +681,7 @@ let () =
           Alcotest.test_case "error codes" `Quick test_error_codes;
           Alcotest.test_case "request codec" `Quick test_request_codec;
           Alcotest.test_case "response codec" `Quick test_response_codec;
+          Alcotest.test_case "v1 compat" `Quick test_wire_v1_compat;
           Alcotest.test_case "envelopes" `Quick test_envelopes;
         ] );
       ( "frame",
