@@ -413,12 +413,11 @@ let bench_serve ~smoke () =
     let server =
       match
         Serve.Server.start
-          {
-            Serve.Server.listen = Serve.Addr.Unix_sock sock;
-            workers = 2;
-            queue_capacity = 64;
-            ctx = Xbound.Ctx.create ~cache:(Cache.create ~dir:cache_dir ()) ();
-          }
+          (Serve.Server.config ~workers:2 ~queue_capacity:64
+             ~listen:(Serve.Addr.Unix_sock sock)
+             ~ctx:
+               (Xbound.Ctx.create ~cache:(Cache.create ~dir:cache_dir ()) ())
+             ())
       with
       | Ok s -> s
       | Error m -> failwith ("bench serve: " ^ m)
@@ -458,9 +457,28 @@ let bench_serve ~smoke () =
     (float_of_int total /. dt, ms 0.5, ms 0.99)
   in
   let speedup = reqs_per_s *. cold_s in
+  (* The server ran in-process under the same ambient sink, so its
+     admission histograms are readable here: how deep the queue got and
+     how long requests waited in it. *)
+  let queue_depth_p99 =
+    Int64.to_float
+      (Telemetry.Histogram.percentile
+         (Telemetry.Histogram.make "serve.queue_depth")
+         0.99)
+  in
+  let queue_wait = Telemetry.Histogram.make "serve.queue_wait_ns" in
+  let queue_wait_p50_ms =
+    Int64.to_float (Telemetry.Histogram.percentile queue_wait 0.5) /. 1e6
+  in
+  let queue_wait_p99_ms =
+    Int64.to_float (Telemetry.Histogram.percentile queue_wait 0.99) /. 1e6
+  in
   Printf.printf
     "%-28s %.1f req/s (%d clients), rtt p50 %.2f ms, p99 %.2f ms\n"
     "serve-analyze-tea8" reqs_per_s clients p50_ms p99_ms;
+  Printf.printf
+    "%-28s depth p99 %.0f, wait p50 %.2f ms, p99 %.2f ms\n"
+    "serve-queue" queue_depth_p99 queue_wait_p50_ms queue_wait_p99_ms;
   Printf.printf
     "%-28s %.3f s cold single-shot -> %.0fx warm daemon rate\n"
     "serve-vs-cold" cold_s speedup;
@@ -474,6 +492,9 @@ let bench_serve ~smoke () =
         ("requests_per_s", Explain.Ejson.Num reqs_per_s);
         ("rtt_p50_ms", Explain.Ejson.Num p50_ms);
         ("rtt_p99_ms", Explain.Ejson.Num p99_ms);
+        ("queue_depth_p99", Explain.Ejson.Num queue_depth_p99);
+        ("queue_wait_p50_ms", Explain.Ejson.Num queue_wait_p50_ms);
+        ("queue_wait_p99_ms", Explain.Ejson.Num queue_wait_p99_ms);
         ("cold_single_shot_s", Explain.Ejson.Num cold_s);
         ("speedup_vs_cold", Explain.Ejson.Num speedup);
       ]
@@ -504,6 +525,9 @@ let bench_serve ~smoke () =
           ("serve-analyze-tea8-warm", 1e9 /. reqs_per_s);
           ("serve-rtt-p50", p50_ms *. 1e6);
           ("serve-rtt-p99", p99_ms *. 1e6);
+          ("serve-queue-depth-p99", queue_depth_p99);
+          ("serve-queue-wait-p50", queue_wait_p50_ms *. 1e6);
+          ("serve-queue-wait-p99", queue_wait_p99_ms *. 1e6);
         ];
       phases = [];
       cache_cold_s = Some cold_s;

@@ -417,7 +417,40 @@ let serve_cmd =
     in
     Arg.(value & opt int 64 & info [ "queue-capacity" ] ~docv:"N" ~doc)
   in
-  let run c socket tcp workers queue_capacity =
+  let access_log_arg =
+    let doc =
+      "Append one JSONL entry per finished request (id, client, op, tier, \
+       priority, queue wait, exec time, per-request counters, outcome) to \
+       $(docv)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE" ~doc)
+  in
+  let slow_ms_arg =
+    let doc =
+      "Log requests slower than $(docv) milliseconds at warn level with \
+       their per-phase timings (0 disables)."
+    in
+    Arg.(value & opt int 0 & info [ "slow-ms" ] ~docv:"MS" ~doc)
+  in
+  let trace_sample_arg =
+    let doc =
+      "Dump a Chrome trace of every $(docv)-th request into the trace \
+       spool directory (0 disables)."
+    in
+    Arg.(value & opt int 0 & info [ "trace-sample" ] ~docv:"N" ~doc)
+  in
+  let trace_dir_arg =
+    let doc = "Spool directory for sampled request traces." in
+    Arg.(
+      value
+      & opt string "xbound-traces"
+      & info [ "trace-dir" ] ~docv:"DIR" ~doc)
+  in
+  let run c socket tcp workers queue_capacity access_log slow_ms trace_sample
+      trace_dir =
     let listen =
       match (tcp, socket) with
       | Some hp, _ -> (
@@ -437,12 +470,8 @@ let serve_cmd =
       exit 1
     | Ok listen -> (
       let config =
-        {
-          Serve.Server.listen;
-          workers;
-          queue_capacity;
-          ctx = Cliterm.ctx c;
-        }
+        Serve.Server.config ~workers ~queue_capacity ?access_log ~slow_ms
+          ~trace_sample ~trace_dir ~listen ~ctx:(Cliterm.ctx c) ()
       in
       match Serve.Server.start config with
       | Error m ->
@@ -474,7 +503,106 @@ let serve_cmd =
           repeated and concurrent analyses cost one execution")
     Term.(
       const run $ Cliterm.term $ socket_arg $ tcp_arg $ workers_arg
-      $ queue_arg)
+      $ queue_arg $ access_log_arg $ slow_ms_arg $ trace_sample_arg
+      $ trace_dir_arg)
+
+(* ---------------- observability subcommands ---------------- *)
+
+let stats_fmt_term =
+  let doc =
+    "Exposition format: $(b,table) (human-readable), $(b,json) \
+     (structured snapshot) or $(b,prometheus) (text exposition for \
+     scrapers)."
+  in
+  let fmt_conv =
+    Arg.conv ~docv:"FMT"
+      ( (fun s ->
+          match Wire.Request.stats_fmt_of_string s with
+          | Some f -> Ok f
+          | None ->
+            Error (`Msg (Printf.sprintf "unknown stats format %S" s))),
+        fun ppf f ->
+          Format.pp_print_string ppf (Wire.Request.stats_fmt_to_string f) )
+  in
+  Arg.(
+    value
+    & opt fmt_conv Wire.Request.Stats_table
+    & info [ "format" ] ~docv:"FMT" ~doc)
+
+let stats_cmd =
+  let run c connect fmt =
+    run_request ~ctx:(Cliterm.ctx c) connect (Wire.Request.Stats { fmt })
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Point-in-time telemetry snapshot: counters, gauges and latency \
+          histograms — of a running daemon with --connect, or of this \
+          process otherwise (mostly useful with --connect)")
+    Term.(const run $ Cliterm.term $ connect_term $ stats_fmt_term)
+
+let health_cmd =
+  let run connect =
+    run_request ~ctx:Xbound.Ctx.default connect Wire.Request.Health
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Cheap daemon liveness check (served from the admin lane, so it \
+          answers even when the work queue is full)")
+    Term.(const run $ connect_term)
+
+let top_cmd =
+  let interval_arg =
+    let doc = "Refresh interval in milliseconds." in
+    Arg.(value & opt int 1000 & info [ "interval-ms" ] ~docv:"MS" ~doc)
+  in
+  let count_arg =
+    let doc = "Stop after $(docv) frames (0 = run until interrupted)." in
+    Arg.(value & opt int 0 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let run connect interval_ms count =
+    match connect with
+    | None ->
+      Printf.eprintf "xbound: top requires --connect ADDR\n";
+      exit 1
+    | Some addr -> (
+      match Serve.Client.connect (Serve.Addr.of_string addr) with
+      | Error m ->
+        Printf.eprintf "xbound: %s\n" m;
+        exit 1
+      | Ok client ->
+        (* Ctrl-C must restore the terminal state cleanly: cmdliner
+           installs nothing, so default SIGINT termination is fine —
+           each frame is written whole, starting with a clear. *)
+        let n = ref 0 in
+        let on_frame resp =
+          (match resp with
+          | Wire.Response.Stats { snapshot; _ } ->
+            incr n;
+            (* First frame is the full snapshot since daemon start;
+               later frames are per-interval diffs — rates only make
+               sense for the latter, but the header works for both. *)
+            print_string "\027[2J\027[H";
+            print_string (Serve.Render.top snapshot);
+            flush stdout
+          | _ -> ());
+          true
+        in
+        let r =
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close client)
+            (fun () -> Serve.Client.watch client ~interval_ms ~count ~on_frame)
+        in
+        handle r)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live daemon view: poll a running daemon's Watch stream and \
+          redraw requests/s, queue depth, inflight, cache hit ratio, tier \
+          mix and per-phase latency percentiles every interval")
+    Term.(const run $ connect_term $ interval_arg $ count_arg)
 
 (* ---------------- export subcommands ---------------- *)
 
@@ -519,6 +647,6 @@ let () =
           [
             list_cmd; netlist_cmd; analyze_cmd; analyze_file_cmd; profile_cmd;
             coi_cmd; explain_cmd; optimize_cmd; disasm_cmd; trace_cmd;
-            wcec_cmd; stressmark_cmd; cache_cmd; serve_cmd;
-            export_verilog_cmd; export_liberty_cmd;
+            wcec_cmd; stressmark_cmd; cache_cmd; serve_cmd; stats_cmd;
+            health_cmd; top_cmd; export_verilog_cmd; export_liberty_cmd;
           ]))

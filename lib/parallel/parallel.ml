@@ -216,6 +216,12 @@ module Pool = struct
 
   let submit pool task =
     Telemetry.Counter.incr c_spawn;
+    (* Carry the submitting thread's request scope (or its absence)
+       into whichever worker runs the task, so telemetry fired on
+       behalf of a request stays attributed to it — and a helping
+       worker's own scope never bleeds into someone else's task. *)
+    let binding = Telemetry.Scope.active () in
+    let task () = Telemetry.Scope.with_binding binding task in
     Deque.push pool.deques.(worker_index pool) task;
     Atomic.incr pool.pending;
     Mutex.lock pool.m;

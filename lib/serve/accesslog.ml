@@ -1,0 +1,26 @@
+(* Structured JSONL access log. See accesslog.mli. *)
+
+module J = Explain.Ejson
+
+type t = { oc : out_channel; m : Mutex.t }
+
+let open_ path =
+  match open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path with
+  | exception Sys_error m -> Error m
+  | oc -> Ok { oc; m = Mutex.create () }
+
+let write t json =
+  Mutex.lock t.m;
+  (try
+     output_string t.oc (J.to_string json);
+     output_char t.oc '\n';
+     (* One line per request: flush so a tail -f (or a crash) never
+        sees a torn entry. *)
+     flush t.oc
+   with Sys_error _ -> ());
+  Mutex.unlock t.m
+
+let close t =
+  Mutex.lock t.m;
+  (try close_out t.oc with Sys_error _ -> ());
+  Mutex.unlock t.m

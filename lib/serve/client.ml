@@ -37,6 +37,48 @@ let rpc ?(priority = Wire.Interactive) c request =
     ~finally:(fun () -> Mutex.unlock c.m)
     (fun () -> rpc_locked c priority request)
 
+(* Watch is the one streaming op: a single request, then [count]
+   response frames (or an unbounded stream for count <= 0) on the same
+   connection. Holds the connection mutex for the whole stream. *)
+let watch ?(priority = Wire.Interactive) c ~interval_ms ~count ~on_frame =
+  Mutex.lock c.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock c.m)
+    (fun () ->
+      let id = c.next_id in
+      c.next_id <- id + 1;
+      let payload =
+        Wire.encode_request
+          { Wire.id; priority;
+            request = Wire.Request.Watch { interval_ms; count } }
+      in
+      match Frame.write c.fd payload with
+      | exception Unix.Unix_error (e, _, _) ->
+        proto ("send failed: " ^ Unix.error_message e)
+      | () ->
+        let rec loop remaining =
+          if remaining = 0 then Ok ()
+          else
+            match Frame.read c.fd with
+            | exception Unix.Unix_error (e, _, _) ->
+              proto ("receive failed: " ^ Unix.error_message e)
+            | Error Frame.Eof ->
+              (* The server stopped (or dropped us): a clean end for an
+                 unbounded stream, truncation for a bounded one. *)
+              if count <= 0 then Ok () else proto "stream ended early"
+            | Error e ->
+              proto ("receive failed: " ^ Frame.read_error_to_string e)
+            | Ok reply -> (
+              match Wire.decode_response reply with
+              | Error e -> Error e
+              | Ok frame -> (
+                match frame.Wire.result with
+                | Error e -> Error e
+                | Ok resp ->
+                  if on_frame resp then loop (remaining - 1) else Ok ()))
+        in
+        loop (if count <= 0 then -1 else count))
+
 let close c =
   (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
   try Unix.close c.fd with Unix.Unix_error _ -> ()

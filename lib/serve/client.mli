@@ -19,4 +19,19 @@ val rpc :
   Wire.Request.t ->
   (Wire.Response.t, Xbound.Error.t) Stdlib.result
 
+(** [watch c ~interval_ms ~count ~on_frame] — send one
+    [Wire.Request.Watch] and deliver each streamed frame (a full
+    snapshot first, then per-interval diffs) to [on_frame]; stop after
+    [count] frames ([<= 0] = unbounded), or earlier when [on_frame]
+    returns [false]. Holds the connection for the whole stream — use a
+    dedicated client. [Ok ()] on a clean end, including server
+    shutdown mid-stream of an unbounded watch. *)
+val watch :
+  ?priority:Wire.priority ->
+  t ->
+  interval_ms:int ->
+  count:int ->
+  on_frame:(Wire.Response.t -> bool) ->
+  (unit, Xbound.Error.t) Stdlib.result
+
 val close : t -> unit

@@ -9,6 +9,16 @@ let op_name = function
   | Wire.Request.Optimize _ -> "optimize"
   | Wire.Request.Bench_list -> "bench_list"
   | Wire.Request.Cache_stats -> "cache_stats"
+  | Wire.Request.Stats _ -> "stats"
+  | Wire.Request.Health -> "health"
+  | Wire.Request.Watch _ -> "watch"
+
+(* The tier a request asks for, where that makes sense — the tier-mix
+   counters and the access log report it. *)
+let tier_of_request = function
+  | Wire.Request.Analyze { tier; _ } | Wire.Request.Explain { tier; _ } ->
+    Some tier
+  | _ -> None
 
 let all_benches = Benchprogs.Bench.all @ Benchprogs.Extended.all
 
@@ -172,6 +182,25 @@ let cache_stats ~ctx () =
     Ok
       (Wire.Response.Cache_stats { dir = Cache.dir cache; entries; bytes; by_ns })
 
+(* Stats and Health read only process-wide telemetry (the serve gauges
+   are maintained by the running server, and are simply 0 in-process),
+   so the same executor serves the CLI and the daemon's admin lane. *)
+let stats fmt =
+  Ok (Wire.Response.Stats { fmt; snapshot = Telemetry.Snapshot.take () })
+
+let health () =
+  let g name = Telemetry.Gauge.value (Telemetry.Gauge.make name) in
+  Ok
+    (Wire.Response.Health
+       {
+         ok = true;
+         uptime_s = Telemetry.uptime_s ();
+         queue_len = g "serve.queue_len";
+         queue_capacity = g "serve.queue_capacity";
+         inflight = g "serve.inflight";
+         workers = g "serve.workers";
+       })
+
 let exec ~ctx = function
   | Wire.Request.Analyze { bench; tier } -> analyze ~ctx bench tier
   | Wire.Request.Explain { bench; fmt; top; min_gap; tier } ->
@@ -180,3 +209,9 @@ let exec ~ctx = function
   | Wire.Request.Optimize { bench } -> optimize ~ctx bench
   | Wire.Request.Bench_list -> bench_list ()
   | Wire.Request.Cache_stats -> cache_stats ~ctx ()
+  | Wire.Request.Stats { fmt } -> stats fmt
+  | Wire.Request.Health -> health ()
+  | Wire.Request.Watch _ ->
+    (* Streaming only makes sense over a connection; the server handles
+       Watch on its admin lane and never routes it here. *)
+    Error (Xbound.Error.Protocol "watch requires a daemon connection")

@@ -12,3 +12,8 @@ val exec :
 (** Short span/metric label for a request (["analyze"], ["explain"],
     ...). *)
 val op_name : Wire.Request.t -> string
+
+(** The bound tier a request asks for, when it has one ([Analyze] and
+    [Explain] do; everything else is [None]). Used for the server's
+    per-tier traffic counters and the access log. *)
+val tier_of_request : Wire.Request.t -> Xbound.Tier.t option

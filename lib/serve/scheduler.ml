@@ -11,6 +11,12 @@ type t = {
   mutable stopped : bool;
 }
 
+(* Live queue depth for the observability surface. One process-wide
+   gauge is enough: the daemon runs one scheduler. (The histogram
+   [serve.queue_depth] samples depth at admission; the gauge is the
+   instantaneous value a snapshot reports.) *)
+let g_queue_len = Telemetry.Gauge.make "serve.queue_len"
+
 let create ~capacity =
   {
     cap = max 1 capacity;
@@ -41,6 +47,7 @@ let submit t job =
         (match job.priority with
         | Wire.Interactive -> t.interactive
         | Wire.Batch -> t.batch);
+      Telemetry.Gauge.set g_queue_len (depth_unlocked t);
       Condition.signal t.cv;
       Ok ()
     end
@@ -59,6 +66,7 @@ let next t =
       Some (Queue.pop t.interactive)
     else Some (Queue.pop t.batch)
   in
+  Telemetry.Gauge.set g_queue_len (depth_unlocked t);
   Mutex.unlock t.m;
   job
 
@@ -67,5 +75,6 @@ let stop t =
   t.stopped <- true;
   Queue.clear t.interactive;
   Queue.clear t.batch;
+  Telemetry.Gauge.set g_queue_len 0;
   Condition.broadcast t.cv;
   Mutex.unlock t.m

@@ -6,8 +6,14 @@ module J = Explain.Ejson
 (* v2: tiered bounds. Requests gain an optional "tier" member (absent =
    exact), Analysis responses carry Bound objects and a tier, and
    Cache_stats gains per-namespace rows. v1 frames still decode: every
-   addition has a v1 default. *)
-let proto_version = 2
+   addition has a v1 default.
+
+   v3: observability. New admin ops Stats {fmt}, Health and Watch
+   {interval_ms; count} (the server streams [count] snapshot-diff
+   response frames, all carrying the request's id), and Stats/Health
+   responses carrying a Telemetry.Snapshot. Pure additions: every v1/v2
+   frame still decodes unchanged. *)
+let proto_version = 3
 
 (* Lowest request version this server still accepts. *)
 let min_proto_version = 1
@@ -73,6 +79,18 @@ let tier_member j =
   | None -> Some Xbound.Tier.Exact
   | Some s -> Xbound.Tier.of_string s
 
+(* Int64 over JSON numbers: bucket upper bounds can be Int64.max_int
+   (the open-topped last bucket), which a float cannot represent —
+   round-trip by clamping anything at or above 2^62 back to max_int. *)
+let i64_to_json v = J.Num (Int64.to_float v)
+
+let i64_of_float f =
+  if f >= 4.611686018427387904e18 then Int64.max_int
+  else if f <= 0. then 0L
+  else Int64.of_float f
+
+let i64_member k j = Option.map i64_of_float (J.float_member k j)
+
 module Request = struct
   type fmt = Table | Json | Csv
 
@@ -82,6 +100,19 @@ module Request = struct
     | "table" -> Some Table
     | "json" -> Some Json
     | "csv" -> Some Csv
+    | _ -> None
+
+  type stats_fmt = Stats_table | Stats_json | Stats_prometheus
+
+  let stats_fmt_to_string = function
+    | Stats_table -> "table"
+    | Stats_json -> "json"
+    | Stats_prometheus -> "prometheus"
+
+  let stats_fmt_of_string = function
+    | "table" -> Some Stats_table
+    | "json" -> Some Stats_json
+    | "prometheus" -> Some Stats_prometheus
     | _ -> None
 
   type t =
@@ -97,6 +128,9 @@ module Request = struct
     | Optimize of { bench : string }
     | Bench_list
     | Cache_stats
+    | Stats of { fmt : stats_fmt }
+    | Health
+    | Watch of { interval_ms : int; count : int }
 
   let to_json = function
     | Analyze { bench; tier } ->
@@ -121,6 +155,15 @@ module Request = struct
       J.Obj [ ("op", J.Str "optimize"); ("bench", J.Str bench) ]
     | Bench_list -> J.Obj [ ("op", J.Str "bench_list") ]
     | Cache_stats -> J.Obj [ ("op", J.Str "cache_stats") ]
+    | Stats { fmt } ->
+      J.Obj [ ("op", J.Str "stats"); ("fmt", J.Str (stats_fmt_to_string fmt)) ]
+    | Health -> J.Obj [ ("op", J.Str "health") ]
+    | Watch { interval_ms; count } ->
+      J.Obj
+        [
+          ("op", J.Str "watch"); ("interval_ms", num interval_ms);
+          ("count", num count);
+        ]
 
   let of_json j =
     let str k = require k (J.string_member k j) in
@@ -147,9 +190,120 @@ module Request = struct
       Ok (Optimize { bench })
     | Some "bench_list" -> Ok Bench_list
     | Some "cache_stats" -> Ok Cache_stats
+    | Some "stats" ->
+      let* fmt_s = str "fmt" in
+      let* fmt = require "fmt" (stats_fmt_of_string fmt_s) in
+      Ok (Stats { fmt })
+    | Some "health" -> Ok Health
+    | Some "watch" ->
+      let* interval_ms = int "interval_ms" in
+      let* count = int "count" in
+      Ok (Watch { interval_ms; count })
     | Some op -> Error ("unknown request op " ^ op)
     | None -> Error "missing request op"
 end
+
+(* A Telemetry.Snapshot over the wire. [taken_ns] is a process-local
+   monotonic reading, meaningless to a peer — it is not shipped and
+   decodes as 0. Counts survive exactly up to 2^53 (an int64 rides a
+   JSON number); bucket upper bounds at Int64.max_int round-trip via
+   the clamp in [i64_of_float]. *)
+let snapshot_to_json (s : Telemetry.Snapshot.t) =
+  let pairs l = J.Obj (List.map (fun (k, v) -> (k, num v)) l) in
+  J.Obj
+    [
+      ("uptime_s", J.Num s.Telemetry.Snapshot.uptime_s);
+      ("rss_bytes", num s.rss_bytes);
+      ("active_spans", num s.active_spans);
+      ("counters", pairs s.counters);
+      ("gauges", pairs s.gauges);
+      ( "histograms",
+        J.Arr
+          (List.map
+             (fun (h : Telemetry.Snapshot.histo) ->
+               J.Obj
+                 [
+                   ("name", J.Str h.hname); ("count", num h.count);
+                   ("sum_ns", i64_to_json h.sum_ns);
+                   ("max_ns", i64_to_json h.max_ns);
+                   ("p50", i64_to_json h.p50); ("p90", i64_to_json h.p90);
+                   ("p99", i64_to_json h.p99);
+                   ( "buckets",
+                     J.Arr
+                       (List.map
+                          (fun (upper, n) ->
+                            J.Arr [ i64_to_json upper; num n ])
+                          h.buckets) );
+                 ])
+             s.histograms) );
+    ]
+
+let snapshot_of_json j : (Telemetry.Snapshot.t, string) result =
+  let pairs k =
+    match J.member k j with
+    | Some (J.Obj kvs) ->
+      let rows =
+        List.filter_map
+          (fun (name, v) -> Option.map (fun f -> (name, int_of_float f)) (J.to_float v))
+          kvs
+      in
+      if List.length rows = List.length kvs then Ok rows
+      else Error ("ill-typed " ^ k)
+    | _ -> Error ("missing or ill-typed " ^ k)
+  in
+  let* uptime_s = require "uptime_s" (J.float_member "uptime_s" j) in
+  let* rss_bytes = require "rss_bytes" (int_member "rss_bytes" j) in
+  let* active_spans = require "active_spans" (int_member "active_spans" j) in
+  let* counters = pairs "counters" in
+  let* gauges = pairs "gauges" in
+  let* histograms =
+    match Option.bind (J.member "histograms" j) J.to_list with
+    | None -> Error "missing or ill-typed histograms"
+    | Some items ->
+      let parse h =
+        let bucket = function
+          | J.Arr [ u; n ] -> (
+            match (J.to_float u, J.to_float n) with
+            | Some u, Some n -> Some (i64_of_float u, int_of_float n)
+            | _ -> None)
+          | _ -> None
+        in
+        match
+          ( J.string_member "name" h,
+            int_member "count" h,
+            i64_member "sum_ns" h,
+            i64_member "max_ns" h,
+            i64_member "p50" h,
+            i64_member "p90" h,
+            i64_member "p99" h,
+            Option.bind (J.member "buckets" h) J.to_list )
+        with
+        | ( Some hname, Some count, Some sum_ns, Some max_ns, Some p50,
+            Some p90, Some p99, Some bs ) ->
+          let buckets = List.filter_map bucket bs in
+          if List.length buckets = List.length bs then
+            Some
+              {
+                Telemetry.Snapshot.hname; count; sum_ns; max_ns; p50; p90;
+                p99; buckets;
+              }
+          else None
+        | _ -> None
+      in
+      let rows = List.filter_map parse items in
+      if List.length rows = List.length items then Ok rows
+      else Error "ill-typed histogram entry"
+  in
+  Ok
+    {
+      Telemetry.Snapshot.taken_ns = 0L;
+      uptime_s;
+      rss_bytes;
+      active_spans;
+      counters;
+      gauges;
+      histograms;
+    }
 
 module Response = struct
   type t =
@@ -193,6 +347,15 @@ module Response = struct
         bytes : int;
         by_ns : (string * (int * int)) list;
             (** per-namespace (entries, bytes) rows; [[]] from v1 peers *)
+      }
+    | Stats of { fmt : Request.stats_fmt; snapshot : Telemetry.Snapshot.t }
+    | Health of {
+        ok : bool;
+        uptime_s : float;
+        queue_len : int;
+        queue_capacity : int;
+        inflight : int;
+        workers : int;
       }
 
   let to_json = function
@@ -271,6 +434,21 @@ module Response = struct
                    J.Obj
                      [ ("ns", J.Str ns); ("entries", num e); ("bytes", num b) ])
                  by_ns) );
+        ]
+    | Stats { fmt; snapshot } ->
+      J.Obj
+        [
+          ("op", J.Str "stats");
+          ("fmt", J.Str (Request.stats_fmt_to_string fmt));
+          ("snapshot", snapshot_to_json snapshot);
+        ]
+    | Health { ok; uptime_s; queue_len; queue_capacity; inflight; workers } ->
+      J.Obj
+        [
+          ("op", J.Str "health"); ("ok", J.Bool ok);
+          ("uptime_s", J.Num uptime_s); ("queue_len", num queue_len);
+          ("queue_capacity", num queue_capacity); ("inflight", num inflight);
+          ("workers", num workers);
         ]
 
   let of_json j =
@@ -383,6 +561,27 @@ module Response = struct
           else Error "ill-typed by_ns entry"
       in
       Ok (Cache_stats { dir; entries; bytes; by_ns })
+    | Some "stats" ->
+      let* fmt_s = str "fmt" in
+      let* fmt = require "fmt" (Request.stats_fmt_of_string fmt_s) in
+      let* snapshot =
+        match J.member "snapshot" j with
+        | None -> Error "missing snapshot"
+        | Some s -> snapshot_of_json s
+      in
+      Ok (Stats { fmt; snapshot })
+    | Some "health" ->
+      let* ok =
+        match J.member "ok" j with
+        | Some (J.Bool b) -> Ok b
+        | _ -> Error "missing or ill-typed ok"
+      in
+      let* uptime_s = flt "uptime_s" in
+      let* queue_len = int "queue_len" in
+      let* queue_capacity = int "queue_capacity" in
+      let* inflight = int "inflight" in
+      let* workers = int "workers" in
+      Ok (Health { ok; uptime_s; queue_len; queue_capacity; inflight; workers })
     | Some op -> Error ("unknown response op " ^ op)
     | None -> Error "missing response op"
 end

@@ -29,7 +29,15 @@
     ["peak_power_w"]/["peak_energy_j"] as {!Xbound.Bound.t} objects
     [{value, tier, analysis_version}] (a bare v1 number still decodes,
     as an exact-tier bound); [Cache_stats] responses gained a
-    ["by_ns"] per-namespace breakdown (absent means none). *)
+    ["by_ns"] per-namespace breakdown (absent means none).
+
+    v3 (observability): new admin ops — [Stats {fmt}] returns a
+    {!Telemetry.Snapshot} (rendered client-side, like every other
+    response), [Health] a cheap liveness summary, and
+    [Watch {interval_ms; count}] makes the server stream [count]
+    response frames (one initial full snapshot, then snapshot diffs per
+    interval), every frame carrying the request's id. Pure additions:
+    v1/v2 frames decode unchanged. *)
 val proto_version : int
 
 (** Lowest request version the server still accepts (currently 1). *)
@@ -45,6 +53,12 @@ val priority_of_string : string -> priority option
 module Request : sig
   (** Report flavour for [Explain] (mirrors the CLI's [--format]). *)
   type fmt = Table | Json | Csv
+
+  (** Exposition flavour for [Stats]. *)
+  type stats_fmt = Stats_table | Stats_json | Stats_prometheus
+
+  val stats_fmt_to_string : stats_fmt -> string
+  val stats_fmt_of_string : string -> stats_fmt option
 
   type t =
     | Analyze of { bench : string; tier : Xbound.Tier.t }
@@ -62,6 +76,12 @@ module Request : sig
     | Optimize of { bench : string }  (** greedy peak-power optimization *)
     | Bench_list  (** the bundled benchmark inventory *)
     | Cache_stats  (** the executing side's persistent-cache statistics *)
+    | Stats of { fmt : stats_fmt }
+        (** a point-in-time telemetry snapshot of the executing side *)
+    | Health  (** cheap liveness check, served from the admin lane *)
+    | Watch of { interval_ms : int; count : int }
+        (** stream [count] snapshot frames, one per interval (daemon
+            only: the in-process executor rejects it) *)
 
   val to_json : t -> Explain.Ejson.t
 
@@ -116,10 +136,34 @@ module Response : sig
             (** per-namespace (entries, bytes) rows; [[]] from v1
                 peers *)
       }
+    | Stats of { fmt : Request.stats_fmt; snapshot : Telemetry.Snapshot.t }
+        (** the snapshot rides the wire structurally; {!Serve.Render}
+            turns it into the requested exposition format client-side.
+            For [Watch], the first frame is a full snapshot and every
+            further frame a {!Telemetry.Snapshot.diff} over the
+            interval. *)
+    | Health of {
+        ok : bool;
+        uptime_s : float;
+        queue_len : int;
+        queue_capacity : int;
+        inflight : int;
+        workers : int;
+      }
 
   val to_json : t -> Explain.Ejson.t
   val of_json : Explain.Ejson.t -> (t, string) result
 end
+
+(** {1 Snapshot codec}
+
+    A {!Telemetry.Snapshot.t} as JSON — the payload of [Stats]
+    responses, also the CLI's [stats --format json] output. [taken_ns]
+    is process-local monotonic time and is not shipped; it decodes
+    as [0]. *)
+
+val snapshot_to_json : Telemetry.Snapshot.t -> Explain.Ejson.t
+val snapshot_of_json : Explain.Ejson.t -> (Telemetry.Snapshot.t, string) result
 
 (** {1 Envelopes} *)
 

@@ -86,7 +86,38 @@ let request_samples =
     Wire.Request.Optimize { bench = "tea8" };
     Wire.Request.Bench_list;
     Wire.Request.Cache_stats;
+    Wire.Request.Stats { fmt = Wire.Request.Stats_table };
+    Wire.Request.Stats { fmt = Wire.Request.Stats_json };
+    Wire.Request.Stats { fmt = Wire.Request.Stats_prometheus };
+    Wire.Request.Health;
+    Wire.Request.Watch { interval_ms = 500; count = 10 };
+    Wire.Request.Watch { interval_ms = 1000; count = 0 };
   ]
+
+(* taken_ns is process-local monotonic time: the codec does not ship it
+   (it decodes as 0), so wire samples carry 0 to round-trip exactly. *)
+let sample_snapshot =
+  {
+    Telemetry.Snapshot.taken_ns = 0L;
+    uptime_s = 12.5;
+    rss_bytes = 1_048_576;
+    active_spans = 2;
+    counters = [ ("serve.requests", 42); ("cache.misses", 7) ];
+    gauges = [ ("serve.inflight", 1); ("serve.queue_len", 3) ];
+    histograms =
+      [
+        {
+          Telemetry.Snapshot.hname = "serve.exec_ns";
+          count = 3;
+          sum_ns = 3000L;
+          max_ns = 2000L;
+          p50 = 1023L;
+          p90 = 2000L;
+          p99 = 2000L;
+          buckets = [ (1023L, 2); (2047L, 1) ];
+        };
+      ];
+  }
 
 let response_samples =
   [
@@ -163,6 +194,28 @@ let response_samples =
         by_ns = [ ("analysis", (4, 1024)); ("block", (8, 3072)) ];
       };
     Wire.Response.Cache_stats { dir = None; entries = 0; bytes = 0; by_ns = [] };
+    Wire.Response.Stats
+      { fmt = Wire.Request.Stats_prometheus; snapshot = sample_snapshot };
+    Wire.Response.Stats
+      {
+        fmt = Wire.Request.Stats_json;
+        snapshot =
+          {
+            sample_snapshot with
+            Telemetry.Snapshot.counters = [];
+            gauges = [];
+            histograms = [];
+          };
+      };
+    Wire.Response.Health
+      {
+        ok = true;
+        uptime_s = 3.25;
+        queue_len = 2;
+        queue_capacity = 64;
+        inflight = 1;
+        workers = 2;
+      };
   ]
 
 let test_request_codec () =
@@ -365,14 +418,16 @@ let fresh_sock () =
     (Printf.sprintf "xbound-test-serve-%d-%d.sock" (Unix.getpid ())
        (Random.int 100000))
 
-let with_server ?(workers = 2) ?(queue_capacity = 64) ?ctx f =
+let with_server ?(workers = 2) ?(queue_capacity = 64) ?access_log ?slow_ms
+    ?trace_sample ?trace_dir ?ctx f =
   let ctx = match ctx with Some c -> c | None -> Xbound.Ctx.default in
   let sock = fresh_sock () in
   let server =
     match
       Serve.Server.start
-        { Serve.Server.listen = Serve.Addr.Unix_sock sock; workers;
-          queue_capacity; ctx }
+        (Serve.Server.config ~workers ~queue_capacity ?access_log ?slow_ms
+           ?trace_sample ?trace_dir ~listen:(Serve.Addr.Unix_sock sock) ~ctx
+           ())
     with
     | Ok s -> s
     | Error m -> Alcotest.fail m
@@ -611,6 +666,330 @@ let test_serve_byte_identical () =
       | Error e -> Alcotest.fail (Xbound.Error.to_string e))
     requests local
 
+(* ---------------- the admin lane ---------------- *)
+
+(* Health and Stats are served inline on the reader thread, never
+   through the scheduler: with one worker wedged on a slow analysis and
+   the one queue slot taken, batch work is rejected with Overloaded —
+   and the admin ops still answer. *)
+let test_serve_admin_lane () =
+  let cache = Cache.create () in
+  let ctx = Xbound.Ctx.create ~cache ~jobs:2 () in
+  with_server ~workers:1 ~queue_capacity:1 ~ctx @@ fun addr ->
+  match Serve.Addr.connect addr with
+  | Error m -> Alcotest.fail m
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    let send i bench =
+      Serve.Frame.write fd
+        (Wire.encode_request
+           { Wire.id = i; priority = Wire.Batch;
+             request =
+               Wire.Request.Analyze { bench; tier = Xbound.Tier.Exact } })
+    in
+    (* Wedge: div occupies the worker, tea8 fills the queue slot. *)
+    send 1 "div";
+    Unix.sleepf 0.3;
+    send 2 "tea8";
+    (* The scheduler is now saturated; the admin lane must not care.
+       Health is served by a different reader thread than the one
+       admitting request 2, so poll until the queue shows full. *)
+    with_client addr @@ fun admin ->
+    let health () =
+      match Serve.Client.rpc admin Wire.Request.Health with
+      | Ok
+          (Wire.Response.Health
+             { ok; uptime_s; queue_len; queue_capacity; inflight = _; workers })
+        ->
+        (ok, uptime_s, queue_len, queue_capacity, workers)
+      | Ok _ -> Alcotest.fail "wrong response shape"
+      | Error e -> Alcotest.fail (Xbound.Error.to_string e)
+    in
+    let deadline = Unix.gettimeofday () +. 5. in
+    let rec wait_full () =
+      let ((_, _, queue_len, _, _) as h) = health () in
+      if queue_len = 1 || Unix.gettimeofday () > deadline then h
+      else begin
+        Thread.yield ();
+        wait_full ()
+      end
+    in
+    let ok, uptime_s, queue_len, queue_capacity, workers = wait_full () in
+    checkb "ok" true ok;
+    checki "workers" 1 workers;
+    checki "capacity" 1 queue_capacity;
+    checki "queue full" 1 queue_len;
+    checkb "uptime sane" true (uptime_s > 0.);
+    (match
+       Serve.Client.rpc admin
+         (Wire.Request.Stats { fmt = Wire.Request.Stats_prometheus })
+     with
+    | Ok (Wire.Response.Stats { snapshot; _ } as resp) ->
+      let body = Serve.Render.to_string resp in
+      checkb "prometheus body" true
+        (String.length body > 0 && String.starts_with ~prefix:"# " body);
+      checkb "gauge present" true
+        (List.mem_assoc "serve.queue_len" snapshot.Telemetry.Snapshot.gauges)
+    | Ok _ -> Alcotest.fail "wrong response shape"
+    | Error e -> Alcotest.fail (Xbound.Error.to_string e));
+    (* ... while batch work is genuinely being rejected. *)
+    send 3 "mult";
+    let replies =
+      List.init 3 (fun _ ->
+          match Serve.Frame.read fd with
+          | Ok r -> (
+            match Wire.decode_response r with
+            | Ok f -> f
+            | Error e -> Alcotest.fail (Xbound.Error.to_string e))
+          | Error e -> Alcotest.fail (Serve.Frame.read_error_to_string e))
+    in
+    checki "one rejection" 1
+      (List.length
+         (List.filter
+            (fun f ->
+              match f.Wire.result with
+              | Error (Xbound.Error.Overloaded _) -> true
+              | _ -> false)
+            replies))
+
+(* A bounded Watch delivers exactly count frames: a full snapshot, then
+   diffs. *)
+let test_serve_watch_bounded () =
+  with_server @@ fun addr ->
+  with_client addr @@ fun c ->
+  let frames = ref 0 in
+  match
+    Serve.Client.watch c ~interval_ms:20 ~count:3 ~on_frame:(fun resp ->
+        (match resp with
+        | Wire.Response.Stats { snapshot; _ } ->
+          incr frames;
+          checkb "window length sane" true
+            (snapshot.Telemetry.Snapshot.uptime_s >= 0.)
+        | _ -> Alcotest.fail "non-stats frame in watch stream");
+        true)
+  with
+  | Ok () -> checki "exactly three frames" 3 !frames
+  | Error e -> Alcotest.fail (Xbound.Error.to_string e)
+
+(* An unbounded Watch ends cleanly when the client hangs up — and the
+   server keeps serving other connections afterwards. *)
+let test_serve_watch_client_disconnect () =
+  with_server @@ fun addr ->
+  (match Serve.Client.connect addr with
+  | Error m -> Alcotest.fail m
+  | Ok c ->
+    let frames = ref 0 in
+    let watcher =
+      Thread.create
+        (fun () ->
+          ignore
+            (Serve.Client.watch c ~interval_ms:20 ~count:0
+               ~on_frame:(fun _ ->
+                 incr frames;
+                 true)))
+        ()
+    in
+    let deadline = Unix.gettimeofday () +. 5. in
+    while !frames < 2 && Unix.gettimeofday () < deadline do
+      Thread.yield ()
+    done;
+    checkb "stream was flowing" true (!frames >= 2);
+    Serve.Client.close c;
+    Thread.join watcher);
+  (* The server shrugged off the disconnect. *)
+  with_client addr @@ fun c2 ->
+  match Serve.Client.rpc c2 Wire.Request.Health with
+  | Ok (Wire.Response.Health _) -> ()
+  | Ok _ -> Alcotest.fail "wrong response shape"
+  | Error e -> Alcotest.fail (Xbound.Error.to_string e)
+
+(* An unbounded Watch also ends cleanly (Ok, not an error) when the
+   server shuts down mid-stream. *)
+let test_serve_watch_server_stop () =
+  let result = ref None in
+  let frames = ref 0 in
+  let watcher = ref None in
+  with_server (fun addr ->
+      match Serve.Client.connect addr with
+      | Error m -> Alcotest.fail m
+      | Ok c ->
+        watcher :=
+          Some
+            ( c,
+              Thread.create
+                (fun () ->
+                  result :=
+                    Some
+                      (Serve.Client.watch c ~interval_ms:20 ~count:0
+                         ~on_frame:(fun _ ->
+                           incr frames;
+                           true)))
+                () );
+        let deadline = Unix.gettimeofday () +. 5. in
+        while !frames < 1 && Unix.gettimeofday () < deadline do
+          Thread.yield ()
+        done;
+        checkb "stream started" true (!frames >= 1));
+  (* with_server has stopped the daemon; the stream must have ended
+     with Ok. *)
+  match !watcher with
+  | None -> Alcotest.fail "no watcher"
+  | Some (c, th) ->
+    Thread.join th;
+    Serve.Client.close c;
+    (match !result with
+    | Some (Ok ()) -> ()
+    | Some (Error e) ->
+      Alcotest.fail ("watch errored on shutdown: " ^ Xbound.Error.to_string e)
+    | None -> Alcotest.fail "watch did not return")
+
+(* ---------------- access log exactness ---------------- *)
+
+(* Per-request attribution is exact, not sampled: for a single client,
+   the access log's exec-time and cache counter columns sum to the
+   process-wide snapshot diff over the same window. *)
+let test_serve_access_log_exact () =
+  let log = Filename.temp_file "xbound-test-alog" ".jsonl" in
+  let cache = Cache.create () in
+  let ctx = Xbound.Ctx.create ~cache ~jobs:2 () in
+  with_server ~access_log:log ~ctx @@ fun addr ->
+  with_client addr @@ fun c ->
+  let snap () =
+    match
+      Serve.Client.rpc c (Wire.Request.Stats { fmt = Wire.Request.Stats_json })
+    with
+    | Ok (Wire.Response.Stats { snapshot; _ }) -> snapshot
+    | Ok _ -> Alcotest.fail "wrong response shape"
+    | Error e -> Alcotest.fail (Xbound.Error.to_string e)
+  in
+  let before = snap () in
+  for _ = 1 to 3 do
+    match
+      Serve.Client.rpc c
+        (Wire.Request.Analyze { bench = "tea8"; tier = Xbound.Tier.Exact })
+    with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail (Xbound.Error.to_string e)
+  done;
+  let after = snap () in
+  let d = Telemetry.Snapshot.diff ~before ~after in
+  let entries =
+    In_channel.with_open_text log In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+    |> List.map Explain.Ejson.parse
+  in
+  checki "one entry per request" 3 (List.length entries);
+  List.iter
+    (fun e ->
+      Alcotest.(check (option string))
+        "op" (Some "analyze")
+        (Explain.Ejson.string_member "op" e);
+      Alcotest.(check (option string))
+        "outcome" (Some "ok")
+        (Explain.Ejson.string_member "outcome" e);
+      Alcotest.(check (option string))
+        "tier" (Some "exact")
+        (Explain.Ejson.string_member "tier" e);
+      checkb "has id" true (Explain.Ejson.string_member "id" e <> None))
+    entries;
+  (* the log's exec times are the very values observed into the
+     serve.exec_ns histogram — equal sums, not approximately *)
+  let logged_exec_ns =
+    List.fold_left
+      (fun acc e ->
+        match Explain.Ejson.float_member "exec_ns" e with
+        | Some v -> Int64.add acc (Int64.of_float v)
+        | None -> Alcotest.fail "entry without exec_ns")
+      0L entries
+  in
+  (match
+     List.find_opt
+       (fun (h : Telemetry.Snapshot.histo) -> h.hname = "serve.exec_ns")
+       d.Telemetry.Snapshot.histograms
+   with
+  | Some h ->
+    checki "exec observations" 3 h.Telemetry.Snapshot.count;
+    check Alcotest.int64 "exec time attribution is exact"
+      h.Telemetry.Snapshot.sum_ns logged_exec_ns
+  | None -> Alcotest.fail "no serve.exec_ns in the window");
+  (* every process-wide cache counter move in the window is accounted
+     to some request's scope tally *)
+  let logged_counter name =
+    List.fold_left
+      (fun acc e ->
+        match Explain.Ejson.member "counters" e with
+        | Some cs ->
+          acc
+          + int_of_float
+              (Option.value ~default:0.
+                 (Explain.Ejson.float_member name cs))
+        | None -> acc)
+      0 entries
+  in
+  let cache_counters =
+    List.filter
+      (fun (name, _) -> String.starts_with ~prefix:"cache." name)
+      d.Telemetry.Snapshot.counters
+  in
+  checkb "window saw cache traffic" true (cache_counters <> []);
+  List.iter
+    (fun (name, total) ->
+      checki ("exact attribution for " ^ name) total (logged_counter name))
+    cache_counters
+
+(* ---------------- observability does not perturb bounds ---------- *)
+
+(* The second acceptance criterion: with the access log and 1-in-1
+   trace sampling on, rendered bounds are byte-identical to the plain
+   in-process run — and the spool dir actually received traces. *)
+let test_serve_observability_byte_identical () =
+  let cache = Cache.create () in
+  let ctx = Xbound.Ctx.create ~cache ~jobs:2 () in
+  let requests =
+    [
+      Wire.Request.Analyze { bench = "tea8"; tier = Xbound.Tier.Exact };
+      Wire.Request.Analyze { bench = "tea8"; tier = Xbound.Tier.Static };
+      Wire.Request.Run_concrete { bench = "mult"; seed = 8 };
+    ]
+  in
+  let plain =
+    List.map
+      (fun r ->
+        match Serve.Exec.exec ~ctx r with
+        | Ok resp -> Serve.Render.to_string resp
+        | Error e -> Alcotest.fail (Xbound.Error.to_string e))
+      requests
+  in
+  let log = Filename.temp_file "xbound-test-alog2" ".jsonl" in
+  let trace_dir = Filename.temp_file "xbound-test-traces" "" in
+  Sys.remove trace_dir;
+  with_server ~access_log:log ~slow_ms:1 ~trace_sample:1 ~trace_dir ~ctx
+  @@ fun addr ->
+  with_client addr @@ fun c ->
+  List.iter2
+    (fun r expected ->
+      match Serve.Client.rpc c r with
+      | Ok resp ->
+        checks "byte-identical under full observability" expected
+          (Serve.Render.to_string resp)
+      | Error e -> Alcotest.fail (Xbound.Error.to_string e))
+    requests plain;
+  let traces = Sys.readdir trace_dir in
+  checki "every request sampled" (List.length requests)
+    (Array.length traces);
+  Array.iter
+    (fun f ->
+      let body =
+        In_channel.with_open_text (Filename.concat trace_dir f)
+          In_channel.input_all
+      in
+      checkb (f ^ " looks like a chrome trace") true
+        (String.length body > 0 && body.[0] = '{'))
+    traces
+
 (* ---------------- cache sharding / migration ---------------- *)
 
 let temp_dir () =
@@ -700,6 +1079,20 @@ let () =
           Alcotest.test_case "single flight" `Quick test_serve_single_flight;
           Alcotest.test_case "admission reject" `Quick test_serve_admission_reject;
           Alcotest.test_case "byte identical" `Quick test_serve_byte_identical;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "admin lane under saturation" `Quick
+            test_serve_admin_lane;
+          Alcotest.test_case "watch bounded" `Quick test_serve_watch_bounded;
+          Alcotest.test_case "watch client disconnect" `Quick
+            test_serve_watch_client_disconnect;
+          Alcotest.test_case "watch server stop" `Quick
+            test_serve_watch_server_stop;
+          Alcotest.test_case "access log exactness" `Quick
+            test_serve_access_log_exact;
+          Alcotest.test_case "byte identical under observability" `Quick
+            test_serve_observability_byte_identical;
         ] );
       ( "cache",
         [ Alcotest.test_case "shard migrate" `Quick test_cache_migrate ] );

@@ -129,11 +129,66 @@ let test_histogram () =
   Alcotest.(check int) "count" 4 count;
   Alcotest.(check int64) "sum" 1006L sum;
   Alcotest.(check int64) "max" 1000L mx;
-  (* 1 -> bucket 1; 2,3 -> bucket 2; 1000 -> bucket 512 *)
+  (* Buckets are listed by inclusive upper bound: 1 -> [0,1]; 2,3 ->
+     [2,3]; 1000 -> [512,1023]. *)
   Alcotest.(check (list (pair int64 int)))
     "log2 buckets"
-    [ (1L, 1); (2L, 2); (512L, 1) ]
+    [ (1L, 1); (3L, 2); (1023L, 1) ]
     (Telemetry.Histogram.buckets h)
+
+(* The published contract: each (upper, n) row covers observations
+   <= upper (and > the previous row's upper), and percentile reports
+   exactly these upper bounds (clamped to the recorded max). Pin the
+   two against each other so neither can drift alone. *)
+let test_histogram_bucket_bounds () =
+  let h = Telemetry.Histogram.make "test.hist_bounds" in
+  let t = Telemetry.create () in
+  let obs = [ 0L; 1L; 2L; 4L; 7L; 8L; 100L; 4096L ] in
+  Telemetry.with_ambient t (fun () ->
+      List.iter (Telemetry.Histogram.observe h) obs);
+  let buckets = Telemetry.Histogram.buckets h in
+  Alcotest.(check (list (pair int64 int)))
+    "upper-bound rows"
+    [ (1L, 2); (3L, 1); (7L, 2); (15L, 1); (127L, 1); (8191L, 1) ]
+    buckets;
+  (* every observation is covered by exactly the row whose upper bound
+     is the least one >= it *)
+  List.iter
+    (fun v ->
+      match List.find_opt (fun (upper, _) -> upper >= v) buckets with
+      | None -> Alcotest.failf "no bucket covers %Ld" v
+      | Some _ -> ())
+    obs;
+  Alcotest.(check int) "rows account for every observation"
+    (List.length obs)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 buckets);
+  (* percentile never invents values: every quantile is a bucket upper
+     bound or the recorded max *)
+  let uppers = List.map fst buckets in
+  List.iter
+    (fun q ->
+      let p = Telemetry.Histogram.percentile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f is a bucket upper bound or the max"
+           (q *. 100.))
+        true
+        (List.mem p uppers || p = 4096L))
+    [ 0.; 0.25; 0.5; 0.9; 0.99; 1. ]
+
+(* ---------------- gauges ---------------- *)
+
+let test_gauge () =
+  let g = Telemetry.Gauge.make "test.gauge" in
+  Alcotest.(check int) "starts at zero" 0 (Telemetry.Gauge.value g);
+  (* gauges track instantaneous state, so they move without a sink *)
+  Telemetry.Gauge.set g 5;
+  Telemetry.Gauge.add g 2;
+  Telemetry.Gauge.add g (-3);
+  Alcotest.(check int) "set/add" 4 (Telemetry.Gauge.value g);
+  Alcotest.(check bool) "interned" true
+    (Telemetry.Gauge.make "test.gauge" == g);
+  Alcotest.(check (option int)) "listed" (Some 4)
+    (List.assoc_opt "test.gauge" (Telemetry.gauges ()))
 
 let test_histogram_percentile () =
   let h = Telemetry.Histogram.make "test.hist_pct" in
@@ -170,6 +225,192 @@ let test_histogram_percentile () =
   Alcotest.(check bool) "summary shows p50" true (contains "p50");
   Alcotest.(check bool) "summary shows p99" true (contains "p99")
 
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let count_sub ~sub s =
+  let n = String.length sub in
+  let rec go acc i =
+    if i + n > String.length s then acc
+    else go (if String.sub s i n = sub then acc + 1 else acc) (i + 1)
+  in
+  go 0 0
+
+(* ---------------- request scopes ---------------- *)
+
+(* A scope sees exactly the counter increments and spans made while it
+   is entered on the executing thread — process-wide aggregates keep
+   accumulating as before. *)
+let test_scope_tally () =
+  let c = Telemetry.Counter.make "test.scope_tally" in
+  let t = Telemetry.create () in
+  Telemetry.with_ambient t (fun () ->
+      Telemetry.Counter.add c 5;
+      let s1 = Telemetry.Scope.create ~id:"r1" in
+      let s2 = Telemetry.Scope.create ~id:"r2" in
+      Telemetry.Scope.with_scope s1 (fun () ->
+          Telemetry.Counter.add c 3;
+          Telemetry.span ~cat:"phase" "work" (fun () ->
+              Telemetry.Counter.incr c));
+      Telemetry.Scope.with_scope s2 (fun () -> Telemetry.Counter.add c 10);
+      Telemetry.Counter.add c 100;
+      Alcotest.(check string) "id" "r1" (Telemetry.Scope.id s1);
+      Alcotest.(check (list (pair string int)))
+        "s1 sees its own increments only"
+        [ ("test.scope_tally", 4) ]
+        (Telemetry.Scope.counter_deltas s1);
+      Alcotest.(check (list (pair string int)))
+        "s2 likewise"
+        [ ("test.scope_tally", 10) ]
+        (Telemetry.Scope.counter_deltas s2);
+      Alcotest.(check int) "process-wide total unaffected" 119
+        (Telemetry.Counter.value c);
+      Alcotest.(check int) "s1 recorded its span" 1
+        (List.length (Telemetry.Scope.events s1));
+      match Telemetry.Scope.phase_totals s1 with
+      | [ ("work", secs) ] ->
+        Alcotest.(check bool) "phase total plausible" true (secs >= 0.)
+      | l -> Alcotest.failf "expected one phase, got %d" (List.length l))
+
+let test_scope_not_active_outside () =
+  let t = Telemetry.create () in
+  Telemetry.with_ambient t (fun () ->
+      (match Telemetry.Scope.active () with
+      | None -> ()
+      | Some _ -> Alcotest.fail "no scope expected outside with_scope");
+      let s = Telemetry.Scope.create ~id:"r9" in
+      Telemetry.Scope.with_scope s (fun () ->
+          match Telemetry.Scope.active () with
+          | Some s' -> Alcotest.(check string) "active" "r9" (Telemetry.Scope.id s')
+          | None -> Alcotest.fail "scope should be active");
+      match Telemetry.Scope.active () with
+      | None -> ()
+      | Some _ -> Alcotest.fail "scope leaked past with_scope")
+
+(* ---------------- snapshots ---------------- *)
+
+let test_snapshot_take_and_diff () =
+  let c = Telemetry.Counter.make "test.snap_ctr" in
+  let h = Telemetry.Histogram.make "test.snap_hist_ns" in
+  let g = Telemetry.Gauge.make "test.snap_gauge" in
+  let t = Telemetry.create () in
+  Telemetry.with_ambient t (fun () ->
+      Telemetry.Counter.add c 2;
+      Telemetry.Histogram.observe h 100L;
+      let before = Telemetry.Snapshot.take () in
+      Telemetry.Counter.add c 3;
+      Telemetry.Histogram.observe h 5000L;
+      Telemetry.Gauge.set g 7;
+      let after = Telemetry.Snapshot.take () in
+      Alcotest.(check (option int)) "cumulative counter" (Some 5)
+        (List.assoc_opt "test.snap_ctr" after.Telemetry.Snapshot.counters);
+      Alcotest.(check bool) "uptime positive" true
+        (after.Telemetry.Snapshot.uptime_s > 0.);
+      let d = Telemetry.Snapshot.diff ~before ~after in
+      Alcotest.(check (option int)) "windowed counter delta" (Some 3)
+        (List.assoc_opt "test.snap_ctr" d.Telemetry.Snapshot.counters);
+      Alcotest.(check (option int)) "gauge is instantaneous" (Some 7)
+        (List.assoc_opt "test.snap_gauge" d.Telemetry.Snapshot.gauges);
+      let histo (s : Telemetry.Snapshot.t) =
+        List.find
+          (fun (x : Telemetry.Snapshot.histo) -> x.hname = "test.snap_hist_ns")
+          s.Telemetry.Snapshot.histograms
+      in
+      let hb = histo after and hd = histo d in
+      Alcotest.(check int) "cumulative count" 2 hb.Telemetry.Snapshot.count;
+      Alcotest.(check int) "windowed count" 1 hd.Telemetry.Snapshot.count;
+      (* the window's only observation is 5000: its percentiles must
+         come from the 5000 bucket, not the cumulative distribution *)
+      Alcotest.(check bool) "windowed p50 covers 5000" true
+        (hd.Telemetry.Snapshot.p50 >= 4096L))
+
+(* Satellite of the exposition tier: every line of the Prometheus text
+   format is either a comment or [name{labels} value], histogram series
+   are cumulative and capped by +Inf == _count, and counters carry the
+   _total suffix. *)
+let check_prometheus_lines body =
+  let is_metric_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = ':'
+  in
+  let lines = String.split_on_char '\n' body in
+  List.iter
+    (fun line ->
+      if line <> "" && not (String.starts_with ~prefix:"#" line) then begin
+        (* metric name: leading run of metric chars, nonempty, not
+           starting with a digit *)
+        let n = String.length line in
+        let rec name_end i =
+          if i < n && is_metric_char line.[i] then name_end (i + 1) else i
+        in
+        let e = name_end 0 in
+        if e = 0 || (line.[0] >= '0' && line.[0] <= '9') then
+          Alcotest.failf "bad metric name in %S" line;
+        (* optional {labels}, then exactly one space and a float *)
+        let rest =
+          if e < n && line.[e] = '{' then
+            match String.index_from_opt line e '}' with
+            | Some close -> String.sub line (close + 1) (n - close - 1)
+            | None -> Alcotest.failf "unclosed label set in %S" line
+          else String.sub line e (n - e)
+        in
+        match String.split_on_char ' ' rest with
+        | [ ""; v ] -> (
+          match float_of_string_opt v with
+          | Some _ -> ()
+          | None ->
+            if v <> "+Inf" then Alcotest.failf "bad sample value in %S" line)
+        | _ -> Alcotest.failf "expected 'name value' in %S" line
+      end)
+    lines
+
+let test_snapshot_prometheus () =
+  let c = Telemetry.Counter.make "test.prom_ctr" in
+  let h = Telemetry.Histogram.make "test.prom_hist_ns" in
+  let t = Telemetry.create () in
+  Telemetry.with_ambient t (fun () ->
+      Telemetry.Counter.add c 4;
+      List.iter (Telemetry.Histogram.observe h) [ 10L; 100L; 1000L ];
+      let s = Telemetry.Snapshot.take () in
+      let body = Telemetry.Snapshot.to_prometheus s in
+      check_prometheus_lines body;
+      Alcotest.(check bool) "counter total" true
+        (contains ~sub:"xbound_test_prom_ctr_total 4" body);
+      Alcotest.(check bool) "TYPE for the counter" true
+        (contains ~sub:"# TYPE xbound_test_prom_ctr_total counter" body);
+      (* _ns histograms export as _seconds with cumulative buckets *)
+      Alcotest.(check bool) "histogram TYPE" true
+        (contains ~sub:"# TYPE xbound_test_prom_hist_seconds histogram" body);
+      Alcotest.(check bool) "+Inf bucket" true
+        (contains ~sub:{|xbound_test_prom_hist_seconds_bucket{le="+Inf"} 3|}
+           body);
+      Alcotest.(check bool) "count series" true
+        (contains ~sub:"xbound_test_prom_hist_seconds_count 3" body);
+      (* cumulative: bucket counts never decrease through the list *)
+      let counts =
+        List.filter_map
+          (fun line ->
+            if
+              String.starts_with
+                ~prefix:"xbound_test_prom_hist_seconds_bucket" line
+            then
+              match String.rindex_opt line ' ' with
+              | Some i ->
+                int_of_string_opt
+                  (String.sub line (i + 1) (String.length line - i - 1))
+              | None -> None
+            else None)
+          (String.split_on_char '\n' body)
+      in
+      Alcotest.(check bool) "cumulative buckets" true
+        (List.sort compare counts = counts))
+
 (* ---------------- Chrome export ---------------- *)
 
 (* Minimal structural JSON check: braces/brackets balance outside string
@@ -198,21 +439,6 @@ let check_balanced_json s =
   Alcotest.(check bool) "not inside a string" false !in_str;
   Alcotest.(check int) "balanced" 0 !depth
 
-let contains ~sub s =
-  let n = String.length sub in
-  let rec go i =
-    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
-  in
-  go 0
-
-let count_sub ~sub s =
-  let n = String.length sub in
-  let rec go acc i =
-    if i + n > String.length s then acc
-    else go (if String.sub s i n = sub then acc + 1 else acc) (i + 1)
-  in
-  go 0 0
-
 let test_chrome_export () =
   let t = Telemetry.create () in
   let c = Telemetry.Counter.make "test.chrome" in
@@ -231,6 +457,19 @@ let test_chrome_export () =
   Alcotest.(check bool) "counter summary" true
     (contains ~sub:"\"xboundCounters\"" json);
   Alcotest.(check bool) "quote escaped" true (contains ~sub:{|quo\"ted|} json)
+
+(* A scope's standalone Chrome export: its spans as X events plus the
+   request-id metadata, structurally valid. *)
+let test_scope_chrome_export () =
+  let t = Telemetry.create () in
+  let s = Telemetry.Scope.create ~id:"r42" in
+  Telemetry.with_ambient t (fun () ->
+      Telemetry.Scope.with_scope s (fun () ->
+          sp "alpha" (fun () -> sp "beta" (fun () -> ()))));
+  let json = Telemetry.Scope.to_chrome_json s in
+  check_balanced_json json;
+  Alcotest.(check bool) "request id" true (contains ~sub:"r42" json);
+  Alcotest.(check int) "two X events" 2 (count_sub ~sub:"\"ph\": \"X\"" json)
 
 (* ---------------- facade: tracing must not perturb results --------- *)
 
@@ -366,9 +605,27 @@ let () =
           Alcotest.test_case "diff" `Quick test_diff;
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "percentiles" `Quick test_histogram_percentile;
+          Alcotest.test_case "bucket bounds" `Quick
+            test_histogram_bucket_bounds;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+        ] );
+      ( "scopes",
+        [
+          Alcotest.test_case "per-request tally" `Quick test_scope_tally;
+          Alcotest.test_case "activation" `Quick test_scope_not_active_outside;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "take and diff" `Quick test_snapshot_take_and_diff;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_snapshot_prometheus;
         ] );
       ( "export",
-        [ Alcotest.test_case "chrome json" `Quick test_chrome_export ] );
+        [
+          Alcotest.test_case "chrome json" `Quick test_chrome_export;
+          Alcotest.test_case "scope chrome json" `Quick
+            test_scope_chrome_export;
+        ] );
       ( "facade",
         [
           Alcotest.test_case "tracing does not perturb bounds" `Quick
