@@ -38,8 +38,8 @@ let list_experiments () =
 (* Machine-readable mirror of the console output, so the perf trajectory
    is trackable across commits: run with -j 1 and -j N and compare the
    two files. *)
-let write_bench_json entries cycles_per_run ~cache_json ~phases_json
-    ~static_json ~gaps_json ~parallel_jobs ~parallel_speedup =
+let write_bench_json entries cycles_per_run ~row_extras ~cache_json
+    ~phases_json ~static_json ~gaps_json ~parallel_jobs ~parallel_speedup =
   let oc = open_out "BENCH_micro.json" in
   Printf.fprintf oc "{\n  \"jobs\": %d,\n  \"results\": [\n"
     (Parallel.default_jobs ());
@@ -52,9 +52,12 @@ let write_bench_json entries cycles_per_run ~cache_json ~phases_json
         | Some c -> Printf.sprintf ", \"cycles_per_s\": %.1f" (c *. runs_per_s)
         | None -> ""
       in
+      let extra =
+        match List.assoc_opt name row_extras with Some s -> s | None -> ""
+      in
       Printf.fprintf oc
-        "    {\"name\": %S, \"ns_per_run\": %.1f, \"runs_per_s\": %.3f%s}%s\n"
-        name ns runs_per_s cyc
+        "    {\"name\": %S, \"ns_per_run\": %.1f, \"runs_per_s\": %.3f%s%s}%s\n"
+        name ns runs_per_s cyc extra
         (if i = last then "" else ","))
     entries;
   Printf.fprintf oc
@@ -231,6 +234,14 @@ let micro ~smoke () =
     Test.make ~name:"symbolic-analysis-tea8"
       (Staged.stage (fun () -> ignore (Core.Analyze.run pa cpu img)))
   in
+  (* Specialization ablation control: the identical analysis on the full
+     gate program. The gap between this row and symbolic-analysis-tea8
+     is the measured value of constant folding + program repacking. *)
+  let symbolic_tree_nospec =
+    Test.make ~name:"symbolic-analysis-tea8-nospec"
+      (Staged.stage (fun () ->
+           ignore (Core.Analyze.run ~specialize:false pa cpu img)))
+  in
   (* Sequential tree exploration on an explicit one-worker pool: the
      in-process baseline the parallel variant above is compared to. *)
   let seq_pool = Parallel.Pool.create ~jobs:1 in
@@ -261,6 +272,44 @@ let micro ~smoke () =
   (* One fully instrumented, uncached reference analysis: its per-phase
      wall-time breakdown is mirrored into BENCH_micro.json, and the same
      run is exported as a Chrome trace for the CI artifact. *)
+  let words_per_cycle ~specialize =
+    (* counters are no-ops without an ambient sink, so install one for
+       the measured run *)
+    Telemetry.with_ambient (Telemetry.create ()) @@ fun () ->
+    let before = Telemetry.counters () in
+    let a = Core.Analyze.run ~specialize pa cpu img in
+    let d = Telemetry.diff ~before ~after:(Telemetry.counters ()) in
+    let get name = Option.value ~default:0 (List.assoc_opt name d) in
+    ( a,
+      float_of_int (get "engine.words_evaluated")
+      /. float_of_int (max 1 (get "engine.cycles")) )
+  in
+  let _, wpc_spec = words_per_cycle ~specialize:true in
+  let _, wpc_nospec = words_per_cycle ~specialize:false in
+  let sp = Core.Analyze.specialization_for cpu in
+  let gate_count = Netlist.gate_count cpu.Cpu.netlist in
+  let spec_gate_count = gate_count - Netlist.Specialize.folded_count sp in
+  Printf.printf
+    "%-28s %d gates -> %d specialized (%d folded, %d swept), %.1f -> %.1f \
+     words/cycle\n"
+    "specialization-tea8" gate_count spec_gate_count
+    (Netlist.Specialize.folded_count sp)
+    (Netlist.Specialize.swept sp) wpc_nospec wpc_spec;
+  let row_extras =
+    let spec_row wpc spec_gates =
+      Printf.sprintf
+        ", \"gate_count\": %d, \"specialized_gate_count\": %d, \
+         \"words_per_cycle\": %.1f"
+        gate_count spec_gates wpc
+    in
+    [
+      ("symbolic-analysis-tea8", spec_row wpc_spec spec_gate_count);
+      ("symbolic-analysis-tea8-j1", spec_row wpc_spec spec_gate_count);
+      ("symbolic-analysis-tea8-jN", spec_row wpc_spec spec_gate_count);
+      ("symbolic-analysis-tea8-nospec", spec_row wpc_nospec gate_count);
+      ("symbolic-analysis-div-j1", spec_row wpc_spec spec_gate_count);
+    ]
+  in
   let tel = Telemetry.create () in
   let a = Telemetry.with_ambient tel (fun () -> Core.Analyze.run pa cpu img) in
   Telemetry.write_chrome tel ~file:"BENCH_micro_trace.json";
@@ -297,6 +346,7 @@ let micro ~smoke () =
       (* 2 reset + 100 stepped cycles *)
       ("concrete-100-cycles", 102.);
       ("symbolic-analysis-tea8", sym_cycles);
+      ("symbolic-analysis-tea8-nospec", sym_cycles);
       ("symbolic-analysis-tea8-j1", sym_cycles);
       ("symbolic-analysis-tea8-jN", sym_cycles);
       ("algorithm2-peak-power", float_of_int (Array.length a.Core.Analyze.flattened));
@@ -320,8 +370,8 @@ let micro ~smoke () =
           | _ -> Printf.printf "%-28s (no estimate)\n" name)
         results)
     [
-      concrete_step; symbolic_tree; symbolic_tree_seq; symbolic_tree_par;
-      symbolic_div; peak_power; cpu_build;
+      concrete_step; symbolic_tree; symbolic_tree_nospec; symbolic_tree_seq;
+      symbolic_tree_par; symbolic_div; peak_power; cpu_build;
     ];
   let cache_json, cold_s, warm_s, speedup = bench_cache pa cpu img in
   let st_cold_s, st_warm_s, st_speedup = bench_static pa cpu img b in
@@ -362,7 +412,7 @@ let micro ~smoke () =
   | Some s ->
     Printf.printf "%-28s %.2fx at -j%d\n" "parallel-speedup-tea8" s par_jobs
   | None -> ());
-  write_bench_json entries cycles_per_run ~cache_json ~phases_json
+  write_bench_json entries cycles_per_run ~row_extras ~cache_json ~phases_json
     ~static_json ~gaps_json ~parallel_jobs:par_jobs ~parallel_speedup;
   append_history
     {

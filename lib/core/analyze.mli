@@ -28,6 +28,24 @@ type t = {
     the multiplier-array wire scale (see DESIGN.md calibration notes). *)
 val poweran_for : ?lib:Stdcell.t -> ?period:float -> Cpu.t -> Poweran.t
 
+(** {1 Specialization}
+
+    {!Netlist.Specialize} depends only on the netlist and the reset
+    protocol, so one result serves every analysis over a CPU; it is
+    memoized by netlist identity and computed under a ["specialize"]
+    telemetry span. Engines take it via the [?specialize] flags below
+    (default on); trees, digests and bounds are bit-identical with it on
+    or off, which is why the flag does not enter cache keys. *)
+
+(** The memoized specialization of a CPU's netlist. *)
+val specialization_for : Cpu.t -> Netlist.Specialize.t
+
+(** [folded_pred cpu net] — true when [net] is proven constant. Computed
+    from {!specialization_for} regardless of engine mode, so reports
+    using it (the [Explain] "constant" gate class) are byte-identical
+    with specialization on or off. *)
+val folded_pred : Cpu.t -> int -> bool
+
 (** {1 Caching}
 
     Analyses are deterministic in (netlist, image, config, power
@@ -59,6 +77,7 @@ val run :
   ?config:config ->
   ?pool:Parallel.Pool.t ->
   ?cache:Cache.t ->
+  ?specialize:bool ->
   Poweran.t ->
   Cpu.t ->
   Isa.Asm.image ->
@@ -73,6 +92,7 @@ val run :
     the first fetch outside the block). *)
 val run_fragment :
   ?pool:Parallel.Pool.t ->
+  ?specialize:bool ->
   is_end:(Gatesim.Trace.cycle -> bool) ->
   max_cycles_per_path:int ->
   max_paths:int ->
@@ -86,6 +106,7 @@ val run_fragment :
     [(address, words)] pokes into RAM. Returns the cycle records and the
     observed per-cycle power trace. *)
 val run_concrete :
+  ?specialize:bool ->
   Poweran.t ->
   Cpu.t ->
   Isa.Asm.image ->

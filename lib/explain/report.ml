@@ -46,7 +46,7 @@ type t = {
 
 let by_power_desc (_, a) (_, b) = Float.compare b a
 
-let coi_of pa peak (c : Core.Coi.t) cycle =
+let coi_of ?folded pa peak (c : Core.Coi.t) cycle =
   {
     cycle_index = c.Core.Coi.cycle_index;
     power_w = c.Core.Coi.power;
@@ -57,17 +57,19 @@ let coi_of pa peak (c : Core.Coi.t) cycle =
     fetching = c.Core.Coi.fetching_text;
     modules = List.sort by_power_desc c.Core.Coi.breakdown;
     classes =
-      List.sort by_power_desc (Poweran.class_breakdown pa ~mode:`Max cycle);
+      List.sort by_power_desc
+        (Poweran.class_breakdown ?folded pa ~mode:`Max cycle);
   }
 
-let build ?(top = 4) ?(min_gap = 5) ?(phases = []) ?(counters = []) ~name pa
-    (a : Core.Analyze.t) =
+let build ?(top = 4) ?(min_gap = 5) ?(phases = []) ?(counters = []) ?folded
+    ~name pa (a : Core.Analyze.t) =
   Telemetry.span "explain" @@ fun () ->
   let peak = a.Core.Analyze.peak_power in
   let cois =
     List.map
       (fun (c : Core.Coi.t) ->
-        coi_of pa peak c a.Core.Analyze.flattened.(c.Core.Coi.cycle_index))
+        coi_of ?folded pa peak c
+          a.Core.Analyze.flattened.(c.Core.Coi.cycle_index))
       (Core.Analyze.cois ~top ~min_gap pa a)
   in
   let ts = Core.Treestat.compute a.Core.Analyze.tree in

@@ -62,12 +62,17 @@ type t = {
 (** [build ~name pa analysis] — assemble the report. [top]/[min_gap]
     select the cycles of interest as in {!Core.Analyze.cois} (default
     4 / 5); [phases]/[counters] attach the per-call telemetry deltas
-    when the caller has them. *)
+    when the caller has them. [folded] (typically
+    {!Core.Analyze.folded_pred}) relabels proven-constant gates into a
+    ["constant"] class in each COI's class split — sums are unchanged;
+    pass it regardless of the engine's specialization mode so reports
+    are identical either way. *)
 val build :
   ?top:int ->
   ?min_gap:int ->
   ?phases:(string * float) list ->
   ?counters:(string * int) list ->
+  ?folded:(int -> bool) ->
   name:string ->
   Poweran.t ->
   Core.Analyze.t ->

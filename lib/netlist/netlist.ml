@@ -335,3 +335,176 @@ module Stats = struct
     Format.fprintf fmt "by module:@.";
     List.iter (fun (k, v) -> Format.fprintf fmt "  %-14s %6d@." k v) c.by_module
 end
+
+(* Application-specific constant analysis over the reset protocol.
+
+   A ternary model of the netlist is simulated through the driver's
+   reset sequence — every input X except reset, memory read data X (a
+   sound over-approximation of the bus keeper), [pre] cycles with reset
+   asserted, [settle] cycles deasserted — and every flop whose settled
+   value equals its own pending next-state value becomes a fold
+   *candidate*. A greatest-fixpoint demotion loop then re-evaluates the
+   model from "candidates at their settled codes, everything else X,
+   reset deasserted" and demotes any candidate whose next-state no
+   longer reproduces its code, until the candidate set is inductively
+   invariant: once the real simulation reaches a state agreeing with the
+   final vector on every folded net (with reset held low), Kleene
+   monotonicity guarantees it agrees forever, for *any* values on the
+   remaining inputs. Every net definite in the final vector — constants,
+   the reset input, surviving candidate flops and the combinational cone
+   they pin — is "folded": provably invariant, hence contributing zero
+   switching activity from that point on. *)
+module Specialize = struct
+  type netlist = t
+
+  type t = {
+    nl : netlist;
+    codes : int array;  (* per net: Tri.I code of the invariant value *)
+    folded_plane : int array;  (* bit-plane over net ids *)
+    folded_count : int;
+    folded_comb : int;
+    folded_dffs : int array;  (* packed (dff_index lsl 2) lor code *)
+    swept : int;
+  }
+
+  let netlist t = t.nl
+  let folded_count t = t.folded_count
+  let folded_comb t = t.folded_comb
+  let swept t = t.swept
+  let folded_dffs t = t.folded_dffs
+  let code t id = t.codes.(id)
+
+  let is_folded t id =
+    (t.folded_plane.(id lsr 5) lsr (id land 31)) land 1 = 1
+
+  let eval_cell cell (codes : int array) (f : int array) =
+    let open Tri.I in
+    match cell with
+    | Buf -> codes.(f.(0))
+    | Inv -> lnot codes.(f.(0))
+    | And2 -> land_ codes.(f.(0)) codes.(f.(1))
+    | Or2 -> lor_ codes.(f.(0)) codes.(f.(1))
+    | Nand2 -> lnand codes.(f.(0)) codes.(f.(1))
+    | Nor2 -> lnor codes.(f.(0)) codes.(f.(1))
+    | Xor2 -> lxor_ codes.(f.(0)) codes.(f.(1))
+    | Xnor2 -> lxnor codes.(f.(0)) codes.(f.(1))
+    | Mux2 -> mux codes.(f.(0)) codes.(f.(1)) codes.(f.(2))
+    | Input | Const _ | Dff | Dffe -> assert false
+
+  let compute ?(pre = 2) ?(settle = 3) nl ~reset =
+    (match nl.gates.(reset).cell with
+    | Input -> ()
+    | _ -> invalid_arg "Netlist.Specialize.compute: reset is not an input");
+    let n = Array.length nl.gates in
+    let ndffs = Array.length nl.dffs in
+    let x = Tri.I.x in
+    let codes = Array.make n x in
+    let dnext = Array.make ndffs x in
+    let seed_consts () =
+      Array.iter
+        (fun g ->
+          match g.cell with
+          | Const c -> codes.(g.id) <- Tri.to_int c
+          | _ -> ())
+        nl.gates
+    in
+    seed_consts ();
+    let eval_comb () =
+      Array.iter
+        (fun id ->
+          let g = nl.gates.(id) in
+          codes.(id) <- eval_cell g.cell codes g.fanins)
+        nl.topo
+    in
+    let compute_dnext () =
+      Array.iteri
+        (fun i id ->
+          let g = nl.gates.(id) in
+          dnext.(i) <-
+            (match g.cell with
+            | Dff -> codes.(g.fanins.(0))
+            | Dffe ->
+              Tri.I.mux codes.(g.fanins.(0)) codes.(id) codes.(g.fanins.(1))
+            | _ -> assert false))
+        nl.dffs
+    in
+    (* One protocol cycle, mirroring the engine: clock edge, external
+       drives (reset at [rst], everything else X), settle, pending
+       next-state. *)
+    let cycle rst =
+      Array.iteri (fun i id -> codes.(id) <- dnext.(i)) nl.dffs;
+      Array.iter (fun id -> codes.(id) <- x) nl.inputs;
+      codes.(reset) <- rst;
+      eval_comb ();
+      compute_dnext ()
+    in
+    for _ = 1 to pre do
+      cycle 1
+    done;
+    for _ = 1 to settle do
+      cycle 0
+    done;
+    let settled = Array.copy codes in
+    let cand = Array.make ndffs false in
+    Array.iteri
+      (fun i id -> cand.(i) <- settled.(id) <> x && dnext.(i) = settled.(id))
+      nl.dffs;
+    (* Greatest-fixpoint demotion: candidates must reproduce their codes
+       from the trial state alone. *)
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.fill codes 0 n x;
+      seed_consts ();
+      Array.iteri
+        (fun i id -> if cand.(i) then codes.(id) <- settled.(id))
+        nl.dffs;
+      codes.(reset) <- Tri.I.zero;
+      eval_comb ();
+      compute_dnext ();
+      Array.iteri
+        (fun i id ->
+          if cand.(i) && dnext.(i) <> settled.(id) then begin
+            cand.(i) <- false;
+            changed := true
+          end)
+        nl.dffs
+    done;
+    (* [codes] now holds the final (inductively invariant) vector. *)
+    let folded_plane = Array.make ((n + 31) lsr 5) 0 in
+    let folded_count = ref 0 in
+    for id = 0 to n - 1 do
+      if codes.(id) <> x then begin
+        folded_plane.(id lsr 5) <-
+          folded_plane.(id lsr 5) lor (1 lsl (id land 31));
+        incr folded_count
+      end
+    done;
+    let is_f id = (folded_plane.(id lsr 5) lsr (id land 31)) land 1 = 1 in
+    let folded_comb = ref 0 in
+    let swept = ref 0 in
+    Array.iter
+      (fun id ->
+        if is_f id then begin
+          incr folded_comb;
+          if Array.for_all is_f nl.fanouts.(id) then incr swept
+        end)
+      nl.topo;
+    let folded_dffs =
+      Array.of_seq
+        (Seq.filter_map
+           (fun i ->
+             let id = nl.dffs.(i) in
+             if is_f id then Some ((i lsl 2) lor codes.(id)) else None)
+           (Seq.init ndffs (fun i -> i)))
+    in
+    {
+      nl;
+      codes;
+      folded_plane;
+      folded_count = !folded_count;
+      folded_comb = !folded_comb;
+      folded_dffs;
+      swept = !swept;
+    }
+end

@@ -123,3 +123,52 @@ module Stats : sig
   val compute : t -> counts
   val pp : Format.formatter -> counts -> unit
 end
+
+(** {1 Application-specific constant analysis}
+
+    A ternary reset-protocol simulation plus a greatest-fixpoint
+    demotion loop computes an {e inductively invariant} partial value
+    vector: every "folded" net is proven to hold a definite constant
+    from the moment the real simulation reaches a state agreeing with
+    the vector (with reset deasserted) — for any values on the remaining
+    inputs, by Kleene monotonicity. Folded nets contribute zero
+    switching activity; their leakage stays in the power model's base
+    power. The result depends only on the netlist and the reset
+    protocol, not on the program image, so it is computed once per
+    netlist and shared across analyses. *)
+module Specialize : sig
+  type netlist = t
+  type t
+
+  (** [compute ?pre ?settle nl ~reset] — simulate [pre] cycles with
+      [reset] asserted then [settle] cycles deasserted (matching the
+      driver's reset sequence), extract fold candidates, and demote to
+      the greatest inductive fixpoint. [reset] must be an [Input] net.
+      O(cycles · gates). *)
+  val compute : ?pre:int -> ?settle:int -> netlist -> reset:int -> t
+
+  val netlist : t -> netlist
+
+  (** Nets proven constant (all kinds, including [Const] cells, the
+      reset input and folded flops). *)
+  val folded_count : t -> int
+
+  (** Folded combinational gates — the ones the specialized engine
+      program drops. *)
+  val folded_comb : t -> int
+
+  (** Folded combinational gates whose entire fanout is also folded
+      (a fully dead cone; reported as a statistic). *)
+  val swept : t -> int
+
+  val is_folded : t -> int -> bool
+
+  (** Invariant value of a net as a {!Tri.I} code; [Tri.I.x] when the
+      net is not folded. *)
+  val code : t -> int -> int
+
+  (** Folded flops, packed [(dff_index lsl 2) lor code] — the engine
+    verifies these against its pending flop values before switching to
+    the specialized program. *)
+  val folded_dffs : t -> int array
+end

@@ -8,6 +8,7 @@ type t = {
   base_by_module : float array;
   module_count : int;
   base_by_class : (string * float) list;  (* leakage+clock per cell kind *)
+  gate_base : float array;  (* per gate: leakage + clock power *)
 }
 
 let create ?(bus = [||]) ?(bus_cap = 450e-15) ?(module_scale = []) nl lib ~period =
@@ -33,6 +34,7 @@ let create ?(bus = [||]) ?(bus_cap = 450e-15) ?(module_scale = []) nl lib ~perio
     bus;
   let module_count = Array.length nl.Netlist.module_names in
   let base_by_module = Array.make module_count 0. in
+  let gate_base = Array.make n 0. in
   Array.iter
     (fun (g : Netlist.gate) ->
       let leak = (lib.Stdcell.of_cell g.Netlist.cell).Stdcell.leakage in
@@ -41,6 +43,7 @@ let create ?(bus = [||]) ?(bus_cap = 450e-15) ?(module_scale = []) nl lib ~perio
           lib.Stdcell.clk_pin_energy /. period
         else 0.
       in
+      gate_base.(g.Netlist.id) <- leak +. clk;
       base_by_module.(g.Netlist.module_id) <-
         base_by_module.(g.Netlist.module_id) +. leak +. clk)
     nl.Netlist.gates;
@@ -48,15 +51,10 @@ let create ?(bus = [||]) ?(bus_cap = 450e-15) ?(module_scale = []) nl lib ~perio
   let class_tbl : (string, float) Hashtbl.t = Hashtbl.create 16 in
   Array.iter
     (fun (g : Netlist.gate) ->
-      let leak = (lib.Stdcell.of_cell g.Netlist.cell).Stdcell.leakage in
-      let clk =
-        if Netlist.is_sequential g.Netlist.cell then
-          lib.Stdcell.clk_pin_energy /. period
-        else 0.
-      in
       let k = Netlist.cell_name g.Netlist.cell in
       Hashtbl.replace class_tbl k
-        (Option.value (Hashtbl.find_opt class_tbl k) ~default:0. +. leak +. clk))
+        (Option.value (Hashtbl.find_opt class_tbl k) ~default:0.
+        +. gate_base.(g.Netlist.id)))
     nl.Netlist.gates;
   let base_by_class =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) class_tbl []
@@ -72,6 +70,7 @@ let create ?(bus = [||]) ?(bus_cap = 450e-15) ?(module_scale = []) nl lib ~perio
     base_by_module;
     module_count;
     base_by_class;
+    gate_base;
   }
 
 let netlist t = t.nl
@@ -146,12 +145,37 @@ let module_breakdown t ~mode (cy : Gatesim.Trace.cycle) =
     (Array.mapi (fun m p -> (t.nl.Netlist.module_names.(m), p)) acc)
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let class_breakdown t ~mode (cy : Gatesim.Trace.cycle) =
+let class_breakdown ?folded t ~mode (cy : Gatesim.Trace.cycle) =
   let max_mode = match mode with `Max -> true | `Observed -> false in
   let acc : (string, float) Hashtbl.t = Hashtbl.create 16 in
   List.iter (fun (k, v) -> Hashtbl.replace acc k v) t.base_by_class;
+  let is_folded =
+    match folded with Some f -> f | None -> fun _ -> false
+  in
+  (* Relabel proven-constant gates into a "constant" class: the same
+     addends (their leakage/clock base power and any boot-time
+     transitions below) move between classes, so the entries still sum
+     exactly to the cycle's total power. *)
+  if folded <> None then begin
+    let moved = ref 0. in
+    Array.iter
+      (fun (g : Netlist.gate) ->
+        if is_folded g.Netlist.id then begin
+          let b = t.gate_base.(g.Netlist.id) in
+          if b <> 0. then begin
+            let k = Netlist.cell_name g.Netlist.cell in
+            Hashtbl.replace acc k (Hashtbl.find acc k -. b);
+            moved := !moved +. b
+          end
+        end)
+      t.nl.Netlist.gates;
+    Hashtbl.replace acc "constant" !moved
+  end;
   let add net e =
-    let k = Netlist.cell_name t.nl.Netlist.gates.(net).Netlist.cell in
+    let k =
+      if is_folded net then "constant"
+      else Netlist.cell_name t.nl.Netlist.gates.(net).Netlist.cell
+    in
     Hashtbl.replace acc k
       (Option.value (Hashtbl.find_opt acc k) ~default:0. +. (e /. t.period_))
   in

@@ -62,9 +62,18 @@ val module_breakdown :
     for one cycle: each class's leakage + clock power plus the dynamic
     power of this cycle's transitions on nets that class drives, sorted
     by class name. Like {!module_breakdown}, the entries sum to the
-    cycle's total power. *)
+    cycle's total power.
+
+    With [folded] (a proven-constant predicate over net ids, see
+    {!Netlist.Specialize}), those gates' base power and transitions are
+    relabeled into a ["constant"] class — the same addends move between
+    classes, so the sum-to-total property is preserved exactly. *)
 val class_breakdown :
-  t -> mode:[ `Observed | `Max ] -> Gatesim.Trace.cycle -> (string * float) list
+  ?folded:(int -> bool) ->
+  t ->
+  mode:[ `Observed | `Max ] ->
+  Gatesim.Trace.cycle ->
+  (string * float) list
 
 (** [design_tool_power t ~activity] — the design-specification rating:
     every gate assumed to toggle with probability [activity] each cycle

@@ -56,9 +56,10 @@ let rec walk pa = function
     (Float.max e1 e2, max c1 c2, Float.max pk1 pk2)
   | Gatesim.Trace.End_path | Gatesim.Trace.Seen _ -> (0.0, 0, 0.0)
 
-let compute ?pool ~max_cycles_per_path ~max_paths pa cpu img (b : Cfg.block) =
+let compute ?pool ?specialize ~max_cycles_per_path ~max_paths pa cpu img
+    (b : Cfg.block) =
   let tree, _stats =
-    Core.Analyze.run_fragment ?pool ~is_end:(is_end_of_block b)
+    Core.Analyze.run_fragment ?pool ?specialize ~is_end:(is_end_of_block b)
       ~max_cycles_per_path ~max_paths cpu img ~entry:b.Cfg.b_start
   in
   match tree.Gatesim.Trace.root with
@@ -125,13 +126,13 @@ let key ~max_cycles_per_path ~max_paths pa cpu (img : Isa.Asm.image)
         (img.Isa.Asm.words, b.Cfg.b_start, b.Cfg.b_limit, b.Cfg.b_term);
     ]
 
-let characterize ?cache ?pool ?(max_cycles_per_path = 4096) ?(max_paths = 64)
-    pa cpu img b =
+let characterize ?cache ?pool ?specialize ?(max_cycles_per_path = 4096)
+    ?(max_paths = 64) pa cpu img b =
   Telemetry.span "blockchar" @@ fun () ->
   let computed = ref false in
   let run () =
     computed := true;
-    compute ?pool ~max_cycles_per_path ~max_paths pa cpu img b
+    compute ?pool ?specialize ~max_cycles_per_path ~max_paths pa cpu img b
   in
   let energy_j, cycles, peak_w, boot_energy_j, boot_cycles, boot_peak_w =
     match cache with

@@ -91,9 +91,10 @@ let dominators nodes entry ~preds =
   done;
   dom
 
-let analyze ?cache ?pool ?(name = "program") ~loop_bound pa cpu
+let analyze ?cache ?pool ?specialize ?(name = "program") ~loop_bound pa cpu
     (img : Isa.Asm.image) =
   Telemetry.span "static" @@ fun () ->
+  let pool = match pool with Some _ as p -> p | None -> Parallel.auto () in
   match Cfg.extract img with
   | Error e -> Error e
   | Ok cfg -> (
@@ -110,11 +111,58 @@ let analyze ?cache ?pool ?(name = "program") ~loop_bound pa cpu
         | Some c -> c
         | None ->
           let c =
-            Blockchar.characterize ?cache ?pool pa cpu img (block_of start)
+            Blockchar.characterize ?cache ?pool ?specialize pa cpu img
+              (block_of start)
           in
           Hashtbl.replace costs start c;
           c
       in
+      (* The combiner below consumes block costs strictly sequentially
+         (call-graph DFS -> per-function walks), so on its own the pool
+         only helps inside one block's exploration. Pre-characterize
+         every reachable block as an independent pool task instead —
+         block characterization dominates a cold static analysis, and
+         the results are order-independent (content-addressed, merged by
+         block start). Reachability mirrors the walk exactly
+         (intra-procedural successors plus call targets), so the cost
+         table, rows and block counts match the lazy path. *)
+      (match pool with
+      | None -> ()
+      | Some p ->
+        let seen = Hashtbl.create 32 in
+        let q = Queue.create () in
+        Hashtbl.replace seen cfg.Cfg.c_entry ();
+        Queue.add cfg.Cfg.c_entry q;
+        let order = ref [] in
+        while not (Queue.is_empty q) do
+          let s = Queue.pop q in
+          order := s :: !order;
+          let b = block_of s in
+          let succs =
+            match b.Cfg.b_term with
+            | Cfg.T_call { callee; _ } -> callee :: Cfg.successors b
+            | _ -> Cfg.successors b
+          in
+          List.iter
+            (fun s' ->
+              if not (Hashtbl.mem seen s') then begin
+                Hashtbl.replace seen s' ();
+                Queue.add s' q
+              end)
+            succs
+        done;
+        let futs =
+          List.rev_map
+            (fun s ->
+              ( s,
+                Parallel.Pool.async p (fun () ->
+                    Blockchar.characterize ?cache ~pool:p ?specialize pa cpu
+                      img (block_of s)) ))
+            !order
+        in
+        List.iter
+          (fun (s, fut) -> Hashtbl.replace costs s (Parallel.Pool.await p fut))
+          futs);
       let iters : (int, int) Hashtbl.t = Hashtbl.create 32 in
       let bump_iters start n =
         let cur = Option.value ~default:1 (Hashtbl.find_opt iters start) in

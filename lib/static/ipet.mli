@@ -43,10 +43,17 @@ type t = {
 (** [analyze ~loop_bound pa cpu img] — extract the CFG, characterize
     every reachable block, and combine. [Error] carries the CFG or
     structure defect that makes the program statically unboundable. May
-    raise {!Gatesim.Sym.Path_limit} if a single block fails to converge. *)
+    raise {!Gatesim.Sym.Path_limit} if a single block fails to converge.
+
+    [pool] defaults to the ambient {!Parallel.auto} pool; reachable
+    blocks are characterized as independent pool tasks (results merged
+    by block start, so the output is bit-identical at any job count).
+    [specialize] (default on) selects the engines' specialized gate
+    programs; bounds are bit-identical either way. *)
 val analyze :
   ?cache:Cache.t ->
   ?pool:Parallel.Pool.t ->
+  ?specialize:bool ->
   ?name:string ->
   loop_bound:int ->
   Poweran.t ->

@@ -164,12 +164,21 @@ module Ctx = struct
     jobs : int option;
     telemetry : Telemetry.t option;
     tier : Tier.t;
+    specialize : bool;
   }
 
-  let default = { cache = None; jobs = None; telemetry = None; tier = Tier.Exact }
+  let default =
+    {
+      cache = None;
+      jobs = None;
+      telemetry = None;
+      tier = Tier.Exact;
+      specialize = true;
+    }
 
-  let create ?cache ?jobs ?telemetry ?(tier = Tier.Exact) () =
-    { cache; jobs; telemetry; tier }
+  let create ?cache ?jobs ?telemetry ?(tier = Tier.Exact)
+      ?(specialize = true) () =
+    { cache; jobs; telemetry; tier; specialize }
 end
 
 type program = {
@@ -321,8 +330,8 @@ let analyze ?(ctx = Ctx.default) p =
   with_env (fun cpu pa ->
       let exact () =
         match
-          Core.Analyze.run ~config:(config_of p) ?cache:ctx.Ctx.cache pa cpu
-            p.p_image
+          Core.Analyze.run ~config:(config_of p) ?cache:ctx.Ctx.cache
+            ~specialize:ctx.Ctx.specialize pa cpu p.p_image
         with
         | a ->
           let pe = a.Core.Analyze.peak_energy in
@@ -361,7 +370,8 @@ let analyze ?(ctx = Ctx.default) p =
       in
       let static () =
         match
-          Static.Ipet.analyze ?cache:ctx.Ctx.cache ~name:p.p_name
+          Static.Ipet.analyze ?cache:ctx.Ctx.cache
+            ~specialize:ctx.Ctx.specialize ~name:p.p_name
             ~loop_bound:p.loop_bound pa cpu p.p_image
         with
         | Error e ->
@@ -424,7 +434,10 @@ type concrete = {
 let run_concrete ?(ctx = Ctx.default) p ~inputs =
   in_ctx ctx @@ fun () ->
   with_env (fun cpu pa ->
-      match Core.Analyze.run_concrete pa cpu p.p_image ~inputs with
+      match
+        Core.Analyze.run_concrete ~specialize:ctx.Ctx.specialize pa cpu
+          p.p_image ~inputs
+      with
       | cycles, trace ->
         let peak_w, peak_cycle = Poweran.peak_of trace in
         Ok { cycles = Array.length cycles; peak_w; peak_cycle; trace_w = trace }
@@ -453,9 +466,14 @@ let explain ?ctx ?(top = 4) ?(min_gap = 5) a =
     let ctx = Option.value ctx ~default:Ctx.default in
     in_ctx ctx @@ fun () ->
     (* [a] exists, so the environment was already elaborated. *)
-    let _, pa = Lazy.force env in
+    let cpu, pa = Lazy.force env in
+    (* [folded] is passed regardless of [ctx.specialize] — the class
+       labeling comes from the netlist analysis, not the engine mode, so
+       reports are byte-identical with specialization on or off. *)
     Explain.Report.build ~top ~min_gap ~phases:a.phase_timings
-      ~counters:a.counter_deltas ~name:(name a.program) pa raw
+      ~counters:a.counter_deltas
+      ~folded:(Core.Analyze.folded_pred cpu)
+      ~name:(name a.program) pa raw
 
 type optimization = {
   bench_name : string;
